@@ -1,0 +1,92 @@
+//! Error type shared by all allocators.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::AllocationId;
+
+/// Errors returned by [`GpuAllocator`](crate::GpuAllocator) implementations.
+///
+/// Allocators must provide *strong exception safety*: a failed call leaves the
+/// allocator and the device in the state they had before the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The device cannot satisfy the request, even after the allocator
+    /// released every cached block it could (the PyTorch `empty_cache` retry
+    /// and GMLake's `StitchFree` fallback have already been attempted).
+    OutOfMemory {
+        /// Bytes the caller asked for.
+        requested: u64,
+        /// Bytes currently reserved by this allocator (cached + active).
+        reserved: u64,
+        /// Total device capacity in bytes.
+        capacity: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSize,
+    /// `deallocate` was called with an identifier that is not live.
+    UnknownAllocation(AllocationId),
+    /// The underlying driver rejected an operation; carries the driver's
+    /// rendered message. This indicates a bug in the allocator, not a
+    /// recoverable condition.
+    Driver(String),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory {
+                requested,
+                reserved,
+                capacity,
+            } => write!(
+                f,
+                "out of memory: requested {} bytes, reserved {} of {} capacity",
+                requested, reserved, capacity
+            ),
+            AllocError::ZeroSize => write!(f, "zero-size allocation is not allowed"),
+            AllocError::UnknownAllocation(id) => {
+                write!(f, "unknown or already-freed allocation {id}")
+            }
+            AllocError::Driver(msg) => write!(f, "driver error: {msg}"),
+        }
+    }
+}
+
+impl Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AllocError::OutOfMemory {
+            requested: 100,
+            reserved: 50,
+            capacity: 120,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("50"));
+        assert!(s.contains("120"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<AllocError>();
+    }
+
+    #[test]
+    fn unknown_allocation_names_the_id() {
+        let e = AllocError::UnknownAllocation(AllocationId::new(9));
+        assert!(e.to_string().contains("alloc#9"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn Error> = Box::new(AllocError::ZeroSize);
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared allocator interface for the GMLake reproduction.
+//!
+//! This crate defines the vocabulary that every allocator in the workspace
+//! speaks: byte-size helpers, allocation identifiers and requests, memory
+//! statistics, error types, and the [`GpuAllocator`] trait implemented by
+//! * the native pass-through allocator (`gmlake-gpu-sim`),
+//! * the PyTorch-style caching allocator (`gmlake-caching`), and
+//! * the GMLake virtual-memory-stitching allocator (`gmlake-core`).
+//!
+//! The trait mirrors the narrow interface a deep-learning framework exposes to
+//! its tensor layer: `allocate`, `deallocate`, plus the cache-management hooks
+//! (`release_cached`, `iteration_boundary`) that PyTorch exposes as
+//! `empty_cache()` and that GMLake uses to exploit training periodicity.
+//!
+//! # Example
+//!
+//! ```
+//! use gmlake_alloc_api::{AllocRequest, AllocTag, mib};
+//!
+//! let req = AllocRequest::new(mib(96)).with_tag(AllocTag::Activation);
+//! assert_eq!(req.size, 96 * 1024 * 1024);
+//! ```
+
+mod error;
+mod request;
+mod stats;
+mod traits;
+mod types;
+
+pub use error::AllocError;
+pub use request::{AllocRequest, Allocation};
+pub use stats::{MemStats, StatsDelta};
+pub use traits::GpuAllocator;
+pub use types::{
+    gib, kib, mib, AllocTag, AllocationId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB, BYTES_PER_MIB,
+};

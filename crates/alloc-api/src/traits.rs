@@ -1,0 +1,186 @@
+//! The allocator trait every memory manager in this workspace implements.
+
+use crate::error::AllocError;
+use crate::request::{AllocRequest, Allocation};
+use crate::stats::MemStats;
+use crate::types::AllocationId;
+
+/// A GPU memory allocator as seen by the tensor layer of a DL framework.
+///
+/// Implementations in this workspace:
+/// * `NativeAllocator` (`gmlake-gpu-sim`) — direct `cudaMalloc`/`cudaFree`
+///   with device synchronization on every call (the paper's "native
+///   allocator", ~10× slower end to end);
+/// * `CachingAllocator` (`gmlake-caching`) — PyTorch's best-fit-with-
+///   coalescing caching allocator (the baseline in every figure);
+/// * `GmLakeAllocator` (`gmlake-core`) — the paper's virtual-memory-stitching
+///   allocator.
+///
+/// # Contract
+///
+/// * **Strong exception safety** — a call that returns `Err` leaves both the
+///   allocator and the device unchanged.
+/// * **No panics** on OOM — allocation failure is an `Err`, never an abort.
+/// * **Teardown** — dropping the allocator releases all device memory it
+///   reserved; destructors never fail (C-DTOR-FAIL).
+pub trait GpuAllocator {
+    /// Allocates memory for `req`, returning a handle whose virtual address
+    /// range is contiguous and at least `req.size` bytes long.
+    ///
+    /// # Errors
+    ///
+    /// * [`AllocError::ZeroSize`] if `req.size == 0`;
+    /// * [`AllocError::OutOfMemory`] if the device cannot satisfy the request
+    ///   even after cache release / defragmentation fallbacks.
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError>;
+
+    /// Releases the allocation identified by `id`.
+    ///
+    /// Depending on the implementation this may or may not return physical
+    /// memory to the device: caching allocators and GMLake keep it pooled.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::UnknownAllocation`] if `id` is not live.
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError>;
+
+    /// Returns a snapshot of the allocator's memory statistics.
+    fn stats(&self) -> MemStats;
+
+    /// Short implementation name for reports (e.g. `"pytorch-caching"`).
+    fn name(&self) -> &'static str;
+
+    /// Hint that one training iteration ended. GMLake uses this to detect
+    /// convergence of the allocation pattern; other allocators ignore it.
+    fn iteration_boundary(&mut self) {}
+
+    /// Releases cached (inactive) device memory back to the device, like
+    /// `torch.cuda.empty_cache()`. Returns the number of bytes released.
+    fn release_cached(&mut self) -> u64 {
+        0
+    }
+}
+
+/// Blanket impl so `&mut A` can be passed where a `GpuAllocator` is expected
+/// (the replayer takes allocators by `&mut dyn`).
+impl<A: GpuAllocator + ?Sized> GpuAllocator for &mut A {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        (**self).allocate(req)
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        (**self).deallocate(id)
+    }
+
+    fn stats(&self) -> MemStats {
+        (**self).stats()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn iteration_boundary(&mut self) {
+        (**self).iteration_boundary()
+    }
+
+    fn release_cached(&mut self) -> u64 {
+        (**self).release_cached()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::VirtAddr;
+    use std::collections::HashMap;
+
+    /// Minimal in-memory allocator used to exercise the trait contract and
+    /// the blanket `&mut A` impl.
+    #[derive(Default)]
+    struct Bump {
+        next: u64,
+        live: HashMap<AllocationId, u64>,
+        stats: MemStats,
+    }
+
+    impl GpuAllocator for Bump {
+        fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+            if req.size == 0 {
+                return Err(AllocError::ZeroSize);
+            }
+            self.next += 1;
+            let id = AllocationId::new(self.next);
+            self.live.insert(id, req.size);
+            self.stats.on_alloc(req.size, req.size);
+            let reserved = self.stats.active_bytes;
+            self.stats.set_reserved(reserved);
+            Ok(Allocation {
+                id,
+                va: VirtAddr::new(self.next << 20),
+                size: req.size,
+                requested: req.size,
+            })
+        }
+
+        fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+            let size = self
+                .live
+                .remove(&id)
+                .ok_or(AllocError::UnknownAllocation(id))?;
+            self.stats.on_free(size);
+            Ok(())
+        }
+
+        fn stats(&self) -> MemStats {
+            self.stats
+        }
+
+        fn name(&self) -> &'static str {
+            "bump"
+        }
+    }
+
+    fn exercise<A: GpuAllocator>(mut a: A) {
+        let alloc = a.allocate(AllocRequest::new(64)).unwrap();
+        assert_eq!(a.stats().active_bytes, 64);
+        a.deallocate(alloc.id).unwrap();
+        assert_eq!(a.stats().active_bytes, 0);
+    }
+
+    #[test]
+    fn trait_object_and_mut_ref_work() {
+        let mut b = Bump::default();
+        exercise(&mut b);
+        let dyn_ref: &mut dyn GpuAllocator = &mut b;
+        exercise(dyn_ref);
+        assert_eq!(b.stats().alloc_count, 2);
+    }
+
+    #[test]
+    fn zero_size_is_rejected() {
+        let mut b = Bump::default();
+        assert_eq!(
+            b.allocate(AllocRequest::new(0)).unwrap_err(),
+            AllocError::ZeroSize
+        );
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut b = Bump::default();
+        let alloc = b.allocate(AllocRequest::new(8)).unwrap();
+        b.deallocate(alloc.id).unwrap();
+        assert_eq!(
+            b.deallocate(alloc.id).unwrap_err(),
+            AllocError::UnknownAllocation(alloc.id)
+        );
+    }
+
+    #[test]
+    fn default_hooks_are_noops() {
+        let mut b = Bump::default();
+        b.iteration_boundary();
+        assert_eq!(b.release_cached(), 0);
+    }
+}

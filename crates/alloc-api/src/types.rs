@@ -1,0 +1,241 @@
+//! Fundamental value types: byte-size helpers, addresses, identifiers, tags.
+
+use std::fmt;
+
+/// Number of bytes in one KiB.
+pub const BYTES_PER_KIB: u64 = 1024;
+/// Number of bytes in one MiB.
+pub const BYTES_PER_MIB: u64 = 1024 * 1024;
+/// Number of bytes in one GiB.
+pub const BYTES_PER_GIB: u64 = 1024 * 1024 * 1024;
+
+/// Converts a KiB count to bytes.
+///
+/// ```
+/// assert_eq!(gmlake_alloc_api::kib(4), 4096);
+/// ```
+#[inline]
+pub const fn kib(n: u64) -> u64 {
+    n * BYTES_PER_KIB
+}
+
+/// Converts a MiB count to bytes.
+///
+/// ```
+/// assert_eq!(gmlake_alloc_api::mib(2), 2 * 1024 * 1024);
+/// ```
+#[inline]
+pub const fn mib(n: u64) -> u64 {
+    n * BYTES_PER_MIB
+}
+
+/// Converts a GiB count to bytes.
+///
+/// ```
+/// assert_eq!(gmlake_alloc_api::gib(80), 80 * 1024 * 1024 * 1024);
+/// ```
+#[inline]
+pub const fn gib(n: u64) -> u64 {
+    n * BYTES_PER_GIB
+}
+
+/// A device virtual address, as handed to tensors.
+///
+/// Addresses are opaque: arithmetic is deliberately limited to offsetting,
+/// which is what a framework needs to address into a tensor.
+///
+/// ```
+/// use gmlake_alloc_api::VirtAddr;
+/// let va = VirtAddr::new(0x7000_0000_0000);
+/// assert_eq!(va.offset(16).as_u64(), 0x7000_0000_0010);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// A null (unmapped) address.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from a raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// Returns the raw numeric address.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the address advanced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Self {
+        VirtAddr(self.0 + bytes)
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+/// Identifier of a live allocation, unique within one allocator instance.
+///
+/// Returned by [`GpuAllocator::allocate`](crate::GpuAllocator::allocate) and
+/// consumed by [`GpuAllocator::deallocate`](crate::GpuAllocator::deallocate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AllocationId(u64);
+
+impl AllocationId {
+    /// Creates an identifier from a raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        AllocationId(raw)
+    }
+
+    /// Returns the raw numeric identifier.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for AllocationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "alloc#{}", self.0)
+    }
+}
+
+/// Semantic label of an allocation, used by the workload generator so that
+/// traces stay interpretable and by tests to assert per-category accounting.
+///
+/// Tags never change allocator behaviour; they are telemetry only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum AllocTag {
+    /// No specific label.
+    #[default]
+    Unspecified,
+    /// Model weights (parameters).
+    Weight,
+    /// Gradients of weights.
+    Gradient,
+    /// Optimizer state (e.g. Adam moments, master weights).
+    OptimizerState,
+    /// Forward activations.
+    Activation,
+    /// LoRA adapter matrices (low-rank A/B factors).
+    LoraAdapter,
+    /// Communication / ZeRO gather-scatter transients.
+    Communication,
+    /// Host-offload staging buffers.
+    Staging,
+    /// Scratch space for kernels (workspace).
+    Workspace,
+}
+
+impl AllocTag {
+    /// All tag values, useful for exhaustive per-tag accounting.
+    pub const ALL: [AllocTag; 9] = [
+        AllocTag::Unspecified,
+        AllocTag::Weight,
+        AllocTag::Gradient,
+        AllocTag::OptimizerState,
+        AllocTag::Activation,
+        AllocTag::LoraAdapter,
+        AllocTag::Communication,
+        AllocTag::Staging,
+        AllocTag::Workspace,
+    ];
+
+    /// Short human-readable name (fixed width friendly).
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocTag::Unspecified => "unspec",
+            AllocTag::Weight => "weight",
+            AllocTag::Gradient => "grad",
+            AllocTag::OptimizerState => "optim",
+            AllocTag::Activation => "activ",
+            AllocTag::LoraAdapter => "lora",
+            AllocTag::Communication => "comm",
+            AllocTag::Staging => "stage",
+            AllocTag::Workspace => "work",
+        }
+    }
+}
+
+impl fmt::Display for AllocTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_helpers_compose() {
+        assert_eq!(kib(1), 1024);
+        assert_eq!(mib(1), 1024 * kib(1));
+        assert_eq!(gib(1), 1024 * mib(1));
+        assert_eq!(gib(80), 80 * BYTES_PER_GIB);
+    }
+
+    #[test]
+    fn virt_addr_offset_and_display() {
+        let va = VirtAddr::new(0x1000);
+        assert_eq!(va.offset(0x20).as_u64(), 0x1020);
+        assert_eq!(format!("{va}"), "0x000000001000");
+        assert!(!va.is_null());
+        assert!(VirtAddr::NULL.is_null());
+    }
+
+    #[test]
+    fn virt_addr_orders_numerically() {
+        assert!(VirtAddr::new(1) < VirtAddr::new(2));
+        assert_eq!(VirtAddr::from(7u64), VirtAddr::new(7));
+    }
+
+    #[test]
+    fn allocation_id_roundtrip() {
+        let id = AllocationId::new(42);
+        assert_eq!(id.as_u64(), 42);
+        assert_eq!(format!("{id}"), "alloc#42");
+    }
+
+    #[test]
+    fn tags_have_unique_names() {
+        let mut names: Vec<&str> = AllocTag::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AllocTag::ALL.len());
+    }
+
+    #[test]
+    fn tag_default_is_unspecified() {
+        assert_eq!(AllocTag::default(), AllocTag::Unspecified);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks: allocator hot paths and the VMM cost model.
+//!
+//! These measure the *host-side* wall time of the simulator's data
+//! structures (the simulated-time results live in the figure binaries):
+//! * caching-allocator reuse cycle (best-fit hit),
+//! * GMLake exact-match cycle (the S1 steady state),
+//! * GMLake first-touch stitch (S3),
+//! * driver VMM map/unmap round trip,
+//! * the closed-form Figure-6 cost curve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use gmlake_alloc_api::{gib, mib, AllocRequest, GpuAllocator};
+use gmlake_caching::CachingAllocator;
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig};
+
+fn device() -> CudaDriver {
+    CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    )
+}
+
+fn bench_caching_reuse(c: &mut Criterion) {
+    c.bench_function("caching_alloc_free_reuse_64MiB", |b| {
+        let mut alloc = CachingAllocator::new(device());
+        // Warm the cache so the loop measures the best-fit hit path.
+        let a = alloc.allocate(AllocRequest::new(mib(64))).unwrap();
+        alloc.deallocate(a.id).unwrap();
+        b.iter(|| {
+            let a = alloc.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+            alloc.deallocate(a.id).unwrap();
+        });
+    });
+}
+
+fn bench_gmlake_exact(c: &mut Criterion) {
+    c.bench_function("gmlake_exact_match_64MiB", |b| {
+        let mut lake = GmLakeAllocator::new(device(), GmLakeConfig::default());
+        let a = lake.allocate(AllocRequest::new(mib(64))).unwrap();
+        lake.deallocate(a.id).unwrap();
+        b.iter(|| {
+            let a = lake.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+            lake.deallocate(a.id).unwrap();
+        });
+    });
+}
+
+fn bench_gmlake_stitch(c: &mut Criterion) {
+    c.bench_function("gmlake_first_stitch_2x32MiB", |b| {
+        b.iter_batched(
+            || {
+                let mut lake = GmLakeAllocator::new(
+                    device(),
+                    GmLakeConfig::default().with_frag_limit(mib(2)),
+                );
+                let x = lake.allocate(AllocRequest::new(mib(32))).unwrap();
+                let y = lake.allocate(AllocRequest::new(mib(32))).unwrap();
+                lake.deallocate(x.id).unwrap();
+                lake.deallocate(y.id).unwrap();
+                lake
+            },
+            |mut lake| {
+                let a = lake.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+                black_box(a.va);
+                lake
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_driver_map_roundtrip(c: &mut Criterion) {
+    c.bench_function("driver_vmm_map_unmap_2MiB", |b| {
+        let driver = device();
+        let g = driver.granularity();
+        let va = driver.mem_address_reserve(g).unwrap();
+        let h = driver.mem_create(g).unwrap();
+        b.iter(|| {
+            driver.mem_map(va, g, 0, h).unwrap();
+            driver.mem_set_access(va, g, true).unwrap();
+            driver.mem_unmap(va, g).unwrap();
+        });
+    });
+}
+
+fn bench_cost_model_curve(c: &mut Criterion) {
+    let model = CostModel::calibrated();
+    c.bench_function("cost_model_fig6_curve", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for chunk in gmlake_gpu_sim::figure6_chunk_sizes() {
+                total += model.vmm_block_alloc_norm(black_box(gib(2)), chunk);
+            }
+            black_box(total)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_caching_reuse,
+    bench_gmlake_exact,
+    bench_gmlake_stitch,
+    bench_driver_map_roundtrip,
+    bench_cost_model_curve
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Quick calibration probe: utilization of both allocators across the five
+//! strategy combinations, to check the simulated fragmentation bands against
+//! the paper before running the full figure harnesses.
+
+use gmlake_bench::{print_compare_header, print_compare_row, run_pair};
+use gmlake_workload::{ModelSpec, StrategySet, TrainConfig};
+
+fn main() {
+    println!("calibration: OPT-1.3B and OPT-13B across strategies (4 GPUs)\n");
+    print_compare_header("workload");
+    for model in [ModelSpec::opt_1_3b(), ModelSpec::opt_13b()] {
+        for s in StrategySet::FIG10_SWEEP {
+            let cfg = TrainConfig::new(model.clone(), s).with_iterations(4);
+            let pair = run_pair(&cfg);
+            print_compare_row(&cfg.label(), &pair);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! **Figure 5** — memory-footprint irregularity of GPT-NeoX-20B training:
+//! original PyTorch versus PyTorch + LR (LoRA & recomputation).
+//!
+//! The paper reports the original run making 46 k allocations of 93 MB on
+//! average while the +LR run makes 76 k allocations of 85 MB on average —
+//! complex strategies mean *more, smaller, and more irregular* requests.
+//! (Absolute counts depend on run length; the shape — count up, mean size
+//! down, footprint more jagged — is the reproduction target.)
+
+use gmlake_alloc_api::BYTES_PER_MIB;
+use gmlake_workload::{ModelSpec, StrategySet, TraceGenerator, TrainConfig};
+
+fn describe(label: &str, strategies: StrategySet) {
+    // NeoX full fine-tuning does not fit 4×80 GB; the "original PyTorch" run
+    // in the paper's Figure 5 is the plain configuration, which we model
+    // with recomputation off and LoRA off but a reduced batch so the trace
+    // is generatable; the statistics of interest are per-allocation.
+    let cfg = TrainConfig::new(ModelSpec::gpt_neox_20b(), strategies)
+        .with_batch(4)
+        .with_iterations(8);
+    let trace = TraceGenerator::new(cfg).generate();
+    let stats = trace.stats();
+    println!(
+        "{label:<18} allocs {:>7}   mean size {:>6.1} MB   small(<2MiB) {:>5}   peak live {:>6.1} GiB",
+        stats.allocs,
+        stats.mean_alloc as f64 / BYTES_PER_MIB as f64,
+        stats.small_allocs,
+        gmlake_workload::to_gib(stats.peak_live_bytes),
+    );
+}
+
+fn main() {
+    println!("Figure 5: request-stream irregularity, GPT-NeoX-20B (8 iterations)\n");
+    println!("paper: original 46k allocs @ 93 MB avg; +LR 76k allocs @ 85 MB avg\n");
+    describe("original (N)", StrategySet::N);
+    describe("+LR", StrategySet::LR);
+    println!();
+
+    // Per-iteration allocation-count series: the jaggedness the footprint
+    // plots show comes from the allocation churn within each iteration.
+    for strategies in [StrategySet::N, StrategySet::LR] {
+        let cfg = TrainConfig::new(ModelSpec::gpt_neox_20b(), strategies)
+            .with_batch(4)
+            .with_iterations(4);
+        let trace = TraceGenerator::new(cfg).generate();
+        let mut per_iter = vec![0u64; 4];
+        let mut idx = None;
+        for ev in &trace.events {
+            match *ev {
+                gmlake_workload::TraceEvent::IterBegin { index } => idx = Some(index as usize),
+                gmlake_workload::TraceEvent::IterEnd { .. } => idx = None,
+                gmlake_workload::TraceEvent::Alloc { .. } => {
+                    if let Some(i) = idx {
+                        per_iter[i] += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        println!("allocs per iteration ({}): {per_iter:?}", strategies.label());
+    }
+}

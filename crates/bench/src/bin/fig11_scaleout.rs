@@ -1,0 +1,43 @@
+//! **Figure 11** — GPU scale-out (1/2/4/8/16 GPUs) with the LR strategy:
+//! reserved memory + utilization (a–c) and throughput (d–f) for OPT-13B,
+//! Vicuna-13B and GPT-NeoX-20B, with and without GMLake.
+//!
+//! Paper: GMLake keeps utilization ≈90% as the baseline degrades with GPU
+//! count (up to 23% / 17 GB on GPT-NeoX-20B), at indistinguishable
+//! throughput.
+
+use gmlake_bench::{fmt_pct, fmt_reserved, rule, run_pair};
+use gmlake_workload::{ModelSpec, StrategySet, TrainConfig};
+
+fn main() {
+    println!("Figure 11: GPU scale-out under LR, w/ and w/o GMLake (batch 16)\n");
+    let models = [
+        ModelSpec::opt_13b(),
+        ModelSpec::vicuna_13b(),
+        ModelSpec::gpt_neox_20b(),
+    ];
+    for model in models {
+        println!("model: {}", model.name);
+        println!(
+            "{:<6} {:>7} {:>7} {:>9}   {:>7} {:>7} {:>9}",
+            "gpus", "RM-pt", "UR-pt", "thr-pt", "RM-gml", "UR-gml", "thr-gml"
+        );
+        rule(62);
+        for gpus in [1u32, 2, 4, 8, 16] {
+            let cfg = TrainConfig::new(model.clone(), StrategySet::LR)
+                .with_batch(16)
+                .with_gpus(gpus);
+            let pair = run_pair(&cfg);
+            println!(
+                "{gpus:<6} {:>7} {:>7} {:>9.1}   {:>7} {:>7} {:>9.1}",
+                fmt_reserved(&pair.baseline),
+                fmt_pct(pair.baseline.utilization()),
+                pair.baseline.throughput,
+                fmt_reserved(&pair.gmlake),
+                fmt_pct(pair.gmlake.utilization()),
+                pair.gmlake.throughput,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,26 @@
+//! **Figure 12** — platform scalability: FSDP-GLM-10B, DeepSpeed-OPT-13B and
+//! Colossal-AI-GPT-2, fine-tuned with LoRA + recomputation on 4×A100, with
+//! and without GMLake.
+//!
+//! Paper: fragmentation/reserved reductions of ~9–33% (7–25 GB) across the
+//! three platforms.
+
+use gmlake_bench::{print_compare_header, print_compare_row, run_pair};
+use gmlake_workload::{ModelSpec, Platform, StrategySet, TrainConfig};
+
+fn main() {
+    println!("Figure 12: platform scalability (LR, 4 GPUs), w/ and w/o GMLake\n");
+    let rows = [
+        (Platform::Fsdp, ModelSpec::glm_10b(), 16u32),
+        (Platform::DeepSpeedZero3, ModelSpec::opt_13b(), 8),
+        (Platform::ColossalAi, ModelSpec::gpt2(), 64),
+    ];
+    print_compare_header("platform-model");
+    for (platform, model, batch) in rows {
+        let cfg = TrainConfig::new(model, StrategySet::LR)
+            .with_platform(platform)
+            .with_batch(batch);
+        let pair = run_pair(&cfg);
+        print_compare_row(&cfg.label(), &pair);
+    }
+}

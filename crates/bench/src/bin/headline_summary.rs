@@ -1,0 +1,69 @@
+//! **§5 headline numbers** — the 76-workload sweep behind the paper's
+//! summary claims: GMLake reduces reserved GPU memory by 9.2 GB on average
+//! (up to 25 GB) and fragmentation by 15% on average (up to 33%).
+//!
+//! Runs every workload of the suite against both allocators; workloads where
+//! the *baseline* OOMs are reported but excluded from the averages (there is
+//! no baseline reserved number to compare against), matching the paper's
+//! methodology of aggregating completed runs.
+
+use gmlake_bench::{fmt_pct, print_compare_header, print_compare_row, run_pair};
+use gmlake_workload::{headline_suite, mem_reduction_ratio, to_gib};
+
+fn main() {
+    let suite = headline_suite();
+    println!(
+        "Headline sweep: {} workloads across 6 models (paper: 76 workloads)\n",
+        suite.len()
+    );
+    print_compare_header("workload");
+
+    let mut base_reserved = Vec::new();
+    let mut gml_reserved = Vec::new();
+    let mut frag_drops = Vec::new();
+    let mut gml_rescues = 0u32;
+    let mut both_oom = 0u32;
+
+    for cfg in &suite {
+        let pair = run_pair(cfg);
+        print_compare_row(&cfg.label(), &pair);
+        match (
+            pair.baseline.outcome.is_completed(),
+            pair.gmlake.outcome.is_completed(),
+        ) {
+            (true, true) => {
+                base_reserved.push(pair.baseline.peak_reserved);
+                gml_reserved.push(pair.gmlake.peak_reserved);
+                frag_drops.push(pair.baseline.fragmentation() - pair.gmlake.fragmentation());
+            }
+            (false, true) => gml_rescues += 1,
+            (false, false) => both_oom += 1,
+            (true, false) => println!("  !! GMLake OOM where baseline survived: {}", cfg.label()),
+        }
+    }
+
+    let saved: Vec<f64> = base_reserved
+        .iter()
+        .zip(&gml_reserved)
+        .map(|(&b, &g)| to_gib(b.saturating_sub(g)))
+        .collect();
+    let avg_saved = gmlake_workload::mean(&saved);
+    let max_saved = saved.iter().cloned().fold(0.0, f64::max);
+    let avg_frag_drop = gmlake_workload::mean(&frag_drops);
+    let max_frag_drop = frag_drops.iter().cloned().fold(0.0, f64::max);
+    let reduction = mem_reduction_ratio(&base_reserved, &gml_reserved);
+
+    println!("\nsummary over {} completed pairs:", base_reserved.len());
+    println!(
+        "  reserved-memory saving: avg {avg_saved:.1} GiB, max {max_saved:.1} GiB (paper: avg 9.2, max 25)"
+    );
+    println!(
+        "  fragmentation reduction: avg {}, max {} (paper: avg 15%, max 33%)",
+        fmt_pct(avg_frag_drop),
+        fmt_pct(max_frag_drop)
+    );
+    println!("  aggregate MemReductionRatio: {}", fmt_pct(reduction));
+    println!(
+        "  workloads only GMLake completed (baseline OOM): {gml_rescues}; both OOM: {both_oom}"
+    );
+}

@@ -1,0 +1,39 @@
+//! Diagnostic: per-workload GMLake state counters and convergence flag.
+//! Not a paper figure — used to verify that the S1-only steady state
+//! (§4.2.2) is reached on each evaluation workload.
+
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+use gmlake_workload::{ModelSpec, Replayer, StrategySet, TraceGenerator, TrainConfig};
+
+fn probe(model: ModelSpec, s: StrategySet) {
+    let cfg = TrainConfig::new(model, s).with_iterations(6);
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+    let report = Replayer::new(driver.clone()).replay(&mut lake, &trace, &cfg);
+    let c = lake.state_counters();
+    println!(
+        "{:<28} conv={:<5} S1={:<6} S2={:<4} S3={:<5} S4={:<4} stitch={:<5} split={:<5} evict={:<5} alloc_ms={:<8.1} {}",
+        cfg.label(),
+        lake.is_converged(),
+        c.exact,
+        c.single,
+        c.multi,
+        c.insufficient,
+        c.stitches,
+        c.splits,
+        c.evictions,
+        report.allocator_ns as f64 / 1e6,
+        if report.outcome.is_completed() { "ok" } else { "OOM" },
+    );
+    println!("    non-exact per iteration: {:?}", lake.non_exact_history());
+}
+
+fn main() {
+    for s in StrategySet::FIG10_SWEEP {
+        probe(ModelSpec::opt_1_3b(), s);
+    }
+    probe(ModelSpec::opt_13b(), StrategySet::LR);
+    probe(ModelSpec::opt_13b(), StrategySet::R);
+}

@@ -1,0 +1,74 @@
+//! **Table 1** — VMM API execution-time breakdown for a 2 GB allocation,
+//! normalized to `cuMemAlloc`, for internal chunk sizes of 2 / 128 / 1024 MB.
+//!
+//! Paper values (normalized):
+//!
+//! | chunk | 2 MB | 128 MB | 1024 MB |
+//! |---|---|---|---|
+//! | cuMemAddressReserve | 0.003 | 0.003 | 0.002 |
+//! | cuMemCreate | 18.1 | 0.89 | 0.79 |
+//! | cuMemMap | 0.70 | 0.01 | 0.002 |
+//! | cuMemSetAccess | 96.8 | 8.2 | 0.7 |
+//! | total | 115.4 | 9.1 | 1.5 |
+//!
+//! Measured values come from *executing* the sequence against the simulated
+//! driver and reading per-API telemetry back, not from the closed-form model.
+
+use gmlake_alloc_api::{gib, mib};
+use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig, DriverStats};
+
+fn run_breakdown(chunk: u64) -> DriverStats {
+    let driver = CudaDriver::new(DeviceConfig::a100_80g().with_cost(CostModel::calibrated()));
+    let block = gib(2);
+    let va = driver.mem_address_reserve(block).unwrap();
+    for i in 0..(block / chunk) {
+        let h = driver.mem_create(chunk).unwrap();
+        driver.mem_map(va.offset(i * chunk), chunk, 0, h).unwrap();
+    }
+    driver.mem_set_access(va, block, true).unwrap();
+    driver.stats()
+}
+
+fn main() {
+    const ANCHOR: f64 = 1_000_000.0; // ns per normalized unit
+    let chunks = [mib(2), mib(128), mib(1024)];
+    let paper: [(&str, [f64; 3]); 5] = [
+        ("cuMemAddressReserve", [0.003, 0.003, 0.002]),
+        ("cuMemCreate", [18.1, 0.89, 0.79]),
+        ("cuMemMap", [0.70, 0.01, 0.002]),
+        ("cuMemSetAccess", [96.8, 8.2, 0.7]),
+        ("total", [115.4, 9.1, 1.5]),
+    ];
+
+    let stats: Vec<DriverStats> = chunks.iter().map(|&c| run_breakdown(c)).collect();
+    let measured = |api: &str, s: &DriverStats| -> f64 {
+        let ns = match api {
+            "cuMemAddressReserve" => s.address_reserve.time_ns,
+            "cuMemCreate" => s.create.time_ns,
+            "cuMemMap" => s.map.time_ns,
+            "cuMemSetAccess" => s.set_access.time_ns,
+            "total" => s.vmm_time_ns(),
+            _ => unreachable!(),
+        };
+        ns as f64 / ANCHOR
+    };
+
+    println!("Table 1: VMM API time breakdown, 2 GiB allocation (normalized to cuMemAlloc)\n");
+    println!(
+        "{:<22} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
+        "API", "2MB(p)", "2MB(m)", "128MB(p)", "128MB(m)", "1GB(p)", "1GB(m)"
+    );
+    println!("{}", "-".repeat(84));
+    for (api, p) in paper {
+        println!(
+            "{api:<22} {:>9.3} {:>9.3}   {:>9.3} {:>9.3}   {:>9.3} {:>9.3}",
+            p[0],
+            measured(api, &stats[0]),
+            p[1],
+            measured(api, &stats[1]),
+            p[2],
+            measured(api, &stats[2]),
+        );
+    }
+    println!("\n(p) = paper, (m) = measured on the simulated driver");
+}

@@ -1,0 +1,159 @@
+//! Shared harness plumbing for the per-figure/table benchmark binaries.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the paper's
+//! evaluation (see `DESIGN.md` §4 for the index). They all follow the same
+//! recipe: build a [`TrainConfig`], generate its trace, replay it against
+//! the PyTorch-style caching allocator and against GMLake on identical
+//! fresh devices, and print the paper's rows/series.
+
+use gmlake_alloc_api::{gib, GpuAllocator};
+use gmlake_caching::CachingAllocator;
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
+use gmlake_workload::{ReplayOptions, ReplayReport, Replayer, TraceGenerator, TrainConfig};
+
+/// Which allocator to run a workload against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Allocator {
+    /// PyTorch-style caching allocator (baseline, "w/o GML").
+    Caching,
+    /// GMLake ("w/ GML").
+    GmLake,
+    /// Native `cudaMalloc`/`cudaFree` pass-through.
+    Native,
+}
+
+/// Result pair for one workload: baseline vs GMLake.
+#[derive(Debug, Clone)]
+pub struct Pair {
+    /// Caching-allocator report.
+    pub baseline: ReplayReport,
+    /// GMLake report.
+    pub gmlake: ReplayReport,
+}
+
+/// Device capacity used throughout the evaluation (A100-80GB).
+pub fn device_capacity() -> u64 {
+    gib(80)
+}
+
+/// Runs `cfg` against one allocator on a fresh A100-80G device.
+pub fn run_single(cfg: &TrainConfig, which: Allocator, opts: &ReplayOptions) -> ReplayReport {
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let replayer = Replayer::new(driver.clone()).with_options(opts.clone());
+    match which {
+        Allocator::Caching => {
+            let mut alloc = CachingAllocator::new(driver);
+            replayer.replay(&mut alloc, &trace, cfg)
+        }
+        Allocator::GmLake => {
+            let mut alloc = GmLakeAllocator::new(driver, GmLakeConfig::default());
+            replayer.replay(&mut alloc, &trace, cfg)
+        }
+        Allocator::Native => {
+            let mut alloc = NativeAllocator::new(driver);
+            replayer.replay(&mut alloc, &trace, cfg)
+        }
+    }
+}
+
+/// Runs `cfg` against the caching baseline and GMLake on identical devices.
+pub fn run_pair(cfg: &TrainConfig) -> Pair {
+    let opts = ReplayOptions::default();
+    Pair {
+        baseline: run_single(cfg, Allocator::Caching, &opts),
+        gmlake: run_single(cfg, Allocator::GmLake, &opts),
+    }
+}
+
+/// Runs `cfg` against a caller-supplied allocator on a fresh device (for
+/// ablations with custom configurations).
+pub fn run_with<A, F>(cfg: &TrainConfig, make: F) -> ReplayReport
+where
+    A: GpuAllocator,
+    F: FnOnce(CudaDriver) -> A,
+{
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut alloc = make(driver.clone());
+    Replayer::new(driver).replay(&mut alloc, &trace, cfg)
+}
+
+/// Formats bytes as GiB with one decimal.
+pub fn fmt_gib(bytes: u64) -> String {
+    format!("{:6.1}", gmlake_workload::to_gib(bytes))
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Renders an outcome: reserved GiB, or `OOM` when the run died.
+pub fn fmt_reserved(r: &ReplayReport) -> String {
+    if r.outcome.is_completed() {
+        fmt_gib(r.peak_reserved)
+    } else {
+        "   OOM".to_owned()
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints the standard comparison row for one workload.
+pub fn print_compare_row(label: &str, pair: &Pair) {
+    let b = &pair.baseline;
+    let g = &pair.gmlake;
+    println!(
+        "{label:<34} {} {}   {} {}   {} {}",
+        fmt_reserved(b),
+        fmt_pct(b.utilization()),
+        fmt_reserved(g),
+        fmt_pct(g.utilization()),
+        fmt_gib(b.peak_reserved.saturating_sub(g.peak_reserved)),
+        fmt_pct(if b.peak_reserved > 0 {
+            (b.peak_reserved.saturating_sub(g.peak_reserved)) as f64 / b.peak_reserved as f64
+        } else {
+            0.0
+        }),
+    );
+}
+
+/// Prints the standard comparison header.
+pub fn print_compare_header(first_col: &str) {
+    println!(
+        "{first_col:<34} {:>6} {:>6}   {:>6} {:>6}   {:>6} {:>6}",
+        "RM-pt", "UR-pt", "RM-gml", "UR-gml", "save", "save%"
+    );
+    rule(84);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlake_workload::{ModelSpec, StrategySet};
+
+    #[test]
+    fn pair_runs_and_gmlake_wins_on_fragmentation() {
+        let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::LR).with_iterations(3);
+        let pair = run_pair(&cfg);
+        assert!(pair.baseline.outcome.is_completed());
+        assert!(pair.gmlake.outcome.is_completed());
+        assert!(
+            pair.gmlake.utilization() >= pair.baseline.utilization(),
+            "gmlake {:.3} vs baseline {:.3}",
+            pair.gmlake.utilization(),
+            pair.baseline.utilization()
+        );
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_gib(1 << 30), "   1.0");
+        assert_eq!(fmt_pct(0.925), " 92.5%");
+    }
+}

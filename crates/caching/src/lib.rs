@@ -1,0 +1,31 @@
+//! PyTorch-style caching allocator (best fit with coalescing).
+//!
+//! This is the baseline GMLake is evaluated against in every figure of the
+//! paper. It keeps a pool of `cudaMalloc`-ed *segments*, serves requests by
+//! best fit, splits oversized blocks, and merges adjacent inactive blocks —
+//! fast, but prone to fragmentation under irregular request streams because
+//! a split remainder can only serve requests that fit *inside* it, and a
+//! segment can only be returned to the device once *every* block in it is
+//! free.
+//!
+//! ```
+//! use gmlake_caching::CachingAllocator;
+//! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+//! use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+//!
+//! let driver = CudaDriver::new(DeviceConfig::small_test());
+//! let mut alloc = CachingAllocator::new(driver.clone());
+//! let a = alloc.allocate(AllocRequest::new(mib(6)))?;
+//! alloc.deallocate(a.id)?;
+//! // Reuse served from cache: no second cudaMalloc.
+//! let b = alloc.allocate(AllocRequest::new(mib(6)))?;
+//! assert_eq!(driver.stats().mem_alloc.calls, 1);
+//! # alloc.deallocate(b.id)?;
+//! # Ok::<(), gmlake_alloc_api::AllocError>(())
+//! ```
+
+mod bfc;
+mod round;
+
+pub use bfc::{CachingAllocator, SegmentView};
+pub use round::{BfcConfig, PoolKind};

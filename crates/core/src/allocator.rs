@@ -1,0 +1,907 @@
+//! The GMLake allocator (§3.3 and §4 of the paper).
+//!
+//! Large requests (≥ 2 MiB) are served by the virtual-memory-stitching
+//! machinery: `BestFit` (Algorithm 1) classifies each request into one of
+//! the states S1–S4 of Figure 9 and the corresponding post-processing runs:
+//!
+//! * **S1** exact match — hand out a cached sBlock/pBlock unchanged;
+//! * **S2** single larger pBlock — `Split` it (and cache an sBlock stitching
+//!   the two halves so the original size can exact-match later);
+//! * **S3** multiple pBlocks — `Stitch` them into a new sBlock (splitting
+//!   the final candidate so the stitched size matches exactly);
+//! * **S4** insufficient — `Alloc` fresh physical chunks, stitching them
+//!   with whatever leftovers exist;
+//! * **S5** — out of memory.
+//!
+//! Deallocation is the `Update` function: it only flips activity state;
+//! physical memory stays cached in the pools. `StitchFree` evicts
+//! least-recently-used inactive sBlock *structures* when the sPool exceeds
+//! its capacity; actual physical memory is surrendered only by
+//! [`GmLakeAllocator::release_cached`] (the OOM fallback) or on drop.
+
+use std::collections::{BTreeSet, HashMap};
+
+use gmlake_alloc_api::{
+    AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats, VirtAddr,
+};
+use gmlake_caching::CachingAllocator;
+use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
+
+use crate::bestfit::{best_fit, BestFit};
+use crate::block::{PBlock, PBlockId, SBlock, SBlockId, Target};
+use crate::config::{AllocState, GmLakeConfig, StateCounters};
+
+/// The GMLake virtual-memory-stitching allocator.
+///
+/// # Example
+///
+/// ```
+/// use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+/// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+/// use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+///
+/// let driver = CudaDriver::new(DeviceConfig::small_test());
+/// // Lower the fragmentation limit so MiB-scale doctest blocks may stitch.
+/// let config = GmLakeConfig::default().with_frag_limit(mib(2));
+/// let mut lake = GmLakeAllocator::new(driver.clone(), config);
+///
+/// // Two freed blocks of 4 and 6 MiB can serve a 10 MiB tensor without any
+/// // new physical allocation: that is virtual memory stitching.
+/// let a = lake.allocate(AllocRequest::new(mib(4)))?;
+/// let b = lake.allocate(AllocRequest::new(mib(6)))?;
+/// lake.deallocate(a.id)?;
+/// lake.deallocate(b.id)?;
+/// let before = driver.phys_in_use();
+/// let c = lake.allocate(AllocRequest::new(mib(10)))?;
+/// assert_eq!(driver.phys_in_use(), before, "no new physical memory");
+/// # lake.deallocate(c.id)?;
+/// # Ok::<(), gmlake_alloc_api::AllocError>(())
+/// ```
+#[derive(Debug)]
+pub struct GmLakeAllocator {
+    driver: CudaDriver,
+    config: GmLakeConfig,
+    chunk: u64,
+    host_op_ns: u64,
+    small: CachingAllocator,
+    pblocks: HashMap<PBlockId, PBlock>,
+    sblocks: HashMap<SBlockId, SBlock>,
+    /// Inactive pBlocks, keyed `(size, id)`.
+    p_inactive: BTreeSet<(u64, PBlockId)>,
+    /// sBlocks whose parts are all inactive, keyed `(size, id)`.
+    s_inactive: BTreeSet<(u64, SBlockId)>,
+    live: HashMap<AllocationId, (Target, u64)>,
+    next_p: PBlockId,
+    next_s: SBlockId,
+    next_alloc: u64,
+    tick: u64,
+    stats: MemStats,
+    /// Physical bytes owned by pBlocks (excludes the small pool's segments).
+    reserved_phys: u64,
+    counters: StateCounters,
+    iterations: u64,
+    iter_non_exact: u64,
+    iter_allocs: u64,
+    converged_streak: u64,
+    non_exact_history: Vec<u64>,
+}
+
+impl GmLakeAllocator {
+    /// Creates a GMLake allocator on `driver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.small_threshold` is larger than the device
+    /// granularity times 64 (a misconfiguration guard).
+    pub fn new(driver: CudaDriver, config: GmLakeConfig) -> Self {
+        let chunk = driver.granularity();
+        assert!(
+            config.small_threshold <= chunk * 64,
+            "small_threshold {} is implausibly large for chunk {}",
+            config.small_threshold,
+            chunk
+        );
+        let host_op_ns = driver.host_op_ns();
+        let small = CachingAllocator::with_config(driver.clone(), config.small_config.clone());
+        GmLakeAllocator {
+            driver,
+            config,
+            chunk,
+            host_op_ns,
+            small,
+            pblocks: HashMap::new(),
+            sblocks: HashMap::new(),
+            p_inactive: BTreeSet::new(),
+            s_inactive: BTreeSet::new(),
+            live: HashMap::new(),
+            next_p: 0,
+            next_s: 0,
+            next_alloc: 0,
+            tick: 0,
+            stats: MemStats::default(),
+            reserved_phys: 0,
+            counters: StateCounters::default(),
+            iterations: 0,
+            iter_non_exact: 0,
+            iter_allocs: 0,
+            converged_streak: 0,
+            non_exact_history: Vec::new(),
+        }
+    }
+
+    /// The underlying driver handle.
+    pub fn driver(&self) -> &CudaDriver {
+        &self.driver
+    }
+
+    /// The allocator's configuration.
+    pub fn config(&self) -> &GmLakeConfig {
+        &self.config
+    }
+
+    /// Physical bytes owned by pBlocks (excluding the small pool).
+    pub fn reserved_physical(&self) -> u64 {
+        self.reserved_phys
+    }
+
+    /// Number of live pBlocks.
+    pub fn pblock_count(&self) -> usize {
+        self.pblocks.len()
+    }
+
+    /// Number of cached sBlock structures.
+    pub fn sblock_count(&self) -> usize {
+        self.sblocks.len()
+    }
+
+    /// Cumulative allocation-state counters (S1–S5, stitches, splits,
+    /// evictions).
+    pub fn state_counters(&self) -> StateCounters {
+        self.counters
+    }
+
+    /// Completed training iterations (see
+    /// [`GpuAllocator::iteration_boundary`]).
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// `true` once a whole iteration ran on exact matches only — the paper's
+    /// convergence condition (§4.2.2, "after a few iterations GMLake will
+    /// only utilize the S1 strategy").
+    pub fn is_converged(&self) -> bool {
+        self.converged_streak >= 1
+    }
+
+    /// Non-exact (S2+S3+S4+S5) transition counts per completed iteration —
+    /// the convergence curve of the paper's Figure 14 discussion.
+    pub fn non_exact_history(&self) -> &[u64] {
+        &self.non_exact_history
+    }
+
+    /// Renders a human-readable snapshot of the pools, for debugging and the
+    /// examples: pBlocks grouped by activity, sBlocks with their part lists.
+    pub fn memory_map(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut pids: Vec<_> = self.pblocks.keys().copied().collect();
+        pids.sort_unstable();
+        let active = pids.iter().filter(|p| self.pblocks[p].active).count();
+        let _ = writeln!(
+            out,
+            "pPool: {} blocks ({} active), {:.1} MiB physical",
+            pids.len(),
+            active,
+            self.reserved_phys as f64 / (1 << 20) as f64
+        );
+        for pid in &pids {
+            let p = &self.pblocks[pid];
+            let _ = writeln!(
+                out,
+                "  p{pid:<4} {:>8.1} MiB {} refs={:?}",
+                p.size as f64 / (1 << 20) as f64,
+                if p.active { "ACTIVE  " } else { "inactive" },
+                p.referenced_by.iter().collect::<Vec<_>>()
+            );
+        }
+        let mut sids: Vec<_> = self.sblocks.keys().copied().collect();
+        sids.sort_unstable();
+        let _ = writeln!(out, "sPool: {} stitched views", sids.len());
+        for sid in &sids {
+            let s = &self.sblocks[sid];
+            let _ = writeln!(
+                out,
+                "  s{sid:<4} {:>8.1} MiB parts={:?}{}",
+                s.size as f64 / (1 << 20) as f64,
+                s.parts,
+                if s.assigned_to.is_some() { " ASSIGNED" } else { "" }
+            );
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Internal machinery
+    // ------------------------------------------------------------------
+
+    fn align_up(&self, size: u64) -> u64 {
+        size.div_ceil(self.chunk) * self.chunk
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn sync_reserved(&mut self) {
+        let reserved = self.reserved_phys + self.small.stats().reserved_bytes;
+        self.stats.set_reserved(reserved);
+    }
+
+    /// Flips a pBlock's activity, maintaining the inactive indexes of the
+    /// pBlock itself and of every sBlock referencing it.
+    fn set_pblock_active(&mut self, pid: PBlockId, active: bool) {
+        let (size, refs): (u64, Vec<SBlockId>) = {
+            let p = self.pblocks.get_mut(&pid).expect("pblock exists");
+            if p.active == active {
+                return;
+            }
+            p.active = active;
+            (p.size, p.referenced_by.iter().copied().collect())
+        };
+        if active {
+            self.p_inactive.remove(&(size, pid));
+        } else {
+            self.p_inactive.insert((size, pid));
+        }
+        for sid in refs {
+            self.refresh_sblock_index(sid);
+        }
+    }
+
+    /// Re-derives whether `sid` belongs to the inactive sBlock index.
+    fn refresh_sblock_index(&mut self, sid: SBlockId) {
+        let (size, inactive) = {
+            let s = self.sblocks.get(&sid).expect("sblock exists");
+            let inactive = s.parts.iter().all(|p| !self.pblocks[p].active);
+            (s.size, inactive)
+        };
+        if inactive {
+            self.s_inactive.insert((size, sid));
+        } else {
+            self.s_inactive.remove(&(size, sid));
+        }
+    }
+
+    /// `Alloc` (§3.3.1): creates a brand-new pBlock of `size` bytes (a chunk
+    /// multiple) with fresh physical chunks. The only function that
+    /// increases reserved physical memory.
+    fn alloc_new_pblock(&mut self, size: u64) -> Result<PBlockId, DriverError> {
+        debug_assert_eq!(size % self.chunk, 0);
+        let va = self.driver.mem_address_reserve(size)?;
+        let n = (size / self.chunk) as usize;
+        let mut chunks: Vec<PhysHandle> = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.driver.mem_create(self.chunk) {
+                Ok(h) => chunks.push(h),
+                Err(e) => {
+                    // Roll back: nothing is mapped yet.
+                    for h in chunks {
+                        let _ = self.driver.mem_release(h);
+                    }
+                    let _ = self.driver.mem_address_free(va, size);
+                    return Err(e);
+                }
+            }
+        }
+        for (i, &h) in chunks.iter().enumerate() {
+            self.driver
+                .mem_map(va.offset(i as u64 * self.chunk), self.chunk, 0, h)
+                .expect("mapping fresh chunks into a fresh reservation");
+        }
+        self.driver
+            .mem_set_access(va, size, true)
+            .expect("fully mapped range");
+        self.next_p += 1;
+        let pid = self.next_p;
+        self.pblocks.insert(pid, PBlock::new(va, size, chunks));
+        self.p_inactive.insert((size, pid));
+        self.reserved_phys += size;
+        Ok(pid)
+    }
+
+    /// Builds a pBlock over existing chunks (used by `Split`): reserves a
+    /// fresh VA and maps the chunks there.
+    fn pblock_from_chunks(&mut self, chunks: Vec<PhysHandle>) -> PBlockId {
+        let size = chunks.len() as u64 * self.chunk;
+        let va = self
+            .driver
+            .mem_address_reserve(size)
+            .expect("VA space is unbounded in simulation");
+        for (i, &h) in chunks.iter().enumerate() {
+            self.driver
+                .mem_map(va.offset(i as u64 * self.chunk), self.chunk, 0, h)
+                .expect("mapping live chunks into a fresh reservation");
+        }
+        self.driver
+            .mem_set_access(va, size, true)
+            .expect("fully mapped range");
+        self.next_p += 1;
+        let pid = self.next_p;
+        self.pblocks.insert(pid, PBlock::new(va, size, chunks));
+        self.p_inactive.insert((size, pid));
+        pid
+    }
+
+    /// `Split` (§3.3.1): divides an inactive pBlock into two pBlocks with
+    /// fresh VA ranges and remapped chunks; the original structure is
+    /// removed. Referencing sBlocks keep working (their own mappings are
+    /// untouched) and their part lists are rewritten to the two children.
+    fn split_pblock(&mut self, pid: PBlockId, left_size: u64) -> (PBlockId, PBlockId) {
+        debug_assert_eq!(left_size % self.chunk, 0);
+        let p = self.pblocks.remove(&pid).expect("pblock exists");
+        debug_assert!(!p.active && p.assigned_to.is_none(), "split of a live block");
+        debug_assert!(left_size > 0 && left_size < p.size);
+        self.p_inactive.remove(&(p.size, pid));
+        let k = (left_size / self.chunk) as usize;
+        let left_chunks = p.chunks[..k].to_vec();
+        let right_chunks = p.chunks[k..].to_vec();
+        let left = self.pblock_from_chunks(left_chunks);
+        let right = self.pblock_from_chunks(right_chunks);
+        // The old VA disappears; physical chunks live on through the new maps.
+        self.driver
+            .mem_unmap(p.va, p.size)
+            .expect("pblock range was fully mapped");
+        self.driver
+            .mem_address_free(p.va, p.size)
+            .expect("reservation exists and is empty");
+        // Rewrite referencing sBlocks to the two children.
+        for &sid in &p.referenced_by {
+            let s = self.sblocks.get_mut(&sid).expect("referenced sblock exists");
+            let pos = s
+                .parts
+                .iter()
+                .position(|&x| x == pid)
+                .expect("sblock lists the split pblock");
+            s.parts.splice(pos..=pos, [left, right]);
+        }
+        for &child in &[left, right] {
+            let refs = p.referenced_by.clone();
+            self.pblocks.get_mut(&child).expect("child exists").referenced_by = refs;
+        }
+        self.counters.splits += 1;
+        (left, right)
+    }
+
+    /// `Stitch` (§3.3.1): creates an sBlock whose fresh VA range aliases the
+    /// chunks of `parts`, in order. No physical memory is created.
+    fn stitch(&mut self, parts: Vec<PBlockId>) -> SBlockId {
+        let total: u64 = parts.iter().map(|p| self.pblocks[p].size).sum();
+        let va = self
+            .driver
+            .mem_address_reserve(total)
+            .expect("VA space is unbounded in simulation");
+        let mut off = 0u64;
+        for pid in &parts {
+            let (chunks, _size) = {
+                let p = &self.pblocks[pid];
+                (p.chunks.clone(), p.size)
+            };
+            for h in chunks {
+                self.driver
+                    .mem_map(va.offset(off), self.chunk, 0, h)
+                    .expect("aliasing live chunks into a fresh reservation");
+                off += self.chunk;
+            }
+        }
+        self.driver
+            .mem_set_access(va, total, true)
+            .expect("fully mapped range");
+        self.next_s += 1;
+        let sid = self.next_s;
+        let tick = self.next_tick();
+        for pid in &parts {
+            self.pblocks
+                .get_mut(pid)
+                .expect("part exists")
+                .referenced_by
+                .insert(sid);
+        }
+        self.sblocks.insert(sid, SBlock::new(va, total, parts, tick));
+        self.refresh_sblock_index(sid);
+        self.counters.stitches += 1;
+        // NOTE: capacity enforcement runs in `allocate` *after* the new
+        // block is assigned, so a freshly stitched block can never be its
+        // own eviction victim.
+        sid
+    }
+
+    /// `StitchFree` (§3.3.2): evicts least-recently-used *inactive* sBlock
+    /// structures while the sPool exceeds its capacity.
+    fn enforce_spool_capacity(&mut self) {
+        while self.sblocks.len() > self.config.max_sblocks {
+            let victim = self
+                .sblocks
+                .iter()
+                .filter(|(sid, s)| {
+                    s.assigned_to.is_none() && self.s_inactive.contains(&(s.size, **sid))
+                })
+                .min_by_key(|(_, s)| s.lru_tick)
+                .map(|(sid, _)| *sid);
+            match victim {
+                Some(sid) => {
+                    self.destroy_sblock(sid);
+                    self.counters.evictions += 1;
+                }
+                None => break, // nothing evictable; allow a soft overshoot
+            }
+        }
+    }
+
+    /// Tears an sBlock structure down: its VA and mappings disappear; the
+    /// chunks stay owned by the pBlocks.
+    fn destroy_sblock(&mut self, sid: SBlockId) {
+        let s = self.sblocks.remove(&sid).expect("sblock exists");
+        self.s_inactive.remove(&(s.size, sid));
+        for pid in &s.parts {
+            if let Some(p) = self.pblocks.get_mut(pid) {
+                p.referenced_by.remove(&sid);
+            }
+        }
+        self.driver
+            .mem_unmap(s.va, s.size)
+            .expect("sblock range was fully mapped");
+        self.driver
+            .mem_address_free(s.va, s.size)
+            .expect("reservation exists and is empty");
+    }
+
+    /// Returns a pBlock's physical memory to the device. The block must be
+    /// inactive, unassigned and unreferenced.
+    fn destroy_pblock(&mut self, pid: PBlockId) {
+        let p = self.pblocks.remove(&pid).expect("pblock exists");
+        debug_assert!(!p.active && p.assigned_to.is_none() && p.referenced_by.is_empty());
+        self.p_inactive.remove(&(p.size, pid));
+        self.driver
+            .mem_unmap(p.va, p.size)
+            .expect("pblock range was fully mapped");
+        for h in &p.chunks {
+            self.driver.mem_release(*h).expect("chunk owned by pblock");
+        }
+        self.driver
+            .mem_address_free(p.va, p.size)
+            .expect("reservation exists and is empty");
+        self.reserved_phys -= p.size;
+    }
+
+    fn register_allocation(
+        &mut self,
+        target: Target,
+        va: VirtAddr,
+        size: u64,
+        requested: u64,
+    ) -> Allocation {
+        self.next_alloc += 1;
+        let id = AllocationId::new(self.next_alloc);
+        match target {
+            Target::P(pid) => {
+                self.set_pblock_active(pid, true);
+                self.pblocks.get_mut(&pid).expect("pblock exists").assigned_to = Some(id);
+            }
+            Target::S(sid) => {
+                let parts = self.sblocks[&sid].parts.clone();
+                for pid in parts {
+                    self.set_pblock_active(pid, true);
+                }
+                let tick = self.next_tick();
+                let s = self.sblocks.get_mut(&sid).expect("sblock exists");
+                s.assigned_to = Some(id);
+                s.lru_tick = tick;
+            }
+            Target::Small(_) => {}
+        }
+        self.live.insert(id, (target, size));
+        self.stats.on_alloc(requested, size);
+        self.sync_reserved();
+        self.iter_allocs += 1;
+        Allocation {
+            id,
+            va,
+            size,
+            requested,
+        }
+    }
+
+    fn allocate_small(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let inner = self.small.allocate(req)?;
+        let alloc = self.register_allocation(Target::Small(inner.id), inner.va, inner.size, req.size);
+        Ok(alloc)
+    }
+
+    /// One attempt at a large allocation; OOM from `Alloc` is surfaced so the
+    /// caller can run the release-cached fallback and retry.
+    fn try_allocate_large(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let aligned = self.align_up(req.size);
+        let pblocks = &self.pblocks;
+        match best_fit(
+            aligned,
+            &self.s_inactive,
+            &self.p_inactive,
+            self.config.frag_limit,
+            |pid| !pblocks[&pid].referenced_by.is_empty(),
+        ) {
+            BestFit::ExactS(sid) => {
+                self.counters.record(AllocState::ExactMatch);
+                let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                Ok(self.register_allocation(Target::S(sid), va, size, req.size))
+            }
+            BestFit::ExactP(pid) => {
+                self.counters.record(AllocState::ExactMatch);
+                let (va, size) = (self.pblocks[&pid].va, self.pblocks[&pid].size);
+                Ok(self.register_allocation(Target::P(pid), va, size, req.size))
+            }
+            BestFit::Single(pid) => {
+                self.counters.record(AllocState::SingleBlock);
+                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                    eprintln!(
+                        "S2 iter={} size={} block={}",
+                        self.iterations, aligned, self.pblocks[&pid].size
+                    );
+                }
+                let block_size = self.pblocks[&pid].size;
+                let remainder = block_size - aligned;
+                if remainder >= self.config.frag_limit.max(self.chunk) {
+                    // Split; optionally cache an sBlock of the two halves so
+                    // a future request of the original size exact-matches.
+                    // Splitting performs driver work, so it counts against
+                    // convergence.
+                    self.iter_non_exact += 1;
+                    let (left, right) = self.split_pblock(pid, aligned);
+                    if self.config.cache_split_halves {
+                        self.stitch(vec![left, right]);
+                    }
+                    let (va, size) = (self.pblocks[&left].va, self.pblocks[&left].size);
+                    Ok(self.register_allocation(Target::P(left), va, size, req.size))
+                } else {
+                    // Remainder below the fragmentation limit: use the block
+                    // whole (internal waste instead of an unusable fragment).
+                    // This is pure best-fit reuse — zero driver calls — so it
+                    // does not count as an adaptation step.
+                    let (va, size) = (self.pblocks[&pid].va, self.pblocks[&pid].size);
+                    Ok(self.register_allocation(Target::P(pid), va, size, req.size))
+                }
+            }
+            BestFit::Multiple { mut ids, sum } => {
+                self.counters.record(AllocState::MultiBlock);
+                self.iter_non_exact += 1;
+                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                    eprintln!(
+                        "S3 iter={} size={} candidates={:?}",
+                        self.iterations,
+                        aligned,
+                        ids.iter().map(|i| self.pblocks[i].size).collect::<Vec<_>>()
+                    );
+                }
+                if sum > aligned {
+                    let last = ids.pop().expect("multiple has >= 2 candidates");
+                    let last_size = self.pblocks[&last].size;
+                    let rest_sum = sum - last_size;
+                    let need = aligned - rest_sum;
+                    debug_assert!(need > 0 && need <= last_size);
+                    if last_size - need >= self.config.frag_limit.max(self.chunk) {
+                        let (left, right) = self.split_pblock(last, need);
+                        if self.config.cache_split_halves {
+                            self.stitch(vec![left, right]);
+                        }
+                        ids.push(left);
+                    } else {
+                        ids.push(last); // keep whole; sBlock will be oversized
+                    }
+                }
+                let sid = self.stitch(ids);
+                let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                Ok(self.register_allocation(Target::S(sid), va, size, req.size))
+            }
+            BestFit::Insufficient { mut ids, sum } => {
+                self.counters.record(AllocState::Insufficient);
+                self.iter_non_exact += 1;
+                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                    eprintln!(
+                        "S4 iter={} size={} have={}",
+                        self.iterations, aligned, sum
+                    );
+                }
+                debug_assert!(sum < aligned);
+                let new_size = aligned - sum;
+                let new_pid = match self.alloc_new_pblock(new_size) {
+                    Ok(pid) => pid,
+                    Err(DriverError::OutOfMemory { requested, .. }) => {
+                        return Err(AllocError::OutOfMemory {
+                            requested,
+                            reserved: self.stats.reserved_bytes,
+                            capacity: self.driver.capacity(),
+                        })
+                    }
+                    Err(e) => return Err(AllocError::Driver(e.to_string())),
+                };
+                if ids.is_empty() {
+                    let (va, size) = (self.pblocks[&new_pid].va, self.pblocks[&new_pid].size);
+                    Ok(self.register_allocation(Target::P(new_pid), va, size, req.size))
+                } else {
+                    ids.push(new_pid);
+                    let sid = self.stitch(ids);
+                    let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                    Ok(self.register_allocation(Target::S(sid), va, size, req.size))
+                }
+            }
+        }
+    }
+
+    /// Frees every cache structure not currently assigned to a tensor:
+    /// all unassigned sBlocks, then every inactive pBlock's physical memory,
+    /// then the small pool's cached segments. Returns bytes of physical
+    /// memory released.
+    fn release_cached_impl(&mut self) -> u64 {
+        let unassigned: Vec<SBlockId> = self
+            .sblocks
+            .iter()
+            .filter(|(_, s)| s.assigned_to.is_none())
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in unassigned {
+            self.destroy_sblock(sid);
+        }
+        let idle: Vec<PBlockId> = self
+            .pblocks
+            .iter()
+            .filter(|(_, p)| !p.active && p.assigned_to.is_none() && p.referenced_by.is_empty())
+            .map(|(pid, _)| *pid)
+            .collect();
+        let mut released = 0;
+        for pid in idle {
+            released += self.pblocks[&pid].size;
+            self.destroy_pblock(pid);
+        }
+        released += self.small.release_cached();
+        self.sync_reserved();
+        released
+    }
+
+    /// Verifies every internal invariant; heavily used by tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        // 1. pBlock shape + index consistency.
+        let mut chunk_owner: HashMap<u64, PBlockId> = HashMap::new();
+        let mut phys_sum = 0u64;
+        for (pid, p) in &self.pblocks {
+            if p.chunks.len() as u64 * self.chunk != p.size {
+                return Err(format!("pblock {pid}: chunk count disagrees with size"));
+            }
+            phys_sum += p.size;
+            for h in &p.chunks {
+                if let Some(prev) = chunk_owner.insert(h.as_u64(), *pid) {
+                    return Err(format!(
+                        "chunk {h} owned by both pblock {prev} and {pid}"
+                    ));
+                }
+            }
+            let indexed = self.p_inactive.contains(&(p.size, *pid));
+            if p.active == indexed {
+                return Err(format!(
+                    "pblock {pid}: active={} but inactive-index={}",
+                    p.active, indexed
+                ));
+            }
+            if p.assigned_to.is_some() && !p.active {
+                return Err(format!("pblock {pid}: assigned but inactive"));
+            }
+            for sid in &p.referenced_by {
+                let s = self
+                    .sblocks
+                    .get(sid)
+                    .ok_or_else(|| format!("pblock {pid} references dead sblock {sid}"))?;
+                if !s.parts.contains(pid) {
+                    return Err(format!("sblock {sid} does not list pblock {pid}"));
+                }
+            }
+        }
+        if phys_sum != self.reserved_phys {
+            return Err(format!(
+                "reserved_phys {} but pblocks sum to {phys_sum}",
+                self.reserved_phys
+            ));
+        }
+        // 2. sBlock consistency.
+        for (sid, s) in &self.sblocks {
+            let mut size_sum = 0;
+            for pid in &s.parts {
+                let p = self
+                    .pblocks
+                    .get(pid)
+                    .ok_or_else(|| format!("sblock {sid} lists dead pblock {pid}"))?;
+                if !p.referenced_by.contains(sid) {
+                    return Err(format!("pblock {pid} missing backref to sblock {sid}"));
+                }
+                size_sum += p.size;
+            }
+            if size_sum != s.size {
+                return Err(format!("sblock {sid}: parts sum {size_sum} != size {}", s.size));
+            }
+            let all_inactive = s.parts.iter().all(|p| !self.pblocks[p].active);
+            let indexed = self.s_inactive.contains(&(s.size, *sid));
+            if all_inactive != indexed {
+                return Err(format!(
+                    "sblock {sid}: all_inactive={all_inactive} but index={indexed}"
+                ));
+            }
+            if s.assigned_to.is_some() {
+                let fully_active = s.parts.iter().all(|p| self.pblocks[p].active);
+                if !fully_active {
+                    return Err(format!("assigned sblock {sid} has inactive parts"));
+                }
+            }
+        }
+        // 3. Live allocations point at correctly-assigned targets, and no
+        //    pBlock serves two live allocations.
+        let mut held: HashMap<PBlockId, AllocationId> = HashMap::new();
+        for (id, (target, _size)) in &self.live {
+            match target {
+                Target::P(pid) => {
+                    let p = self
+                        .pblocks
+                        .get(pid)
+                        .ok_or_else(|| format!("{id} targets dead pblock {pid}"))?;
+                    if p.assigned_to != Some(*id) {
+                        return Err(format!("{id}: pblock {pid} assignment mismatch"));
+                    }
+                    if let Some(other) = held.insert(*pid, *id) {
+                        return Err(format!("pblock {pid} held by {other} and {id}"));
+                    }
+                }
+                Target::S(sid) => {
+                    let s = self
+                        .sblocks
+                        .get(sid)
+                        .ok_or_else(|| format!("{id} targets dead sblock {sid}"))?;
+                    if s.assigned_to != Some(*id) {
+                        return Err(format!("{id}: sblock {sid} assignment mismatch"));
+                    }
+                    for pid in &s.parts {
+                        if let Some(other) = held.insert(*pid, *id) {
+                            return Err(format!("pblock {pid} held by {other} and {id}"));
+                        }
+                    }
+                }
+                Target::Small(_) => {}
+            }
+        }
+        // 4. Embedded small pool invariants.
+        self.small.validate()?;
+        Ok(())
+    }
+}
+
+impl GpuAllocator for GmLakeAllocator {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        if req.size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        self.driver.advance_clock(self.host_op_ns);
+        if req.size < self.config.small_threshold {
+            return self.allocate_small(req);
+        }
+        let result = match self.try_allocate_large(req) {
+            Err(AllocError::OutOfMemory { .. }) => {
+                // S5 fallback: surrender every cached structure and retry once.
+                let released = self.release_cached_impl();
+                if released == 0 {
+                    self.counters.record(AllocState::Oom);
+                    self.iter_non_exact += 1;
+                    self.stats.oom_count += 1;
+                    return Err(AllocError::OutOfMemory {
+                        requested: req.size,
+                        reserved: self.stats.reserved_bytes,
+                        capacity: self.driver.capacity(),
+                    });
+                }
+                self.try_allocate_large(req).map_err(|e| {
+                    if matches!(e, AllocError::OutOfMemory { .. }) {
+                        self.counters.record(AllocState::Oom);
+                        self.iter_non_exact += 1;
+                        self.stats.oom_count += 1;
+                    }
+                    e
+                })
+            }
+            other => other,
+        };
+        if result.is_ok() {
+            // StitchFree: trim the sPool now that the new block (if any) is
+            // assigned and therefore protected from eviction.
+            self.enforce_spool_capacity();
+        }
+        result
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        let (target, size) = self
+            .live
+            .remove(&id)
+            .ok_or(AllocError::UnknownAllocation(id))?;
+        self.driver.advance_clock(self.host_op_ns);
+        match target {
+            Target::P(pid) => {
+                self.pblocks.get_mut(&pid).expect("live pblock").assigned_to = None;
+                self.set_pblock_active(pid, false);
+            }
+            Target::S(sid) => {
+                let parts = {
+                    let tick = self.next_tick();
+                    let s = self.sblocks.get_mut(&sid).expect("live sblock");
+                    s.assigned_to = None;
+                    s.lru_tick = tick;
+                    s.parts.clone()
+                };
+                for pid in parts {
+                    self.set_pblock_active(pid, false);
+                }
+            }
+            Target::Small(inner) => {
+                self.small
+                    .deallocate(inner)
+                    .map_err(|e| AllocError::Driver(format!("small pool: {e}")))?;
+            }
+        }
+        self.stats.on_free(size);
+        self.sync_reserved();
+        Ok(())
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "gmlake"
+    }
+
+    fn iteration_boundary(&mut self) {
+        if self.iter_allocs > 0 && self.iter_non_exact == 0 {
+            self.converged_streak += 1;
+        } else {
+            self.converged_streak = 0;
+        }
+        self.iterations += 1;
+        self.non_exact_history.push(self.iter_non_exact);
+        self.iter_non_exact = 0;
+        self.iter_allocs = 0;
+    }
+
+    fn release_cached(&mut self) -> u64 {
+        self.release_cached_impl()
+    }
+}
+
+impl Drop for GmLakeAllocator {
+    fn drop(&mut self) {
+        // Destructors never fail (C-DTOR-FAIL): best-effort teardown.
+        let sids: Vec<SBlockId> = self.sblocks.keys().copied().collect();
+        for sid in sids {
+            let s = self.sblocks.remove(&sid).expect("listed above");
+            let _ = self.driver.mem_unmap(s.va, s.size);
+            let _ = self.driver.mem_address_free(s.va, s.size);
+        }
+        let pids: Vec<PBlockId> = self.pblocks.keys().copied().collect();
+        for pid in pids {
+            let p = self.pblocks.remove(&pid).expect("listed above");
+            let _ = self.driver.mem_unmap(p.va, p.size);
+            for h in &p.chunks {
+                let _ = self.driver.mem_release(*h);
+            }
+            let _ = self.driver.mem_address_free(p.va, p.size);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! The `BestFit` function — a direct transcription of the paper's
+//! Algorithm 1, as a pure function over the inactive pool indexes so it can
+//! be unit- and property-tested in isolation.
+//!
+//! One refinement beyond the paper's pseudocode: when choosing *non-exact*
+//! candidates (S2/S3), pBlocks that are not referenced by any cached sBlock
+//! are preferred. Splitting or re-stitching a block that participates in a
+//! cached stitched view invalidates that view's availability and forces the
+//! next identical request to stitch again — preferring unreferenced blocks
+//! keeps the "tape" of cached sBlocks intact, which is what lets the
+//! allocator converge to the S1-only steady state the paper describes
+//! (§4.2.2).
+
+use std::collections::BTreeSet;
+
+use crate::block::{PBlockId, SBlockId};
+
+/// Outcome of `BestFit` (the paper's states S1–S4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BestFit {
+    /// S1 with an sBlock: exact size match.
+    ExactS(SBlockId),
+    /// S1 with a pBlock: exact size match.
+    ExactP(PBlockId),
+    /// S2: the smallest single pBlock strictly larger than the request.
+    Single(PBlockId),
+    /// S3: multiple pBlocks, each smaller than the request, whose total
+    /// size covers it. Ordered by descending size; the last entry is the
+    /// one a split may apply to. `sum` is their total size.
+    Multiple { ids: Vec<PBlockId>, sum: u64 },
+    /// S4: all eligible inactive pBlocks together are too small. `ids` is
+    /// the candidate list (possibly empty), `sum` their total size.
+    Insufficient { ids: Vec<PBlockId>, sum: u64 },
+}
+
+/// Runs Algorithm 1 over the inactive indexes.
+///
+/// `s_inactive` and `p_inactive` are `(size, id)` sets; iteration in
+/// descending order reproduces the paper's "sorted by block size in
+/// descending order" pools. Blocks smaller than `frag_limit` are skipped as
+/// *stitching candidates* (the robustness rule of §4.2.3) but still serve
+/// exact matches. `is_referenced` reports whether a pBlock belongs to a
+/// cached sBlock (see module docs).
+pub(crate) fn best_fit(
+    bsize: u64,
+    s_inactive: &BTreeSet<(u64, SBlockId)>,
+    p_inactive: &BTreeSet<(u64, PBlockId)>,
+    frag_limit: u64,
+    is_referenced: impl Fn(PBlockId) -> bool,
+) -> BestFit {
+    debug_assert!(bsize > 0);
+    // S1: exact match. sBlocks are checked first: reusing a cached stitched
+    // block is the paper's steady-state fast path. Among equal-size exact
+    // pBlocks, unreferenced ones are preferred so that blocks woven into
+    // cached sBlocks stay available to those sBlocks.
+    if let Some(&(_, sid)) = s_inactive.range((bsize, 0)..=(bsize, u64::MAX)).next() {
+        return BestFit::ExactS(sid);
+    }
+    let mut exact_any: Option<PBlockId> = None;
+    for &(_, pid) in p_inactive.range((bsize, 0)..=(bsize, u64::MAX)) {
+        if exact_any.is_none() {
+            exact_any = Some(pid);
+        }
+        if !is_referenced(pid) {
+            return BestFit::ExactP(pid);
+        }
+    }
+    if let Some(pid) = exact_any {
+        return BestFit::ExactP(pid);
+    }
+    // S2: single pBlock larger than the request — the smallest unreferenced
+    // one if any exists within a reasonable window, else the smallest
+    // overall. The window (4× the request) avoids shredding a huge
+    // unreferenced block when a snug referenced one exists.
+    let mut smallest_any: Option<PBlockId> = None;
+    for &(size, pid) in p_inactive.range((bsize, u64::MAX)..) {
+        if smallest_any.is_none() {
+            smallest_any = Some(pid);
+        }
+        if size > bsize.saturating_mul(4) {
+            break;
+        }
+        if !is_referenced(pid) {
+            return BestFit::Single(pid);
+        }
+    }
+    if let Some(pid) = smallest_any {
+        return BestFit::Single(pid);
+    }
+    // S3/S4: accumulate candidates in descending size order until they cover
+    // the request (greedy, as in Algorithm 1 lines 11-13) — first over
+    // unreferenced blocks, then, only if those do not suffice, over blocks
+    // referenced by cached sBlocks.
+    let mut ids = Vec::new();
+    let mut sum = 0u64;
+    for pass_referenced in [false, true] {
+        for &(size, pid) in p_inactive.iter().rev() {
+            debug_assert!(size < bsize, "larger blocks were handled above");
+            if size < frag_limit {
+                continue; // too small to be worth stitching
+            }
+            if is_referenced(pid) != pass_referenced {
+                continue;
+            }
+            ids.push(pid);
+            sum += size;
+            if sum >= bsize {
+                return BestFit::Multiple { ids, sum };
+            }
+        }
+    }
+    BestFit::Insufficient { ids, sum }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(entries: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+        entries.iter().copied().collect()
+    }
+
+    const NO_LIMIT: u64 = 0;
+
+    /// No pBlock referenced by an sBlock.
+    fn unreferenced(_: PBlockId) -> bool {
+        false
+    }
+
+    #[test]
+    fn exact_sblock_wins_over_everything() {
+        let s = set(&[(100, 1)]);
+        let p = set(&[(100, 2), (200, 3)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::ExactS(1)
+        );
+    }
+
+    #[test]
+    fn exact_pblock_when_no_sblock() {
+        let s = set(&[(50, 1)]);
+        let p = set(&[(100, 2)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::ExactP(2)
+        );
+    }
+
+    #[test]
+    fn single_picks_smallest_larger_block() {
+        let s = BTreeSet::new();
+        let p = set(&[(120, 1), (150, 2), (300, 3)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Single(1)
+        );
+    }
+
+    #[test]
+    fn single_prefers_unreferenced_within_window() {
+        let s = BTreeSet::new();
+        let p = set(&[(120, 1), (150, 2)]);
+        // Block 1 is referenced by a cached sBlock; block 2 is free-standing
+        // and within the 4x window: prefer it.
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, |pid| pid == 1),
+            BestFit::Single(2)
+        );
+        // If the only unreferenced block is grotesquely oversized, fall back
+        // to the snug referenced one.
+        let p2 = set(&[(120, 1), (1000, 2)]);
+        assert_eq!(
+            best_fit(100, &s, &p2, NO_LIMIT, |pid| pid == 1),
+            BestFit::Single(1)
+        );
+    }
+
+    #[test]
+    fn multiple_accumulates_descending() {
+        let s = BTreeSet::new();
+        let p = set(&[(60, 1), (50, 2), (40, 3), (30, 4)]);
+        // 60 + 50 = 110 >= 100: stop there.
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Multiple {
+                ids: vec![1, 2],
+                sum: 110
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_prefers_unreferenced_candidates() {
+        let s = BTreeSet::new();
+        let p = set(&[(60, 1), (50, 2), (40, 3)]);
+        // Block 1 (the largest) belongs to a cached sBlock; 50+40 covers the
+        // request without touching it.
+        assert_eq!(
+            best_fit(90, &s, &p, NO_LIMIT, |pid| pid == 1),
+            BestFit::Multiple {
+                ids: vec![2, 3],
+                sum: 90
+            }
+        );
+        // When unreferenced blocks are insufficient, referenced ones join.
+        assert_eq!(
+            best_fit(120, &s, &p, NO_LIMIT, |pid| pid == 1),
+            BestFit::Multiple {
+                ids: vec![2, 3, 1],
+                sum: 150
+            }
+        );
+    }
+
+    #[test]
+    fn multiple_exact_sum() {
+        let s = BTreeSet::new();
+        let p = set(&[(60, 1), (40, 2)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Multiple {
+                ids: vec![1, 2],
+                sum: 100
+            }
+        );
+    }
+
+    #[test]
+    fn insufficient_returns_all_candidates() {
+        let s = BTreeSet::new();
+        let p = set(&[(30, 1), (20, 2)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Insufficient {
+                ids: vec![1, 2],
+                sum: 50
+            }
+        );
+    }
+
+    #[test]
+    fn empty_pools_are_insufficient() {
+        let s = BTreeSet::new();
+        let p = BTreeSet::new();
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Insufficient {
+                ids: vec![],
+                sum: 0
+            }
+        );
+    }
+
+    #[test]
+    fn frag_limit_excludes_small_candidates_from_stitching() {
+        let s = BTreeSet::new();
+        let p = set(&[(60, 1), (10, 2), (50, 3)]);
+        // With limit 20 the 10-byte block cannot participate.
+        assert_eq!(
+            best_fit(100, &s, &p, 20, unreferenced),
+            BestFit::Multiple {
+                ids: vec![1, 3],
+                sum: 110
+            }
+        );
+        // Raising the limit to 60 leaves only block 1 eligible: insufficient.
+        assert_eq!(
+            best_fit(100, &s, &p, 60, unreferenced),
+            BestFit::Insufficient {
+                ids: vec![1],
+                sum: 60
+            }
+        );
+    }
+
+    #[test]
+    fn frag_limit_does_not_block_exact_or_single() {
+        let s = BTreeSet::new();
+        let p = set(&[(10, 1)]);
+        assert_eq!(
+            best_fit(10, &s, &p, 1000, unreferenced),
+            BestFit::ExactP(1)
+        );
+        let p2 = set(&[(15, 1)]);
+        assert_eq!(
+            best_fit(10, &s, &p2, 1000, unreferenced),
+            BestFit::Single(1)
+        );
+    }
+
+    #[test]
+    fn greedy_prefers_largest_blocks_first() {
+        // Greedy takes 90 then 80 (sum 170 >= 100) even though 60+40 would
+        // waste less. Linear-time greediness is the paper's efficiency
+        // argument (§4.2.2); exactness is restored by the post-split.
+        let s = BTreeSet::new();
+        let p = set(&[(90, 1), (80, 2), (60, 3), (40, 4)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Multiple {
+                ids: vec![1, 2],
+                sum: 170
+            }
+        );
+    }
+}

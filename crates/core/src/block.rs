@@ -1,0 +1,86 @@
+//! pBlock and sBlock structures (§3.2 of the paper).
+//!
+//! * A **pBlock** (primitive block) owns a VA reservation and the physical
+//!   2 MiB chunks mapped behind it. It is the only structure that owns
+//!   physical memory, and the smallest unit assignable to a tensor.
+//! * An **sBlock** (stitched block) owns *only* a VA reservation: its range
+//!   is mapped onto the chunks of several pBlocks (which stay mapped at
+//!   their own addresses too — the multi-VA aliasing the CUDA VMM allows).
+//!   An sBlock is active whenever any of its pBlocks is active.
+
+use std::collections::BTreeSet;
+
+use gmlake_alloc_api::{AllocationId, VirtAddr};
+use gmlake_gpu_sim::PhysHandle;
+
+/// Identifier of a pBlock within one allocator.
+pub(crate) type PBlockId = u64;
+/// Identifier of an sBlock within one allocator.
+pub(crate) type SBlockId = u64;
+
+/// A primitive block: VA range + owned physical chunks.
+#[derive(Debug)]
+pub(crate) struct PBlock {
+    pub va: VirtAddr,
+    pub size: u64,
+    /// Physical chunks, each of the device granularity, mapped consecutively
+    /// at `va`.
+    pub chunks: Vec<PhysHandle>,
+    /// Whether the block's memory is currently used by a tensor (directly or
+    /// through an assigned sBlock).
+    pub active: bool,
+    /// Allocation currently holding this pBlock *directly* (not through an
+    /// sBlock).
+    pub assigned_to: Option<AllocationId>,
+    /// sBlocks whose mapping includes this pBlock's chunks.
+    pub referenced_by: BTreeSet<SBlockId>,
+}
+
+impl PBlock {
+    pub fn new(va: VirtAddr, size: u64, chunks: Vec<PhysHandle>) -> Self {
+        PBlock {
+            va,
+            size,
+            chunks,
+            active: false,
+            assigned_to: None,
+            referenced_by: BTreeSet::new(),
+        }
+    }
+}
+
+/// A stitched block: a VA range aliasing the chunks of `parts`.
+#[derive(Debug)]
+pub(crate) struct SBlock {
+    pub va: VirtAddr,
+    pub size: u64,
+    /// Constituent pBlocks, in mapping order.
+    pub parts: Vec<PBlockId>,
+    /// Allocation currently holding this sBlock.
+    pub assigned_to: Option<AllocationId>,
+    /// Monotone tick of the last assignment, for LRU eviction.
+    pub lru_tick: u64,
+}
+
+impl SBlock {
+    pub fn new(va: VirtAddr, size: u64, parts: Vec<PBlockId>, tick: u64) -> Self {
+        SBlock {
+            va,
+            size,
+            parts,
+            assigned_to: None,
+            lru_tick: tick,
+        }
+    }
+}
+
+/// What an allocation id resolves to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Target {
+    /// A pBlock assigned directly.
+    P(PBlockId),
+    /// An sBlock.
+    S(SBlockId),
+    /// An allocation delegated to the embedded small pool (its own id space).
+    Small(AllocationId),
+}

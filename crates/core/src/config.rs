@@ -1,0 +1,177 @@
+//! GMLake configuration and allocation-state telemetry.
+
+use gmlake_alloc_api::mib;
+use gmlake_caching::BfcConfig;
+
+/// Tuning knobs of the GMLake allocator.
+///
+/// The defaults follow the paper: 2 MiB physical chunks (the CUDA VMM
+/// granularity), a small-allocation threshold of 2 MiB below which the
+/// classic splitting allocator is used (§3.1: "allocation < 2 MB is rare in
+/// LLM training"), and a *fragmentation limit* below which blocks are neither
+/// split nor used as stitching candidates (§4.2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmLakeConfig {
+    /// Requests below this size go to the embedded splitting allocator
+    /// (default: 2 MiB, the chunk size).
+    pub small_threshold: u64,
+    /// Blocks smaller than this are never split off as remainders nor used
+    /// as multi-block stitching candidates. The paper quotes 128 MiB as an
+    /// example for real hardware, where per-part bookkeeping costs real CPU
+    /// time; in simulation the per-chunk mapping cost is identical either
+    /// way, so we default low (4 MiB) to minimize whole-block internal
+    /// waste, and sweep the knob in the `ablation_frag_limit` bench to show
+    /// the trade-off the paper describes (§4.2.3).
+    pub frag_limit: u64,
+    /// Maximum number of cached sBlock structures before the LRU
+    /// `StitchFree` pass evicts inactive ones (§3.3.2). The paper notes
+    /// that "as long as we maintain enough sPool instances, all allocations
+    /// only search for its best-fit sBlock without creating a new sBlock" —
+    /// an undersized sPool causes perpetual evict/re-stitch churn, so the
+    /// default is sized above one steady-state iteration's working set.
+    pub max_sblocks: usize,
+    /// Whether every `Split` additionally caches an sBlock stitching the two
+    /// halves (the behaviour illustrated in the paper's Figure 9 S2), so a
+    /// future request of the original size exact-matches. Under workloads
+    /// with hundreds of distinct sizes this densifies pBlock↔sBlock sharing
+    /// until most cached sBlocks are unavailable (some part is always busy),
+    /// which blocks convergence — so it defaults off; the
+    /// `ablation_split_halves` bench quantifies the trade-off.
+    pub cache_split_halves: bool,
+    /// Configuration of the embedded small-allocation pool.
+    pub small_config: BfcConfig,
+}
+
+impl Default for GmLakeConfig {
+    fn default() -> Self {
+        GmLakeConfig {
+            small_threshold: mib(2),
+            frag_limit: mib(4),
+            max_sblocks: 8192,
+            cache_split_halves: false,
+            small_config: BfcConfig::default(),
+        }
+    }
+}
+
+impl GmLakeConfig {
+    /// Sets the fragmentation limit.
+    #[must_use]
+    pub fn with_frag_limit(mut self, frag_limit: u64) -> Self {
+        self.frag_limit = frag_limit;
+        self
+    }
+
+    /// Sets the sBlock cache capacity.
+    #[must_use]
+    pub fn with_max_sblocks(mut self, max_sblocks: usize) -> Self {
+        self.max_sblocks = max_sblocks;
+        self
+    }
+
+    /// Sets the small-allocation threshold.
+    #[must_use]
+    pub fn with_small_threshold(mut self, small_threshold: u64) -> Self {
+        self.small_threshold = small_threshold;
+        self
+    }
+
+    /// Enables or disables caching an sBlock of the halves on every split.
+    #[must_use]
+    pub fn with_cache_split_halves(mut self, enable: bool) -> Self {
+        self.cache_split_halves = enable;
+        self
+    }
+}
+
+/// Which of the paper's allocation states (Figure 9) served each request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AllocState {
+    /// S1 — exact match of an inactive sBlock or pBlock.
+    ExactMatch,
+    /// S2 — a single larger pBlock was found (split or used whole).
+    SingleBlock,
+    /// S3 — multiple pBlocks were stitched.
+    MultiBlock,
+    /// S4 — new physical memory was allocated (possibly stitched with
+    /// leftovers).
+    Insufficient,
+    /// S5 — out of memory.
+    Oom,
+}
+
+/// Cumulative counters of allocation-state transitions; the paper's
+/// convergence claim (§4.2.2) is that after a few iterations only S1 fires.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateCounters {
+    /// S1 count.
+    pub exact: u64,
+    /// S2 count.
+    pub single: u64,
+    /// S3 count.
+    pub multi: u64,
+    /// S4 count.
+    pub insufficient: u64,
+    /// S5 count.
+    pub oom: u64,
+    /// Number of `Stitch` executions (sBlock creations).
+    pub stitches: u64,
+    /// Number of `Split` executions.
+    pub splits: u64,
+    /// Number of sBlocks evicted by `StitchFree`.
+    pub evictions: u64,
+}
+
+impl StateCounters {
+    /// Transitions that indicate the allocator is still adapting
+    /// (everything except exact matches).
+    pub fn non_exact(&self) -> u64 {
+        self.single + self.multi + self.insufficient + self.oom
+    }
+
+    pub(crate) fn record(&mut self, state: AllocState) {
+        match state {
+            AllocState::ExactMatch => self.exact += 1,
+            AllocState::SingleBlock => self.single += 1,
+            AllocState::MultiBlock => self.multi += 1,
+            AllocState::Insufficient => self.insufficient += 1,
+            AllocState::Oom => self.oom += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = GmLakeConfig::default();
+        assert_eq!(c.small_threshold, mib(2));
+        assert!(c.frag_limit >= mib(2));
+        assert!(c.max_sblocks > 0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = GmLakeConfig::default()
+            .with_frag_limit(mib(128))
+            .with_max_sblocks(7)
+            .with_small_threshold(mib(4));
+        assert_eq!(c.frag_limit, mib(128));
+        assert_eq!(c.max_sblocks, 7);
+        assert_eq!(c.small_threshold, mib(4));
+    }
+
+    #[test]
+    fn counters_record_states() {
+        let mut s = StateCounters::default();
+        s.record(AllocState::ExactMatch);
+        s.record(AllocState::SingleBlock);
+        s.record(AllocState::MultiBlock);
+        s.record(AllocState::Insufficient);
+        s.record(AllocState::Oom);
+        assert_eq!(s.exact, 1);
+        assert_eq!(s.non_exact(), 4);
+    }
+}

@@ -1,0 +1,520 @@
+//! Unit tests for the GMLake allocator: every state of Figure 9, the cache
+//! lifecycle, convergence, eviction, OOM semantics and data integrity.
+
+use gmlake_alloc_api::{mib, AllocError, AllocRequest, AllocationId, GpuAllocator};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+
+use crate::{GmLakeAllocator, GmLakeConfig};
+
+/// A lake on a 256 MiB test device with byte backing, zero-cost model and a
+/// 2 MiB fragmentation limit (so splits actually happen at test sizes).
+fn lake() -> GmLakeAllocator {
+    lake_with(DeviceConfig::small_test(), test_config())
+}
+
+/// Tests of the split/stitch machinery run with the Figure-9 halves-cache
+/// enabled (the default keeps it off; see `GmLakeConfig::cache_split_halves`).
+fn test_config() -> GmLakeConfig {
+    GmLakeConfig::default()
+        .with_frag_limit(mib(2))
+        .with_cache_split_halves(true)
+}
+
+fn lake_with(dev: DeviceConfig, cfg: GmLakeConfig) -> GmLakeAllocator {
+    GmLakeAllocator::new(CudaDriver::new(dev), cfg)
+}
+
+#[test]
+fn fresh_allocation_is_s4_direct_pblock() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(a.size, mib(10));
+    assert_eq!(l.state_counters().insufficient, 1);
+    assert_eq!(l.state_counters().stitches, 0, "no candidates: direct pBlock");
+    assert_eq!(l.reserved_physical(), mib(10));
+    assert_eq!(l.driver().phys_in_use(), mib(10));
+    l.validate().unwrap();
+    l.deallocate(a.id).unwrap();
+    assert_eq!(l.reserved_physical(), mib(10), "Update never frees physical");
+    l.validate().unwrap();
+}
+
+#[test]
+fn non_chunk_sizes_round_up_to_2mib_multiple() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(5))).unwrap();
+    assert_eq!(a.size, mib(6), "5 MiB rounds to 3 chunks");
+    assert_eq!(a.requested, mib(5));
+    assert_eq!(a.rounding_waste(), mib(1));
+    l.validate().unwrap();
+}
+
+#[test]
+fn free_then_same_size_is_exact_match() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(b.va, a.va, "same pBlock reused");
+    assert_eq!(l.state_counters().exact, 1);
+    assert_eq!(l.driver().stats().create.calls, 5, "no new chunks");
+    l.validate().unwrap();
+}
+
+#[test]
+fn s2_split_creates_remainder_and_cached_sblock() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    // 4 MiB out of an inactive 10 MiB block: split 4 + 6.
+    let b = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    assert_eq!(b.size, mib(4));
+    let c = l.state_counters();
+    assert_eq!(c.single, 1);
+    assert_eq!(c.splits, 1);
+    assert_eq!(c.stitches, 1, "halves cached as an sBlock");
+    assert_eq!(l.reserved_physical(), mib(10), "no new physical memory");
+    assert_eq!(l.pblock_count(), 2);
+    assert_eq!(l.sblock_count(), 1);
+    l.validate().unwrap();
+    // Free the 4 MiB: now a 10 MiB request exact-matches the cached sBlock.
+    l.deallocate(b.id).unwrap();
+    let d = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(d.size, mib(10));
+    assert_eq!(l.state_counters().exact, 1);
+    assert_eq!(l.reserved_physical(), mib(10));
+    l.validate().unwrap();
+}
+
+#[test]
+fn split_does_not_cache_halves_by_default() {
+    let mut l = lake_with(
+        DeviceConfig::small_test(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    );
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    assert_eq!(b.size, mib(4), "split still happens");
+    assert_eq!(l.state_counters().splits, 1);
+    assert_eq!(l.state_counters().stitches, 0, "no halves sBlock");
+    assert_eq!(l.sblock_count(), 0);
+    // A 10 MiB re-request is served by stitching the two halves (S3), with
+    // no new physical memory.
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(c.size, mib(10));
+    assert_eq!(l.reserved_physical(), mib(10));
+    assert_eq!(l.state_counters().multi, 1);
+    l.validate().unwrap();
+}
+
+#[test]
+fn s2_whole_block_when_remainder_below_frag_limit() {
+    let mut l = lake_with(
+        DeviceConfig::small_test(),
+        GmLakeConfig::default().with_frag_limit(mib(8)),
+    );
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    // Remainder would be 4 MiB < 8 MiB limit: use the block whole.
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    assert_eq!(b.size, mib(10), "whole block assigned");
+    assert_eq!(l.state_counters().splits, 0);
+    assert_eq!(l.state_counters().stitches, 0);
+    l.validate().unwrap();
+}
+
+#[test]
+fn s3_stitches_freed_blocks_without_new_memory() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let before = l.driver().stats().create.calls;
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(c.size, mib(10));
+    assert_eq!(l.state_counters().multi, 1);
+    assert_eq!(l.state_counters().stitches, 1);
+    assert_eq!(l.driver().stats().create.calls, before, "zero cuMemCreate");
+    assert_eq!(l.reserved_physical(), mib(10));
+    l.validate().unwrap();
+}
+
+#[test]
+fn s3_with_split_of_final_candidate() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(8))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    // Need 10: candidates desc = [8, 6] sum 14 > 10; final candidate 6 is
+    // split into 2 + 4 (need = 10 - 8 = 2).
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(c.size, mib(10), "stitched size is exact");
+    let counters = l.state_counters();
+    assert_eq!(counters.multi, 1);
+    assert_eq!(counters.splits, 1);
+    // Stitches: halves-cache sBlock + the allocation sBlock.
+    assert_eq!(counters.stitches, 2);
+    assert_eq!(l.reserved_physical(), mib(14), "no new physical");
+    l.validate().unwrap();
+    // The 4 MiB remainder is still allocatable.
+    let d = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    assert_eq!(l.reserved_physical(), mib(14));
+    l.deallocate(d.id).unwrap();
+    l.deallocate(c.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn s4_tops_up_with_fresh_chunks_and_stitches() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    l.deallocate(a.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(c.size, mib(10));
+    let counters = l.state_counters();
+    assert_eq!(counters.insufficient, 2, "first alloc + this one");
+    assert_eq!(counters.stitches, 1);
+    assert_eq!(
+        l.reserved_physical(),
+        mib(10),
+        "4 cached + 6 fresh, no duplicate backing"
+    );
+    l.validate().unwrap();
+}
+
+#[test]
+fn update_keeps_sblock_for_reuse() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(c.id).unwrap();
+    // Second 10 MiB request: the cached sBlock exact-matches; no new stitch.
+    let stitches_before = l.state_counters().stitches;
+    let d = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(d.va, c.va, "same stitched VA reused");
+    assert_eq!(l.state_counters().stitches, stitches_before);
+    assert_eq!(l.state_counters().exact, 1);
+    l.validate().unwrap();
+}
+
+#[test]
+fn sblock_sharing_a_part_is_unavailable_while_part_active() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap(); // stitched [6,4]
+    l.deallocate(c.id).unwrap();
+    // Take the 4 MiB pBlock directly; the 10 MiB sBlock shares it.
+    let d = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    // A 10 MiB request must NOT reuse the sBlock now (part is active).
+    let e = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_ne!(e.va, c.va, "sBlock with an active part must not be reused");
+    l.validate().unwrap();
+    l.deallocate(d.id).unwrap();
+    l.deallocate(e.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn data_survives_across_stitched_boundary() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let driver = l.driver().clone();
+    // Write across what is physically a block boundary (parts are 6 + 4).
+    let boundary = c.va.offset(mib(6) - 3);
+    driver.memcpy_htod(boundary, b"defragmented").unwrap();
+    let mut buf = [0u8; 12];
+    driver.memcpy_dtoh(boundary, &mut buf).unwrap();
+    assert_eq!(&buf, b"defragmented");
+    l.validate().unwrap();
+}
+
+#[test]
+fn convergence_after_warmup_iterations() {
+    let mut l = lake();
+    // An irregular-ish periodic pattern: grow, shrink, stitch.
+    let sizes = [mib(4), mib(6), mib(10), mib(8), mib(2)];
+    for iter in 0..4 {
+        let ids: Vec<AllocationId> = sizes
+            .iter()
+            .map(|&s| l.allocate(AllocRequest::new(s)).unwrap().id)
+            .collect();
+        for id in ids {
+            l.deallocate(id).unwrap();
+        }
+        l.iteration_boundary();
+        l.validate().unwrap();
+        if iter >= 1 {
+            assert!(
+                l.is_converged(),
+                "iteration {iter} should replay exact matches only: {:?}",
+                l.state_counters()
+            );
+        }
+    }
+    // Steady state: reserved memory equals the peak working set, and no
+    // further stitches/splits/creates happen.
+    let stitches = l.state_counters().stitches;
+    let creates = l.driver().stats().create.calls;
+    let ids: Vec<AllocationId> = sizes
+        .iter()
+        .map(|&s| l.allocate(AllocRequest::new(s)).unwrap().id)
+        .collect();
+    for id in ids {
+        l.deallocate(id).unwrap();
+    }
+    assert_eq!(l.state_counters().stitches, stitches);
+    assert_eq!(l.driver().stats().create.calls, creates);
+}
+
+#[test]
+fn stitchfree_evicts_lru_sblocks() {
+    let mut l = lake_with(
+        DeviceConfig::small_test(),
+        test_config().with_max_sblocks(1),
+    );
+    // Create two distinct stitched sBlocks.
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap(); // sBlock #1
+    l.deallocate(c.id).unwrap();
+    let d = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let e = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(d.id).unwrap();
+    l.deallocate(e.id).unwrap();
+    // A second stitched allocation overflows the capacity of 1, but its
+    // sBlocks are protected while parts are active: the pool may overshoot.
+    let f = l.allocate(AllocRequest::new(mib(8))).unwrap(); // stitches
+    assert!(l.sblock_count() > 1, "soft overshoot while blocks are busy");
+    assert_eq!(l.state_counters().evictions, 0);
+    // Once everything is idle, the next allocation triggers StitchFree and
+    // evicts inactive structures (those not sharing the 6 MiB block with g).
+    l.deallocate(f.id).unwrap();
+    let g = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    assert!(l.state_counters().evictions >= 1);
+    assert!(l.sblock_count() <= 2, "trimmed toward the cap");
+    l.deallocate(g.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn release_cached_returns_physical_memory() {
+    let driver = CudaDriver::new(DeviceConfig::small_test());
+    let mut l = GmLakeAllocator::new(driver.clone(), test_config());
+    let a = l.allocate(AllocRequest::new(mib(12))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(8))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    assert_eq!(driver.phys_in_use(), mib(20));
+    let released = l.release_cached();
+    assert_eq!(released, mib(20));
+    assert_eq!(driver.phys_in_use(), 0);
+    assert_eq!(l.pblock_count(), 0);
+    assert_eq!(l.sblock_count(), 0);
+    l.validate().unwrap();
+}
+
+#[test]
+fn release_cached_spares_live_allocations() {
+    let driver = CudaDriver::new(DeviceConfig::small_test());
+    let mut l = GmLakeAllocator::new(driver.clone(), test_config());
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(b.id).unwrap();
+    let released = l.release_cached();
+    assert_eq!(released, mib(6));
+    assert_eq!(driver.phys_in_use(), mib(4));
+    // The live allocation still works.
+    driver.memcpy_htod(a.va, &[1, 2, 3]).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn stitching_survives_where_caching_allocator_ooms() {
+    // 20 MiB device. Free 10 + 10, then ask for 20: BFC cannot merge two
+    // separate segments; GMLake stitches them.
+    let dev = DeviceConfig::small_test()
+        .with_capacity(mib(20))
+        .with_backing(false);
+    let mut l = lake_with(dev, test_config());
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(20))).unwrap();
+    assert_eq!(c.size, mib(20));
+    assert_eq!(l.driver().phys_in_use(), mib(20));
+    l.validate().unwrap();
+}
+
+#[test]
+fn true_oom_is_reported_and_state_intact() {
+    let dev = DeviceConfig::small_test()
+        .with_capacity(mib(20))
+        .with_backing(false);
+    let mut l = lake_with(dev, test_config());
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let err = l.allocate(AllocRequest::new(mib(20))).unwrap_err();
+    assert!(matches!(err, AllocError::OutOfMemory { .. }), "{err}");
+    assert_eq!(l.stats().oom_count, 1);
+    assert_eq!(l.state_counters().oom, 1);
+    l.validate().unwrap();
+    // Still usable afterwards.
+    let b = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn oom_retry_path_releases_cache_and_succeeds() {
+    let dev = DeviceConfig::small_test()
+        .with_capacity(mib(20))
+        .with_backing(false);
+    let mut l = lake_with(dev, test_config());
+    // Cache 10 + 6 as two idle pBlocks; frag limit 2 MiB.
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    // 20 MiB: stitching gives 16, S4 needs 4 fresh — device only has 4 left,
+    // so this actually succeeds without the fallback.
+    let c = l.allocate(AllocRequest::new(mib(20))).unwrap();
+    assert_eq!(c.size, mib(20));
+    l.deallocate(c.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn small_allocations_use_the_splitting_pool() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(4096)).unwrap();
+    assert_eq!(a.size, 4096);
+    assert_eq!(l.pblock_count(), 0, "no pBlock for small requests");
+    // Small pool reserves one 2 MiB segment.
+    assert_eq!(l.stats().reserved_bytes, mib(2));
+    l.deallocate(a.id).unwrap();
+    assert_eq!(l.stats().active_bytes, 0);
+    l.validate().unwrap();
+}
+
+#[test]
+fn stats_roll_up_small_and_large() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(4096)).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let s = l.stats();
+    assert_eq!(s.active_bytes, 4096 + mib(10));
+    assert_eq!(s.reserved_bytes, mib(2) + mib(10));
+    assert_eq!(s.alloc_count, 2);
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    assert_eq!(l.stats().active_bytes, 0);
+    assert_eq!(l.stats().free_count, 2);
+    l.validate().unwrap();
+}
+
+#[test]
+fn zero_size_and_unknown_ids_error() {
+    let mut l = lake();
+    assert_eq!(
+        l.allocate(AllocRequest::new(0)).unwrap_err(),
+        AllocError::ZeroSize
+    );
+    assert!(matches!(
+        l.deallocate(AllocationId::new(77)).unwrap_err(),
+        AllocError::UnknownAllocation(_)
+    ));
+    // Double free.
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    l.deallocate(a.id).unwrap();
+    assert!(matches!(
+        l.deallocate(a.id).unwrap_err(),
+        AllocError::UnknownAllocation(_)
+    ));
+}
+
+#[test]
+fn drop_leaves_device_quiescent() {
+    let driver = CudaDriver::new(DeviceConfig::small_test());
+    {
+        let mut l = GmLakeAllocator::new(driver.clone(), test_config());
+        let _a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+        let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+        let _small = l.allocate(AllocRequest::new(1024)).unwrap();
+        l.deallocate(b.id).unwrap();
+        // Build an sBlock too.
+        let _c = l.allocate(AllocRequest::new(mib(6))).unwrap();
+        assert!(driver.phys_in_use() > 0);
+    }
+    assert_eq!(driver.phys_in_use(), 0);
+    assert!(driver.snapshot().is_quiescent());
+}
+
+#[test]
+fn peak_reserved_tracks_stitching_efficiency() {
+    // After a grow/shrink/grow cycle, reserved memory should equal the peak
+    // active set — the paper's "full memory utilization without
+    // fragmentation" claim for the allocator's steady state (§4.2.1).
+    let mut l = lake();
+    let mut ids = Vec::new();
+    for _ in 0..8 {
+        ids.push(l.allocate(AllocRequest::new(mib(6))).unwrap().id);
+    }
+    for id in ids.drain(..) {
+        l.deallocate(id).unwrap();
+    }
+    // Reallocate the same total volume in different shapes.
+    for _ in 0..4 {
+        ids.push(l.allocate(AllocRequest::new(mib(12))).unwrap().id);
+    }
+    assert_eq!(l.reserved_physical(), mib(48), "reuse, not growth");
+    let s = l.stats();
+    assert_eq!(s.peak_reserved_bytes, mib(48));
+    assert!((s.utilization() - 1.0).abs() < 1e-9);
+    l.validate().unwrap();
+}
+
+#[test]
+fn memory_map_describes_pools() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap(); // stitches
+    let map = l.memory_map();
+    assert!(map.contains("pPool: 2 blocks (2 active)"), "{map}");
+    assert!(map.contains("sPool: 1 stitched views"), "{map}");
+    assert!(map.contains("ASSIGNED"), "{map}");
+    l.deallocate(c.id).unwrap();
+    let map = l.memory_map();
+    assert!(map.contains("(0 active)"), "{map}");
+}
+
+#[test]
+fn deallocate_is_cheap_no_driver_calls() {
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    let before = l.driver().stats();
+    l.deallocate(a.id).unwrap();
+    let after = l.driver().stats();
+    assert_eq!(before.unmap.calls, after.unmap.calls);
+    assert_eq!(before.release.calls, after.release.calls);
+    assert_eq!(before.mem_free.calls, after.mem_free.calls);
+}

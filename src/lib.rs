@@ -1,0 +1,34 @@
+//! # GMLake — GPU memory defragmentation via virtual memory stitching
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! ```
+//! use gmlake::prelude::*;
+//!
+//! let driver = CudaDriver::new(DeviceConfig::small_test());
+//! let mut alloc = GmLakeAllocator::new(driver, GmLakeConfig::default());
+//! let a = alloc.allocate(AllocRequest::new(mib(4)))?;
+//! alloc.deallocate(a.id)?;
+//! # Ok::<(), gmlake::alloc_api::AllocError>(())
+//! ```
+
+pub use gmlake_alloc_api as alloc_api;
+pub use gmlake_caching as caching;
+pub use gmlake_core as core;
+pub use gmlake_gpu_sim as gpu_sim;
+pub use gmlake_workload as workload;
+
+/// Commonly used items, importable with a single `use gmlake::prelude::*`.
+pub mod prelude {
+    pub use gmlake_alloc_api::{
+        gib, kib, mib, AllocError, AllocRequest, AllocTag, Allocation, AllocationId, GpuAllocator,
+        MemStats, VirtAddr,
+    };
+    pub use gmlake_caching::CachingAllocator;
+    pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+    pub use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
+    pub use gmlake_workload::{
+        ModelSpec, Platform, Replayer, StrategySet, TrainConfig,
+    };
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: workload traces driving real allocators on the
+//! simulated device, checking the end-to-end properties the paper claims.
+
+use gmlake::prelude::*;
+use gmlake_core::GmLakeConfig;
+use gmlake_workload::TraceGenerator;
+
+/// A small-but-real fine-tuning workload that runs fast in debug builds.
+fn small_workload(strategies: StrategySet) -> TrainConfig {
+    TrainConfig::new(ModelSpec::opt_1_3b(), strategies)
+        .with_seq_len(256)
+        .with_batch(2)
+        .with_iterations(3)
+}
+
+#[test]
+fn gmlake_never_fragments_worse_than_baseline() {
+    for strategies in StrategySet::FIG10_SWEEP {
+        let cfg = small_workload(strategies);
+        let trace = TraceGenerator::new(cfg.clone()).generate();
+
+        let d1 = CudaDriver::new(DeviceConfig::a100_80g());
+        let mut baseline = CachingAllocator::new(d1.clone());
+        let r_base = Replayer::new(d1).replay(&mut baseline, &trace, &cfg);
+
+        let d2 = CudaDriver::new(DeviceConfig::a100_80g());
+        let mut lake = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
+        let r_lake = Replayer::new(d2).replay(&mut lake, &trace, &cfg);
+
+        assert!(r_base.outcome.is_completed(), "{}", cfg.label());
+        assert!(r_lake.outcome.is_completed(), "{}", cfg.label());
+        assert!(
+            r_lake.utilization() + 0.02 >= r_base.utilization(),
+            "{}: gmlake {:.3} vs baseline {:.3}",
+            cfg.label(),
+            r_lake.utilization(),
+            r_base.utilization()
+        );
+        // Both allocators must end the trace empty.
+        assert_eq!(baseline.stats().active_bytes, 0);
+        assert_eq!(lake.stats().active_bytes, 0);
+        lake.validate().unwrap();
+        baseline.validate().unwrap();
+    }
+}
+
+#[test]
+fn gmlake_converges_on_periodic_workloads() {
+    let cfg = small_workload(StrategySet::LR).with_iterations(8);
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+    let report = Replayer::new(driver.clone()).replay(&mut lake, &trace, &cfg);
+    assert!(report.outcome.is_completed());
+    let history = lake.non_exact_history();
+    assert_eq!(history.len(), 8);
+    // The convergence curve must decay: the last iteration performs far
+    // fewer non-exact transitions than the first (the paper's §4.2.2).
+    assert!(
+        history[7] * 10 <= history[0].max(10),
+        "no convergence: {history:?}"
+    );
+    // Physical memory stops growing once the pattern is learned.
+    let created_before = driver.stats().create.calls;
+    let r2 = Replayer::new(driver.clone()).replay(&mut lake, &trace, &cfg);
+    assert!(r2.outcome.is_completed());
+    assert_eq!(
+        driver.stats().create.calls,
+        created_before,
+        "steady state must not allocate new physical chunks"
+    );
+}
+
+#[test]
+fn replays_are_deterministic() {
+    let cfg = small_workload(StrategySet::LRO);
+    let run = || {
+        let trace = TraceGenerator::new(cfg.clone()).generate();
+        let driver = CudaDriver::new(DeviceConfig::a100_80g());
+        let mut lake = GmLakeAllocator::new(driver, GmLakeConfig::default());
+        let r = Replayer::new(lake.driver().clone()).replay(&mut lake, &trace, &cfg);
+        (r.peak_active, r.peak_reserved, r.sim_time_ns, r.iterations_completed)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn two_allocators_share_one_device() {
+    // A GMLake pool and a caching pool coexisting on one GPU (as in a real
+    // process with two memory pools): device accounting must equal the sum
+    // of both reservations at all times.
+    let driver = CudaDriver::new(DeviceConfig::small_test());
+    let mut lake = GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    );
+    let mut bfc = CachingAllocator::new(driver.clone());
+
+    let a = lake.allocate(AllocRequest::new(mib(10))).unwrap();
+    let b = bfc.allocate(AllocRequest::new(mib(6))).unwrap();
+    let expected = lake.stats().reserved_bytes + bfc.stats().reserved_bytes;
+    assert_eq!(driver.phys_in_use(), expected);
+
+    lake.deallocate(a.id).unwrap();
+    bfc.deallocate(b.id).unwrap();
+    // Caches persist; the device still holds both pools' reservations.
+    let expected = lake.stats().reserved_bytes + bfc.stats().reserved_bytes;
+    assert_eq!(driver.phys_in_use(), expected);
+
+    drop(lake);
+    drop(bfc);
+    assert!(driver.snapshot().is_quiescent(), "all memory returned");
+}
+
+#[test]
+fn device_quiescent_after_full_replay_and_drop() {
+    let cfg = small_workload(StrategySet::RO);
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    {
+        let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+        let _ = Replayer::new(driver.clone()).replay(&mut lake, &trace, &cfg);
+        assert!(driver.phys_in_use() > 0, "cache retained while alive");
+    }
+    assert!(driver.snapshot().is_quiescent());
+}
+
+#[test]
+fn throughput_parity_after_convergence() {
+    // The paper's Figure 13 bottom row: GMLake matches the caching
+    // allocator's steady-state throughput.
+    let cfg = small_workload(StrategySet::LR).with_iterations(8);
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+
+    let d1 = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut baseline = CachingAllocator::new(d1.clone());
+    let r_base = Replayer::new(d1).replay(&mut baseline, &trace, &cfg);
+
+    let d2 = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut lake = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
+    let r_lake = Replayer::new(d2).replay(&mut lake, &trace, &cfg);
+
+    let ratio = r_lake.throughput / r_base.throughput;
+    assert!(
+        ratio > 0.9,
+        "gmlake steady-state throughput {:.2} vs baseline {:.2} ({:.2}x)",
+        r_lake.throughput,
+        r_base.throughput,
+        ratio
+    );
+}
