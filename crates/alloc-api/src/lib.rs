@@ -30,7 +30,7 @@ mod types;
 pub use error::AllocError;
 pub use request::{AllocRequest, Allocation};
 pub use stats::{MemStats, StatsDelta};
-pub use traits::GpuAllocator;
+pub use traits::{share, GpuAllocator, SharedAllocator};
 pub use types::{
     gib, kib, mib, AllocTag, AllocationId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB, BYTES_PER_MIB,
 };

@@ -31,7 +31,9 @@ fn bench_caching_reuse(c: &mut Criterion) {
         let a = alloc.allocate(AllocRequest::new(mib(64))).unwrap();
         alloc.deallocate(a.id).unwrap();
         b.iter(|| {
-            let a = alloc.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+            let a = alloc
+                .allocate(AllocRequest::new(black_box(mib(64))))
+                .unwrap();
             alloc.deallocate(a.id).unwrap();
         });
     });
@@ -43,7 +45,9 @@ fn bench_gmlake_exact(c: &mut Criterion) {
         let a = lake.allocate(AllocRequest::new(mib(64))).unwrap();
         lake.deallocate(a.id).unwrap();
         b.iter(|| {
-            let a = lake.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+            let a = lake
+                .allocate(AllocRequest::new(black_box(mib(64))))
+                .unwrap();
             lake.deallocate(a.id).unwrap();
         });
     });
@@ -53,10 +57,8 @@ fn bench_gmlake_stitch(c: &mut Criterion) {
     c.bench_function("gmlake_first_stitch_2x32MiB", |b| {
         b.iter_batched(
             || {
-                let mut lake = GmLakeAllocator::new(
-                    device(),
-                    GmLakeConfig::default().with_frag_limit(mib(2)),
-                );
+                let mut lake =
+                    GmLakeAllocator::new(device(), GmLakeConfig::default().with_frag_limit(mib(2)));
                 let x = lake.allocate(AllocRequest::new(mib(32))).unwrap();
                 let y = lake.allocate(AllocRequest::new(mib(32))).unwrap();
                 lake.deallocate(x.id).unwrap();
@@ -64,7 +66,9 @@ fn bench_gmlake_stitch(c: &mut Criterion) {
                 lake
             },
             |mut lake| {
-                let a = lake.allocate(AllocRequest::new(black_box(mib(64)))).unwrap();
+                let a = lake
+                    .allocate(AllocRequest::new(black_box(mib(64))))
+                    .unwrap();
                 black_box(a.va);
                 lake
             },

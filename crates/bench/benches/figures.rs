@@ -19,10 +19,22 @@ fn bench_replay_baseline(c: &mut Criterion) {
     let mut g = c.benchmark_group("replay_opt1_3b_lr");
     g.sample_size(10);
     g.bench_function("caching", |b| {
-        b.iter(|| black_box(run_single(&cfg, Allocator::Caching, &ReplayOptions::default())))
+        b.iter(|| {
+            black_box(run_single(
+                &cfg,
+                Allocator::Caching,
+                &ReplayOptions::default(),
+            ))
+        })
     });
     g.bench_function("gmlake", |b| {
-        b.iter(|| black_box(run_single(&cfg, Allocator::GmLake, &ReplayOptions::default())))
+        b.iter(|| {
+            black_box(run_single(
+                &cfg,
+                Allocator::GmLake,
+                &ReplayOptions::default(),
+            ))
+        })
     });
     g.finish();
 }

@@ -1,0 +1,87 @@
+//! Lock-contention micro-benchmark of the runtime's shared-pool path:
+//! how much an alloc/free cycle costs through a `PoolHandle` when the pool
+//! mutex is uncontended, versus raw allocator access, versus four threads
+//! hammering one handle.
+//!
+//! The absolute numbers are host-side wall time (the device cost model is
+//! zeroed); the interesting ratio is handle-vs-raw (mutex overhead) and how
+//! it scales under contention.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gmlake_alloc_api::{gib, mib, AllocRequest, GpuAllocator};
+use gmlake_caching::CachingAllocator;
+use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig};
+use gmlake_runtime::{DeviceId, PoolHandle, PoolService};
+
+const OPS_PER_THREAD: usize = 256;
+
+fn device() -> CudaDriver {
+    CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    )
+}
+
+fn shared_pool() -> PoolHandle {
+    let service = PoolService::new();
+    service
+        .register(DeviceId(0), Box::new(CachingAllocator::new(device())))
+        .expect("fresh service")
+}
+
+fn cycle(alloc: &mut impl GpuAllocator, size: u64) {
+    let a = alloc.allocate(AllocRequest::new(black_box(size))).unwrap();
+    alloc.deallocate(a.id).unwrap();
+}
+
+fn bench_raw_baseline(c: &mut Criterion) {
+    c.bench_function("contention_raw_allocator_1thread", |b| {
+        let mut alloc = CachingAllocator::new(device());
+        cycle(&mut alloc, mib(8)); // warm the cache
+        b.iter(|| cycle(&mut alloc, mib(8)));
+    });
+}
+
+fn bench_handle_uncontended(c: &mut Criterion) {
+    c.bench_function("contention_pool_handle_1thread", |b| {
+        let mut pool = shared_pool();
+        cycle(&mut pool, mib(8));
+        b.iter(|| cycle(&mut pool, mib(8)));
+    });
+}
+
+fn bench_handle_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contention_pool_handle_4threads");
+    g.sample_size(20);
+    g.bench_function(&format!("{OPS_PER_THREAD}ops_each"), |b| {
+        let pool = shared_pool();
+        // Warm: distinct sizes per thread so best-fit reuse stays exact.
+        for t in 0..4u64 {
+            cycle(&mut pool.clone(), mib(4 + t));
+        }
+        b.iter(|| {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let mut pool = pool.clone();
+                    s.spawn(move || {
+                        for _ in 0..OPS_PER_THREAD {
+                            cycle(&mut pool, mib(4 + t));
+                        }
+                    });
+                }
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_raw_baseline,
+    bench_handle_uncontended,
+    bench_handle_contended
+);
+criterion_main!(benches);

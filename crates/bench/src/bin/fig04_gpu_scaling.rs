@@ -24,7 +24,10 @@ fn main() {
             fmt_pct(paper_util),
             fmt_pct(report.utilization())
         );
-        csv.push_str(&format!("{gpus},{paper_util:.3},{:.3}\n", report.utilization()));
+        csv.push_str(&format!(
+            "{gpus},{paper_util:.3},{:.3}\n",
+            report.utilization()
+        ));
     }
     println!("\ncsv:\n{csv}");
 }

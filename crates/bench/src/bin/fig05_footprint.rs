@@ -57,6 +57,9 @@ fn main() {
                 _ => {}
             }
         }
-        println!("allocs per iteration ({}): {per_iter:?}", strategies.label());
+        println!(
+            "allocs per iteration ({}): {per_iter:?}",
+            strategies.label()
+        );
     }
 }

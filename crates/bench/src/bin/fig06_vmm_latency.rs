@@ -18,9 +18,7 @@ use gmlake_gpu_sim::{figure6_chunk_sizes, CostModel, CudaDriver, DeviceConfig};
 /// Executes a VMM block allocation on a fresh device and returns the
 /// simulated nanoseconds it took.
 fn executed_vmm_ns(block: u64, chunk: u64) -> u64 {
-    let driver = CudaDriver::new(
-        DeviceConfig::a100_80g().with_cost(CostModel::calibrated()),
-    );
+    let driver = CudaDriver::new(DeviceConfig::a100_80g().with_cost(CostModel::calibrated()));
     let t0 = driver.now_ns();
     let va = driver.mem_address_reserve(block).unwrap();
     let chunks = block / chunk;
@@ -68,9 +66,6 @@ fn main() {
         println!("{:>14.3}", ns as f64 / 1_000_000.0);
     }
 
-    let ratio =
-        model.vmm_block_alloc_norm(gib(2), mib(2)) / model.native_alloc_norm(gib(2));
-    println!(
-        "\n2 GiB block from 2 MB chunks vs native: {ratio:.1}x slower (paper: 115x)"
-    );
+    let ratio = model.vmm_block_alloc_norm(gib(2), mib(2)) / model.native_alloc_norm(gib(2));
+    println!("\n2 GiB block from 2 MB chunks vs native: {ratio:.1}x slower (paper: 115x)");
 }

@@ -28,17 +28,24 @@ fn main() {
         stop_on_oom: true,
     };
 
-    println!("Figure 14: memory trace, GPT-NeoX-20B (LR) at batch {}\n", cfg.batch_size);
+    println!(
+        "Figure 14: memory trace, GPT-NeoX-20B (LR) at batch {}\n",
+        cfg.batch_size
+    );
 
     // Baseline.
     let d1 = CudaDriver::new(DeviceConfig::a100_80g());
     let mut pt = CachingAllocator::new(d1.clone());
-    let r_pt = Replayer::new(d1).with_options(opts.clone()).replay(&mut pt, &trace, &cfg);
+    let r_pt = Replayer::new(d1)
+        .with_options(opts.clone())
+        .replay(&mut pt, &trace, &cfg);
 
     // GMLake (built inline so allocator state can be inspected afterwards).
     let d2 = CudaDriver::new(DeviceConfig::a100_80g());
     let mut gml = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
-    let r_gml = Replayer::new(d2).with_options(opts).replay(&mut gml, &trace, &cfg);
+    let r_gml = Replayer::new(d2)
+        .with_options(opts)
+        .replay(&mut gml, &trace, &cfg);
 
     match r_pt.outcome {
         ReplayOutcome::Oom { iteration, .. } => println!(
@@ -52,7 +59,11 @@ fn main() {
     }
     println!(
         "GMLake:  {} {} iterations, peak reserved {:.1} GiB, peak active {:.1} GiB",
-        if r_gml.outcome.is_completed() { "completed" } else { "OOM after" },
+        if r_gml.outcome.is_completed() {
+            "completed"
+        } else {
+            "OOM after"
+        },
         r_gml.iterations_completed,
         gmlake_workload::to_gib(r_gml.peak_reserved),
         gmlake_workload::to_gib(r_gml.peak_active),
@@ -76,7 +87,9 @@ fn main() {
     let max_len = r_pt.series.len().max(r_gml.series.len());
     for i in (0..max_len).step_by(max_len.div_ceil(60).max(1)) {
         let pt_s = r_pt.series.get(i.min(r_pt.series.len().saturating_sub(1)));
-        let gml_s = r_gml.series.get(i.min(r_gml.series.len().saturating_sub(1)));
+        let gml_s = r_gml
+            .series
+            .get(i.min(r_gml.series.len().saturating_sub(1)));
         match (pt_s, gml_s) {
             (Some(p), Some(g)) => {
                 let (t, pa, pr) = to_row(p.t_ns, p.active, p.reserved);

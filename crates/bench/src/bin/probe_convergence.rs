@@ -27,7 +27,10 @@ fn probe(model: ModelSpec, s: StrategySet) {
         report.allocator_ns as f64 / 1e6,
         if report.outcome.is_completed() { "ok" } else { "OOM" },
     );
-    println!("    non-exact per iteration: {:?}", lake.non_exact_history());
+    println!(
+        "    non-exact per iteration: {:?}",
+        lake.non_exact_history()
+    );
 }
 
 fn main() {

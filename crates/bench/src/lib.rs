@@ -10,7 +10,11 @@ use gmlake_alloc_api::{gib, GpuAllocator};
 use gmlake_caching::CachingAllocator;
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
-use gmlake_workload::{ReplayOptions, ReplayReport, Replayer, TraceGenerator, TrainConfig};
+use gmlake_runtime::{DefragScheduler, DeviceId, PoolService};
+use gmlake_workload::{
+    ConcurrentReplayer, RankSpec, ReplayOptions, ReplayReport, Replayer, ScaleoutReport,
+    TraceGenerator, TrainConfig,
+};
 
 /// Which allocator to run a workload against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +69,43 @@ pub fn run_pair(cfg: &TrainConfig) -> Pair {
         baseline: run_single(cfg, Allocator::Caching, &opts),
         gmlake: run_single(cfg, Allocator::GmLake, &opts),
     }
+}
+
+/// Runs a concurrent scale-out fleet: `ranks` data-parallel ranks of `cfg`,
+/// each on its own fresh A100-80G device, all replaying simultaneously on
+/// their own OS threads through one [`PoolService`] (optionally supervised
+/// by a defrag scheduler).
+pub fn run_scaleout(
+    cfg: &TrainConfig,
+    ranks: u32,
+    which: Allocator,
+    scheduler: Option<DefragScheduler>,
+) -> ScaleoutReport {
+    let service = match scheduler {
+        Some(s) => PoolService::with_scheduler(s),
+        None => PoolService::new(),
+    };
+    let specs: Vec<RankSpec> = (0..ranks)
+        .map(|rank| {
+            let driver = CudaDriver::new(DeviceConfig::a100_80g());
+            let device = DeviceId(rank);
+            let alloc: Box<dyn GpuAllocator + Send> = match which {
+                Allocator::Caching => Box::new(CachingAllocator::new(driver.clone())),
+                Allocator::GmLake => Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default(),
+                )),
+                Allocator::Native => Box::new(NativeAllocator::new(driver.clone())),
+            };
+            service
+                .register(device, alloc)
+                .expect("fresh device ids are unique");
+            RankSpec::new(device, driver, cfg.clone())
+        })
+        .collect();
+    ConcurrentReplayer::new(service)
+        .replay_ranks(specs)
+        .expect("all ranks were just registered")
 }
 
 /// Runs `cfg` against a caller-supplied allocator on a fresh device (for

@@ -27,7 +27,7 @@ use gmlake_alloc_api::{
 use gmlake_caching::CachingAllocator;
 use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
 
-use crate::bestfit::{best_fit, BestFit};
+use crate::bestfit::{best_fit, BestFit, StitchCost};
 use crate::block::{PBlock, PBlockId, SBlock, SBlockId, Target};
 use crate::config::{AllocState, GmLakeConfig, StateCounters};
 
@@ -214,7 +214,11 @@ impl GmLakeAllocator {
                 "  s{sid:<4} {:>8.1} MiB parts={:?}{}",
                 s.size as f64 / (1 << 20) as f64,
                 s.parts,
-                if s.assigned_to.is_some() { " ASSIGNED" } else { "" }
+                if s.assigned_to.is_some() {
+                    " ASSIGNED"
+                } else {
+                    ""
+                }
             );
         }
         out
@@ -340,7 +344,10 @@ impl GmLakeAllocator {
     fn split_pblock(&mut self, pid: PBlockId, left_size: u64) -> (PBlockId, PBlockId) {
         debug_assert_eq!(left_size % self.chunk, 0);
         let p = self.pblocks.remove(&pid).expect("pblock exists");
-        debug_assert!(!p.active && p.assigned_to.is_none(), "split of a live block");
+        debug_assert!(
+            !p.active && p.assigned_to.is_none(),
+            "split of a live block"
+        );
         debug_assert!(left_size > 0 && left_size < p.size);
         self.p_inactive.remove(&(p.size, pid));
         let k = (left_size / self.chunk) as usize;
@@ -357,7 +364,10 @@ impl GmLakeAllocator {
             .expect("reservation exists and is empty");
         // Rewrite referencing sBlocks to the two children.
         for &sid in &p.referenced_by {
-            let s = self.sblocks.get_mut(&sid).expect("referenced sblock exists");
+            let s = self
+                .sblocks
+                .get_mut(&sid)
+                .expect("referenced sblock exists");
             let pos = s
                 .parts
                 .iter()
@@ -367,7 +377,10 @@ impl GmLakeAllocator {
         }
         for &child in &[left, right] {
             let refs = p.referenced_by.clone();
-            self.pblocks.get_mut(&child).expect("child exists").referenced_by = refs;
+            self.pblocks
+                .get_mut(&child)
+                .expect("child exists")
+                .referenced_by = refs;
         }
         self.counters.splits += 1;
         (left, right)
@@ -407,7 +420,8 @@ impl GmLakeAllocator {
                 .referenced_by
                 .insert(sid);
         }
-        self.sblocks.insert(sid, SBlock::new(va, total, parts, tick));
+        self.sblocks
+            .insert(sid, SBlock::new(va, total, parts, tick));
         self.refresh_sblock_index(sid);
         self.counters.stitches += 1;
         // NOTE: capacity enforcement runs in `allocate` *after* the new
@@ -486,7 +500,10 @@ impl GmLakeAllocator {
         match target {
             Target::P(pid) => {
                 self.set_pblock_active(pid, true);
-                self.pblocks.get_mut(&pid).expect("pblock exists").assigned_to = Some(id);
+                self.pblocks
+                    .get_mut(&pid)
+                    .expect("pblock exists")
+                    .assigned_to = Some(id);
             }
             Target::S(sid) => {
                 let parts = self.sblocks[&sid].parts.clone();
@@ -514,7 +531,8 @@ impl GmLakeAllocator {
 
     fn allocate_small(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         let inner = self.small.allocate(req)?;
-        let alloc = self.register_allocation(Target::Small(inner.id), inner.va, inner.size, req.size);
+        let alloc =
+            self.register_allocation(Target::Small(inner.id), inner.va, inner.size, req.size);
         Ok(alloc)
     }
 
@@ -523,12 +541,26 @@ impl GmLakeAllocator {
     fn try_allocate_large(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         let aligned = self.align_up(req.size);
         let pblocks = &self.pblocks;
+        let sblocks = &self.sblocks;
+        let s_inactive = &self.s_inactive;
         match best_fit(
             aligned,
             &self.s_inactive,
             &self.p_inactive,
             self.config.frag_limit,
-            |pid| !pblocks[&pid].referenced_by.is_empty(),
+            |pid| {
+                let p = &pblocks[&pid];
+                if p.referenced_by.is_empty() {
+                    StitchCost::Unreferenced
+                } else if p.referenced_by.iter().any(|sid| {
+                    let s = &sblocks[sid];
+                    s.assigned_to.is_none() && s_inactive.contains(&(s.size, *sid))
+                }) {
+                    StitchCost::ReferencedAvailable
+                } else {
+                    StitchCost::ReferencedBlocked
+                }
+            },
         ) {
             BestFit::ExactS(sid) => {
                 self.counters.record(AllocState::ExactMatch);
@@ -606,10 +638,7 @@ impl GmLakeAllocator {
                 self.counters.record(AllocState::Insufficient);
                 self.iter_non_exact += 1;
                 if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
-                    eprintln!(
-                        "S4 iter={} size={} have={}",
-                        self.iterations, aligned, sum
-                    );
+                    eprintln!("S4 iter={} size={} have={}", self.iterations, aligned, sum);
                 }
                 debug_assert!(sum < aligned);
                 let new_size = aligned - sum;
@@ -683,9 +712,7 @@ impl GmLakeAllocator {
             phys_sum += p.size;
             for h in &p.chunks {
                 if let Some(prev) = chunk_owner.insert(h.as_u64(), *pid) {
-                    return Err(format!(
-                        "chunk {h} owned by both pblock {prev} and {pid}"
-                    ));
+                    return Err(format!("chunk {h} owned by both pblock {prev} and {pid}"));
                 }
             }
             let indexed = self.p_inactive.contains(&(p.size, *pid));
@@ -728,7 +755,10 @@ impl GmLakeAllocator {
                 size_sum += p.size;
             }
             if size_sum != s.size {
-                return Err(format!("sblock {sid}: parts sum {size_sum} != size {}", s.size));
+                return Err(format!(
+                    "sblock {sid}: parts sum {size_sum} != size {}",
+                    s.size
+                ));
             }
             let all_inactive = s.parts.iter().all(|p| !self.pblocks[p].active);
             let indexed = self.s_inactive.contains(&(s.size, *sid));
@@ -882,6 +912,57 @@ impl GpuAllocator for GmLakeAllocator {
 
     fn release_cached(&mut self) -> u64 {
         self.release_cached_impl()
+    }
+
+    /// GMLake's proactive defrag pass, gentler than the OOM fallback:
+    ///
+    /// 1. **sPool GC** — destroys unassigned sBlock structures that are
+    ///    *blocked* (some part is active). An unassigned view whose parts
+    ///    are woven into live allocations cannot serve an exact match, so
+    ///    it is pure bookkeeping weight; dropping it releases its VA range
+    ///    and un-references its parts, replenishing the cheap
+    ///    (`StitchCost::Unreferenced`) stitching supply. Fully-inactive
+    ///    views — the ready exact-match candidates behind the S1 steady
+    ///    state — are deliberately kept.
+    /// 2. **Dead-fragment release** — returns the physical memory of
+    ///    inactive, unassigned, unreferenced pBlocks smaller than the
+    ///    fragmentation limit. Such blocks are excluded from stitching by
+    ///    the §4.2.3 robustness rule, so short of an improbable exact match
+    ///    they are stranded capacity.
+    ///
+    /// Returns the physical bytes released (structure GC frees only virtual
+    /// address space, which is unmetered).
+    fn compact(&mut self) -> u64 {
+        let blocked: Vec<SBlockId> = self
+            .sblocks
+            .iter()
+            .filter(|(sid, s)| {
+                s.assigned_to.is_none() && !self.s_inactive.contains(&(s.size, **sid))
+            })
+            .map(|(sid, _)| *sid)
+            .collect();
+        for sid in blocked {
+            self.destroy_sblock(sid);
+            self.counters.evictions += 1;
+        }
+        let dead: Vec<PBlockId> = self
+            .pblocks
+            .iter()
+            .filter(|(_, p)| {
+                !p.active
+                    && p.assigned_to.is_none()
+                    && p.referenced_by.is_empty()
+                    && p.size < self.config.frag_limit
+            })
+            .map(|(pid, _)| *pid)
+            .collect();
+        let mut released = 0;
+        for pid in dead {
+            released += self.pblocks[&pid].size;
+            self.destroy_pblock(pid);
+        }
+        self.sync_reserved();
+        released
     }
 }
 

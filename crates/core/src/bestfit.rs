@@ -33,20 +33,37 @@ pub(crate) enum BestFit {
     Insufficient { ids: Vec<PBlockId>, sum: u64 },
 }
 
+/// How expensive it is to consume a pBlock, from the point of view of the
+/// cached-sBlock "tape" (see module docs). Lower ranks are consumed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum StitchCost {
+    /// Not referenced by any cached sBlock: free to consume.
+    Unreferenced = 0,
+    /// Referenced only by sBlocks that are unavailable right now anyway
+    /// (assigned, or blocked by other busy parts): consuming it costs
+    /// little extra.
+    ReferencedBlocked = 1,
+    /// Part of at least one fully-inactive unassigned sBlock — a cached
+    /// view that is *ready to exact-match* a future request. Consuming it
+    /// poisons that view and forces a re-stitch next iteration, so these
+    /// are taken only as a last resort.
+    ReferencedAvailable = 2,
+}
+
 /// Runs Algorithm 1 over the inactive indexes.
 ///
 /// `s_inactive` and `p_inactive` are `(size, id)` sets; iteration in
 /// descending order reproduces the paper's "sorted by block size in
 /// descending order" pools. Blocks smaller than `frag_limit` are skipped as
 /// *stitching candidates* (the robustness rule of §4.2.3) but still serve
-/// exact matches. `is_referenced` reports whether a pBlock belongs to a
-/// cached sBlock (see module docs).
+/// exact matches. `stitch_cost` classifies a pBlock's relationship to the
+/// cached sBlocks (see [`StitchCost`] and the module docs).
 pub(crate) fn best_fit(
     bsize: u64,
     s_inactive: &BTreeSet<(u64, SBlockId)>,
     p_inactive: &BTreeSet<(u64, PBlockId)>,
     frag_limit: u64,
-    is_referenced: impl Fn(PBlockId) -> bool,
+    stitch_cost: impl Fn(PBlockId) -> StitchCost,
 ) -> BestFit {
     debug_assert!(bsize > 0);
     // S1: exact match. sBlocks are checked first: reusing a cached stitched
@@ -61,7 +78,7 @@ pub(crate) fn best_fit(
         if exact_any.is_none() {
             exact_any = Some(pid);
         }
-        if !is_referenced(pid) {
+        if stitch_cost(pid) == StitchCost::Unreferenced {
             return BestFit::ExactP(pid);
         }
     }
@@ -80,7 +97,7 @@ pub(crate) fn best_fit(
         if size > bsize.saturating_mul(4) {
             break;
         }
-        if !is_referenced(pid) {
+        if stitch_cost(pid) == StitchCost::Unreferenced {
             return BestFit::Single(pid);
         }
     }
@@ -88,18 +105,25 @@ pub(crate) fn best_fit(
         return BestFit::Single(pid);
     }
     // S3/S4: accumulate candidates in descending size order until they cover
-    // the request (greedy, as in Algorithm 1 lines 11-13) — first over
-    // unreferenced blocks, then, only if those do not suffice, over blocks
-    // referenced by cached sBlocks.
+    // the request (greedy, as in Algorithm 1 lines 11-13) — in increasing
+    // [`StitchCost`] order: unreferenced blocks first, then blocks whose
+    // cached views are blocked anyway, and only as a last resort blocks
+    // belonging to a fully-inactive cached view (consuming those poisons a
+    // ready exact-match candidate and is what sustains re-stitch limit
+    // cycles on periodic workloads).
     let mut ids = Vec::new();
     let mut sum = 0u64;
-    for pass_referenced in [false, true] {
+    for pass in [
+        StitchCost::Unreferenced,
+        StitchCost::ReferencedBlocked,
+        StitchCost::ReferencedAvailable,
+    ] {
         for &(size, pid) in p_inactive.iter().rev() {
             debug_assert!(size < bsize, "larger blocks were handled above");
             if size < frag_limit {
                 continue; // too small to be worth stitching
             }
-            if is_referenced(pid) != pass_referenced {
+            if stitch_cost(pid) != pass {
                 continue;
             }
             ids.push(pid);
@@ -123,8 +147,19 @@ mod tests {
     const NO_LIMIT: u64 = 0;
 
     /// No pBlock referenced by an sBlock.
-    fn unreferenced(_: PBlockId) -> bool {
-        false
+    fn unreferenced(_: PBlockId) -> StitchCost {
+        StitchCost::Unreferenced
+    }
+
+    /// Marks `referenced` ids as belonging to an available cached view.
+    fn available(referenced: &[PBlockId]) -> impl Fn(PBlockId) -> StitchCost + '_ {
+        move |pid| {
+            if referenced.contains(&pid) {
+                StitchCost::ReferencedAvailable
+            } else {
+                StitchCost::Unreferenced
+            }
+        }
     }
 
     #[test]
@@ -164,14 +199,14 @@ mod tests {
         // Block 1 is referenced by a cached sBlock; block 2 is free-standing
         // and within the 4x window: prefer it.
         assert_eq!(
-            best_fit(100, &s, &p, NO_LIMIT, |pid| pid == 1),
+            best_fit(100, &s, &p, NO_LIMIT, available(&[1])),
             BestFit::Single(2)
         );
         // If the only unreferenced block is grotesquely oversized, fall back
         // to the snug referenced one.
         let p2 = set(&[(120, 1), (1000, 2)]);
         assert_eq!(
-            best_fit(100, &s, &p2, NO_LIMIT, |pid| pid == 1),
+            best_fit(100, &s, &p2, NO_LIMIT, available(&[1])),
             BestFit::Single(1)
         );
     }
@@ -197,7 +232,7 @@ mod tests {
         // Block 1 (the largest) belongs to a cached sBlock; 50+40 covers the
         // request without touching it.
         assert_eq!(
-            best_fit(90, &s, &p, NO_LIMIT, |pid| pid == 1),
+            best_fit(90, &s, &p, NO_LIMIT, available(&[1])),
             BestFit::Multiple {
                 ids: vec![2, 3],
                 sum: 90
@@ -205,7 +240,7 @@ mod tests {
         );
         // When unreferenced blocks are insufficient, referenced ones join.
         assert_eq!(
-            best_fit(120, &s, &p, NO_LIMIT, |pid| pid == 1),
+            best_fit(120, &s, &p, NO_LIMIT, available(&[1])),
             BestFit::Multiple {
                 ids: vec![2, 3, 1],
                 sum: 150
@@ -278,10 +313,7 @@ mod tests {
     fn frag_limit_does_not_block_exact_or_single() {
         let s = BTreeSet::new();
         let p = set(&[(10, 1)]);
-        assert_eq!(
-            best_fit(10, &s, &p, 1000, unreferenced),
-            BestFit::ExactP(1)
-        );
+        assert_eq!(best_fit(10, &s, &p, 1000, unreferenced), BestFit::ExactP(1));
         let p2 = set(&[(15, 1)]);
         assert_eq!(
             best_fit(10, &s, &p2, 1000, unreferenced),

@@ -30,12 +30,20 @@ fn fresh_allocation_is_s4_direct_pblock() {
     let a = l.allocate(AllocRequest::new(mib(10))).unwrap();
     assert_eq!(a.size, mib(10));
     assert_eq!(l.state_counters().insufficient, 1);
-    assert_eq!(l.state_counters().stitches, 0, "no candidates: direct pBlock");
+    assert_eq!(
+        l.state_counters().stitches,
+        0,
+        "no candidates: direct pBlock"
+    );
     assert_eq!(l.reserved_physical(), mib(10));
     assert_eq!(l.driver().phys_in_use(), mib(10));
     l.validate().unwrap();
     l.deallocate(a.id).unwrap();
-    assert_eq!(l.reserved_physical(), mib(10), "Update never frees physical");
+    assert_eq!(
+        l.reserved_physical(),
+        mib(10),
+        "Update never frees physical"
+    );
     l.validate().unwrap();
 }
 
@@ -517,4 +525,68 @@ fn deallocate_is_cheap_no_driver_calls() {
     assert_eq!(before.unmap.calls, after.unmap.calls);
     assert_eq!(before.release.calls, after.release.calls);
     assert_eq!(before.mem_free.calls, after.mem_free.calls);
+}
+
+#[test]
+fn compact_gcs_blocked_views_and_keeps_ready_ones() {
+    let mut l = lake();
+    // Build a cached stitched view: 4 + 6 freed, 10 stitched, then freed.
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(l.state_counters().stitches, 1);
+    l.deallocate(c.id).unwrap();
+    // The view is fully inactive (ready): compact must keep it.
+    l.compact();
+    l.validate().unwrap();
+    assert_eq!(l.sblock_count(), 1, "ready view survives compaction");
+    let c2 = l.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert_eq!(l.state_counters().exact, 1, "still serves an exact match");
+    // While the view is assigned it is not GC-able either.
+    l.compact();
+    assert_eq!(l.sblock_count(), 1);
+    // Block the view: hold one of its parts through a same-size allocation.
+    l.deallocate(c2.id).unwrap();
+    let hold = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    assert!(l.sblock_count() >= 1);
+    let evictions_before = l.state_counters().evictions;
+    l.compact();
+    l.validate().unwrap();
+    assert_eq!(l.sblock_count(), 0, "blocked view is GC'ed");
+    assert_eq!(l.state_counters().evictions, evictions_before + 1);
+    l.deallocate(hold.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn compact_releases_dead_fragments_only() {
+    let mut l = lake_with(
+        DeviceConfig::small_test(),
+        GmLakeConfig::default().with_frag_limit(mib(6)),
+    );
+    // A 4 MiB block is below the 6 MiB fragmentation limit: once freed and
+    // unreferenced it is stranded capacity.
+    let small = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let big = l.allocate(AllocRequest::new(mib(8))).unwrap();
+    l.deallocate(small.id).unwrap();
+    l.deallocate(big.id).unwrap();
+    assert_eq!(l.reserved_physical(), mib(12));
+    let released = l.compact();
+    l.validate().unwrap();
+    assert_eq!(released, mib(4), "only the sub-limit fragment is released");
+    assert_eq!(
+        l.reserved_physical(),
+        mib(8),
+        "stitchable block stays cached"
+    );
+    assert_eq!(l.stats().reserved_bytes, l.driver().phys_in_use());
+}
+
+#[test]
+fn compact_on_empty_allocator_is_a_noop() {
+    let mut l = lake();
+    assert_eq!(l.compact(), 0);
+    l.validate().unwrap();
 }

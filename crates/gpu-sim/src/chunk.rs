@@ -91,7 +91,9 @@ impl PhysTable {
     }
 
     fn entry(&self, h: PhysHandle) -> DriverResult<&PhysEntry> {
-        self.entries.get(&h.0).ok_or(DriverError::InvalidHandle(h.0))
+        self.entries
+            .get(&h.0)
+            .ok_or(DriverError::InvalidHandle(h.0))
     }
 
     fn entry_mut(&mut self, h: PhysHandle) -> DriverResult<&mut PhysEntry> {
@@ -191,7 +193,10 @@ mod tests {
         assert_eq!(t.size_of(h).unwrap(), 512);
         assert_eq!(t.in_use, 512);
         let err = t.create(513, CAP, false).unwrap_err();
-        assert!(matches!(err, DriverError::OutOfMemory { requested: 513, .. }));
+        assert!(matches!(
+            err,
+            DriverError::OutOfMemory { requested: 513, .. }
+        ));
         // State unchanged after failure.
         assert_eq!(t.in_use, 512);
         assert_eq!(t.handle_count(), 1);
@@ -237,10 +242,7 @@ mod tests {
         let h = t.create(128, CAP, false).unwrap();
         t.add_map(h).unwrap();
         t.release(h).unwrap();
-        assert_eq!(
-            t.add_map(h).unwrap_err(),
-            DriverError::HandleReleased(h.0)
-        );
+        assert_eq!(t.add_map(h).unwrap_err(), DriverError::HandleReleased(h.0));
     }
 
     #[test]

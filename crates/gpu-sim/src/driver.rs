@@ -162,7 +162,8 @@ impl CudaDriver {
                 return Err(e);
             }
         };
-        g.va.map(va, size, h, 0).expect("fresh reservation is empty");
+        g.va.map(va, size, h, 0)
+            .expect("fresh reservation is empty");
         g.phys.add_map(h).expect("fresh handle is mappable");
         g.va.set_access(va, size, true).expect("entry just created");
         g.native.insert(va.as_u64(), (h, size));

@@ -93,7 +93,10 @@ impl fmt::Display for DriverError {
                 write!(f, "reservation at {va} still has live mappings")
             }
             DriverError::PartialUnmap(va) => {
-                write!(f, "unmap range at {va} splits a mapping instead of covering it")
+                write!(
+                    f,
+                    "unmap range at {va} splits a mapping instead of covering it"
+                )
             }
             DriverError::HandleRangeOutOfBounds {
                 handle,

@@ -1,0 +1,154 @@
+//! Background defragmentation: a thread that periodically sweeps every pool
+//! of a service.
+//!
+//! Iteration-boundary hooks cover the common training loop, but a serving
+//! deployment has no iteration boundaries — pools fragment silently between
+//! requests. The [`BackgroundDefragger`] closes that gap: it wakes on a
+//! fixed wall-clock interval and runs
+//! [`PoolService::defrag_sweep`](crate::PoolService::defrag_sweep), letting
+//! the service's policy decide per pool.
+
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::PoolService;
+
+#[derive(Default)]
+struct Signal {
+    stopped: Mutex<bool>,
+    condvar: Condvar,
+}
+
+/// A background thread sweeping a [`PoolService`] on an interval.
+///
+/// The thread stops (and is joined) when the defragger is dropped or
+/// [`BackgroundDefragger::stop`] is called; both are prompt — the sleep is
+/// interruptible, so shutdown does not wait out the interval.
+#[derive(Debug)]
+pub struct BackgroundDefragger {
+    signal: Arc<Signal>,
+    thread: Option<JoinHandle<u64>>,
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Signal").finish_non_exhaustive()
+    }
+}
+
+impl BackgroundDefragger {
+    /// Spawns the sweep thread. Sweeps are no-ops unless `service` was
+    /// built with a scheduler
+    /// ([`PoolService::with_scheduler`](crate::PoolService::with_scheduler)).
+    pub fn spawn(service: PoolService, interval: Duration) -> Self {
+        let signal = Arc::new(Signal::default());
+        let thread_signal = Arc::clone(&signal);
+        let thread = std::thread::Builder::new()
+            .name("gmlake-defrag".to_owned())
+            .spawn(move || {
+                let mut sweeps = 0u64;
+                loop {
+                    let guard = thread_signal
+                        .stopped
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    let (guard, _timeout) = thread_signal
+                        .condvar
+                        .wait_timeout_while(guard, interval, |stopped| !*stopped)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if *guard {
+                        return sweeps;
+                    }
+                    drop(guard);
+                    service.defrag_sweep();
+                    sweeps += 1;
+                }
+            })
+            .expect("spawning the defrag thread");
+        BackgroundDefragger {
+            signal,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops and joins the sweep thread, returning how many sweeps ran.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown().unwrap_or(0)
+    }
+
+    fn shutdown(&mut self) -> Option<u64> {
+        let thread = self.thread.take()?;
+        *self
+            .signal
+            .stopped
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.signal.condvar.notify_all();
+        thread.join().ok()
+    }
+}
+
+impl Drop for BackgroundDefragger {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::DefragScheduler;
+    use crate::service::DeviceId;
+    use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+    use gmlake_caching::CachingAllocator;
+    use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+
+    #[test]
+    fn sweeps_reclaim_fragmented_pools_while_running() {
+        let service = PoolService::with_scheduler(DefragScheduler::frag_threshold(0.5, 1));
+        let mut pool = service
+            .register(
+                DeviceId(0),
+                Box::new(CachingAllocator::new(CudaDriver::new(
+                    DeviceConfig::small_test().with_backing(false),
+                ))),
+            )
+            .unwrap();
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert!(pool.stats().reserved_bytes > 0);
+
+        let defragger = BackgroundDefragger::spawn(service.clone(), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.stats().reserved_bytes > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(pool.stats().reserved_bytes, 0, "sweep reclaimed the cache");
+        let sweeps = defragger.stop();
+        assert!(sweeps >= 1);
+    }
+
+    #[test]
+    fn stop_is_prompt_even_with_long_interval() {
+        let service = PoolService::new();
+        let defragger = BackgroundDefragger::spawn(service, Duration::from_secs(3600));
+        let t = std::time::Instant::now();
+        defragger.stop();
+        assert!(
+            t.elapsed() < Duration::from_secs(5),
+            "stop must not wait out the interval"
+        );
+    }
+
+    #[test]
+    fn drop_joins_without_hanging() {
+        let service = PoolService::new();
+        let t = std::time::Instant::now();
+        drop(BackgroundDefragger::spawn(
+            service,
+            Duration::from_secs(3600),
+        ));
+        assert!(t.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,49 @@
+//! Errors of the pool service registry.
+
+use std::fmt;
+
+use crate::service::DeviceId;
+
+/// Errors returned by [`PoolService`](crate::PoolService) registry
+/// operations. Allocation errors are *not* wrapped — [`PoolHandle`]
+/// methods surface [`gmlake_alloc_api::AllocError`] unchanged so callers
+/// keep the exact allocator semantics.
+///
+/// [`PoolHandle`]: crate::PoolHandle
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A pool is already registered for this device.
+    DuplicateDevice(DeviceId),
+    /// No pool is registered for this device.
+    UnknownDevice(DeviceId),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::DuplicateDevice(d) => {
+                write!(f, "a memory pool is already registered for {d}")
+            }
+            RuntimeError::UnknownDevice(d) => {
+                write!(f, "no memory pool is registered for {d}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_device() {
+        assert!(RuntimeError::DuplicateDevice(DeviceId(3))
+            .to_string()
+            .contains("gpu3"));
+        assert!(RuntimeError::UnknownDevice(DeviceId(7))
+            .to_string()
+            .contains("gpu7"));
+    }
+}

@@ -1,0 +1,131 @@
+//! `gmlake-runtime` — a thread-safe, multi-device memory-pool service with
+//! a pluggable defragmentation scheduler.
+//!
+//! The allocator crates below this one (`gmlake-core`, `gmlake-caching`,
+//! `gmlake-gpu-sim`) are single-owner: every call takes `&mut self`. Real
+//! multi-GPU fine-tuning — the paper's Figure 11 scale-out evaluation —
+//! runs many ranks concurrently, each hammering its own device's pool. This
+//! crate provides that runtime layer:
+//!
+//! * [`PoolService`] — a registry mapping [`DeviceId`] → shared allocator.
+//!   Any [`GpuAllocator`] implementation can be registered; the service is
+//!   deliberately ignorant of which allocator (GMLake, caching baseline,
+//!   native) manages each device.
+//! * [`PoolHandle`] — a cheap, cloneable front end to one pool.
+//!   `PoolHandle` itself implements [`GpuAllocator`], so existing
+//!   trait-generic code (like `gmlake-workload`'s `Replayer`) drives a
+//!   shared pool unmodified, from as many threads as desired.
+//! * [`DefragScheduler`] — evaluates a [`DefragPolicy`] ([`PeriodicPolicy`],
+//!   [`FragThresholdPolicy`], [`OomPressurePolicy`], or your own) at every
+//!   pool's iteration boundaries, on explicit
+//!   [`PoolService::defrag_sweep`] calls, and on the allocation OOM path
+//!   (apply-and-retry-once). Proactive defrag calls the allocators' new
+//!   [`GpuAllocator::compact`] hook; the nuclear option is
+//!   [`GpuAllocator::release_cached`].
+//! * [`BackgroundDefragger`] — a sweep thread for deployments with no
+//!   natural iteration boundary.
+//!
+//! # One pool, many threads
+//!
+//! ```
+//! use gmlake_runtime::{DeviceId, PoolService};
+//! use gmlake_caching::CachingAllocator;
+//! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//!
+//! let service = PoolService::new();
+//! let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+//! let pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+//!
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let mut pool = pool.clone();
+//!         s.spawn(move || {
+//!             for _ in 0..32 {
+//!                 let a = pool.allocate(AllocRequest::new(mib(2))).unwrap();
+//!                 pool.deallocate(a.id).unwrap();
+//!             }
+//!         });
+//!     }
+//! });
+//! let stats = service.stats(DeviceId(0))?;
+//! assert_eq!(stats.alloc_count, 4 * 32);
+//! assert_eq!(stats.active_bytes, 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Proactive defragmentation
+//!
+//! A periodic policy trims each pool's idle cache every N iterations —
+//! memory a no-defrag run would keep reserved until an OOM forced its hand:
+//!
+//! ```
+//! use gmlake_runtime::{DefragScheduler, DeviceId, PoolService};
+//! use gmlake_caching::CachingAllocator;
+//! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//!
+//! let service = PoolService::with_scheduler(DefragScheduler::periodic(1));
+//! let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+//! let mut pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+//!
+//! let a = pool.allocate(AllocRequest::new(mib(16)))?;
+//! pool.deallocate(a.id)?;
+//! assert_eq!(pool.stats().reserved_bytes, mib(16), "cache retained");
+//!
+//! pool.iteration_boundary(); // scheduler fires here
+//! assert_eq!(pool.stats().reserved_bytes, 0, "idle cache reclaimed");
+//! assert_eq!(service.scheduler().unwrap().stats().compactions, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! # Scale-out
+//!
+//! One service owns all ranks' pools; each rank thread grabs its device's
+//! handle. (`gmlake-workload`'s `ConcurrentReplayer` wraps exactly this
+//! pattern around full fine-tuning traces.)
+//!
+//! ```
+//! use gmlake_runtime::{DeviceId, PoolService};
+//! use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+//! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//!
+//! let service = PoolService::new();
+//! for rank in 0..4 {
+//!     let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+//!     service.register(
+//!         DeviceId(rank),
+//!         Box::new(GmLakeAllocator::new(driver, GmLakeConfig::default())),
+//!     )?;
+//! }
+//! std::thread::scope(|s| {
+//!     for device in service.devices() {
+//!         let mut pool = service.handle(device).unwrap();
+//!         s.spawn(move || {
+//!             let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+//!             pool.deallocate(a.id).unwrap();
+//!             pool.iteration_boundary();
+//!         });
+//!     }
+//! });
+//! assert_eq!(service.aggregate_stats().alloc_count, 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`GpuAllocator`]: gmlake_alloc_api::GpuAllocator
+//! [`GpuAllocator::compact`]: gmlake_alloc_api::GpuAllocator::compact
+//! [`GpuAllocator::release_cached`]: gmlake_alloc_api::GpuAllocator::release_cached
+
+mod background;
+mod error;
+mod scheduler;
+mod service;
+
+pub use background::BackgroundDefragger;
+pub use error::RuntimeError;
+pub use scheduler::{
+    DefragAction, DefragPolicy, DefragScheduler, DefragStats, FragThresholdPolicy,
+    OomPressurePolicy, PeriodicPolicy, PoolObservation,
+};
+pub use service::{DeviceId, PoolHandle, PoolService, SweepOutcome};

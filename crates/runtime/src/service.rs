@@ -1,0 +1,733 @@
+//! The multi-device pool service: a registry of per-device allocators
+//! behind cheap, cloneable, thread-safe [`PoolHandle`]s.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gmlake_alloc_api::{
+    share, AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats,
+    SharedAllocator,
+};
+
+use crate::error::RuntimeError;
+use crate::scheduler::{apply_action, DefragAction, DefragScheduler, PoolObservation};
+
+/// Identifies one device (one memory pool) within a [`PoolService`].
+///
+/// A plain rank-style index: `DeviceId(0)` is the first GPU, matching how
+/// data-parallel training frameworks number ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Distinguishes successive pools registered under the same [`DeviceId`]
+/// (policies key per-pool state on it; see
+/// [`PoolObservation::pool_epoch`](crate::PoolObservation::pool_epoch)).
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// One registered pool: the shared allocator plus per-pool telemetry.
+struct PoolEntry {
+    alloc: SharedAllocator,
+    /// Training iterations completed through this pool's handles.
+    iterations: AtomicU64,
+    /// Process-unique id of this registration (see [`NEXT_EPOCH`]).
+    epoch: u64,
+    /// Physical-device key: pools sharing a physical device should be
+    /// registered with the same affinity so an OOM rescue on one can
+    /// release the others' caches. `None` = the pool's device is its own.
+    affinity: Option<u64>,
+}
+
+impl fmt::Debug for PoolEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolEntry")
+            .field("iterations", &self.iterations)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What one [`PoolService::defrag_sweep`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Pools the policy was evaluated on.
+    pub pools_evaluated: usize,
+    /// Pools on which an action was applied.
+    pub actions_applied: usize,
+    /// Physical bytes reclaimed across all applied actions.
+    pub bytes_reclaimed: u64,
+}
+
+#[derive(Debug)]
+struct ServiceInner {
+    pools: Mutex<BTreeMap<DeviceId, Arc<PoolEntry>>>,
+    scheduler: Option<Arc<DefragScheduler>>,
+}
+
+/// A thread-safe registry mapping [`DeviceId`]s to memory pools.
+///
+/// The service is a cheap handle (`Clone` shares the registry). Worker
+/// threads obtain a [`PoolHandle`] per device and allocate through it
+/// concurrently; an optional [`DefragScheduler`] observes every pool at
+/// iteration boundaries and triggers proactive defragmentation.
+///
+/// ```
+/// use gmlake_runtime::{DeviceId, PoolService};
+/// use gmlake_caching::CachingAllocator;
+/// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+/// use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+///
+/// let service = PoolService::new();
+/// let driver = CudaDriver::new(DeviceConfig::small_test());
+/// let mut pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+///
+/// let a = pool.allocate(AllocRequest::new(mib(4)))?;
+/// assert_eq!(service.stats(DeviceId(0))?.active_bytes, a.size);
+/// pool.deallocate(a.id)?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoolService {
+    inner: Arc<ServiceInner>,
+}
+
+impl Default for PoolService {
+    fn default() -> Self {
+        PoolService::new()
+    }
+}
+
+impl PoolService {
+    /// Creates an empty service without a defrag scheduler.
+    pub fn new() -> Self {
+        PoolService {
+            inner: Arc::new(ServiceInner {
+                pools: Mutex::new(BTreeMap::new()),
+                scheduler: None,
+            }),
+        }
+    }
+
+    /// Creates an empty service whose pools are supervised by `scheduler`.
+    pub fn with_scheduler(scheduler: DefragScheduler) -> Self {
+        PoolService {
+            inner: Arc::new(ServiceInner {
+                pools: Mutex::new(BTreeMap::new()),
+                scheduler: Some(Arc::new(scheduler)),
+            }),
+        }
+    }
+
+    /// The supervising scheduler, if any.
+    pub fn scheduler(&self) -> Option<&DefragScheduler> {
+        self.inner.scheduler.as_deref()
+    }
+
+    /// Registers an allocator as the pool for `device` and returns a handle.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicateDevice`] if `device` already has a pool.
+    pub fn register(
+        &self,
+        device: DeviceId,
+        alloc: Box<dyn GpuAllocator + Send>,
+    ) -> Result<PoolHandle, RuntimeError> {
+        self.register_shared(device, share(alloc))
+    }
+
+    /// Registers an already-shared allocator (e.g. one also driven outside
+    /// the service) as the pool for `device`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicateDevice`] if `device` already has a pool.
+    pub fn register_shared(
+        &self,
+        device: DeviceId,
+        alloc: SharedAllocator,
+    ) -> Result<PoolHandle, RuntimeError> {
+        self.insert_entry(device, alloc, None)
+    }
+
+    /// Like [`PoolService::register`], additionally declaring which
+    /// *physical* device the pool lives on. Pools registered with the same
+    /// `affinity` are treated as cohabitants of one device: an OOM-failing
+    /// allocation on one may trigger a defrag action on the others (their
+    /// caches occupy the memory the failing pool needs). Pools registered
+    /// without an affinity are never touched by another pool's rescue.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicateDevice`] if `device` already has a pool.
+    pub fn register_with_affinity(
+        &self,
+        device: DeviceId,
+        alloc: Box<dyn GpuAllocator + Send>,
+        affinity: u64,
+    ) -> Result<PoolHandle, RuntimeError> {
+        self.insert_entry(device, share(alloc), Some(affinity))
+    }
+
+    fn insert_entry(
+        &self,
+        device: DeviceId,
+        alloc: SharedAllocator,
+        affinity: Option<u64>,
+    ) -> Result<PoolHandle, RuntimeError> {
+        let mut pools = self.inner.pools.lock();
+        if pools.contains_key(&device) {
+            return Err(RuntimeError::DuplicateDevice(device));
+        }
+        let entry = Arc::new(PoolEntry {
+            alloc,
+            iterations: AtomicU64::new(0),
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            affinity,
+        });
+        pools.insert(device, Arc::clone(&entry));
+        Ok(self.make_handle(device, entry))
+    }
+
+    /// Removes the pool for `device`. Outstanding handles keep working (the
+    /// pool itself is refcounted); it only disappears from the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownDevice`] if `device` has no pool.
+    pub fn unregister(&self, device: DeviceId) -> Result<(), RuntimeError> {
+        self.inner
+            .pools
+            .lock()
+            .remove(&device)
+            .map(|_| ())
+            .ok_or(RuntimeError::UnknownDevice(device))
+    }
+
+    /// Returns a fresh handle to the pool for `device`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownDevice`] if `device` has no pool.
+    pub fn handle(&self, device: DeviceId) -> Result<PoolHandle, RuntimeError> {
+        let entry = self
+            .inner
+            .pools
+            .lock()
+            .get(&device)
+            .cloned()
+            .ok_or(RuntimeError::UnknownDevice(device))?;
+        Ok(self.make_handle(device, entry))
+    }
+
+    /// The registered devices, in ascending order.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.inner.pools.lock().keys().copied().collect()
+    }
+
+    /// Number of registered pools.
+    pub fn len(&self) -> usize {
+        self.inner.pools.lock().len()
+    }
+
+    /// `true` when no pool is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Memory statistics of one pool.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownDevice`] if `device` has no pool.
+    pub fn stats(&self, device: DeviceId) -> Result<MemStats, RuntimeError> {
+        Ok(self.handle(device)?.stats())
+    }
+
+    /// Sums the memory statistics of every pool — the service-wide footprint
+    /// (peaks are summed too, so the aggregate peak is an upper bound: the
+    /// per-pool peaks need not have coincided in time).
+    pub fn aggregate_stats(&self) -> MemStats {
+        let entries: Vec<Arc<PoolEntry>> = self.inner.pools.lock().values().cloned().collect();
+        let mut total = MemStats::default();
+        for entry in entries {
+            let s = entry.alloc.lock().stats();
+            total.active_bytes += s.active_bytes;
+            total.reserved_bytes += s.reserved_bytes;
+            total.peak_active_bytes += s.peak_active_bytes;
+            total.peak_reserved_bytes += s.peak_reserved_bytes;
+            total.alloc_count += s.alloc_count;
+            total.free_count += s.free_count;
+            total.oom_count += s.oom_count;
+            total.requested_bytes_total += s.requested_bytes_total;
+        }
+        total
+    }
+
+    /// Evaluates the defrag policy on every pool and applies the resulting
+    /// actions. A no-op (all-zero outcome) without a scheduler.
+    ///
+    /// This is the entry point of the background defrag thread
+    /// ([`BackgroundDefragger`](crate::BackgroundDefragger)), and can be
+    /// called inline at convenient synchronization points.
+    pub fn defrag_sweep(&self) -> SweepOutcome {
+        let Some(scheduler) = self.inner.scheduler.as_ref() else {
+            return SweepOutcome::default();
+        };
+        let entries: Vec<(DeviceId, Arc<PoolEntry>)> = self
+            .inner
+            .pools
+            .lock()
+            .iter()
+            .map(|(d, e)| (*d, Arc::clone(e)))
+            .collect();
+        let mut outcome = SweepOutcome::default();
+        for (device, entry) in entries {
+            outcome.pools_evaluated += 1;
+            let obs = observe(device, &entry);
+            let action = scheduler.decide_iteration(&obs);
+            if action != DefragAction::None {
+                let bytes = apply_action(action, &mut *entry.alloc.lock());
+                scheduler.record(action, bytes);
+                outcome.actions_applied += 1;
+                outcome.bytes_reclaimed += bytes;
+            }
+        }
+        outcome
+    }
+
+    fn make_handle(&self, device: DeviceId, entry: Arc<PoolEntry>) -> PoolHandle {
+        PoolHandle {
+            device,
+            entry,
+            service: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Captures a [`PoolObservation`] of one pool (takes and releases the pool
+/// lock).
+fn observe(device: DeviceId, entry: &PoolEntry) -> PoolObservation {
+    let guard = entry.alloc.lock();
+    PoolObservation {
+        device,
+        pool_epoch: entry.epoch,
+        iteration: entry.iterations.load(Ordering::Relaxed),
+        stats: guard.stats(),
+        fragmentation: guard.fragmentation(),
+    }
+}
+
+/// A cheap, cloneable, thread-safe front end to one registered pool.
+///
+/// `PoolHandle` implements [`GpuAllocator`], so anything written against
+/// the trait — including the sequential
+/// [`Replayer`](../gmlake_workload/struct.Replayer.html) — can drive a
+/// shared pool unmodified. Every trait call takes the pool's mutex for
+/// exactly its own duration.
+///
+/// Beyond plain delegation, the handle is where the
+/// [`DefragScheduler`] hooks in:
+///
+/// * [`GpuAllocator::iteration_boundary`] advances the pool's iteration
+///   counter and lets the policy trigger a proactive defrag pass;
+/// * [`GpuAllocator::allocate`] gives the policy a chance to rescue an
+///   out-of-memory failure (apply an action, retry once) before the error
+///   reaches the caller.
+#[derive(Debug, Clone)]
+pub struct PoolHandle {
+    device: DeviceId,
+    entry: Arc<PoolEntry>,
+    service: Arc<ServiceInner>,
+}
+
+impl PoolHandle {
+    /// The device this handle allocates on.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Training iterations completed on this pool.
+    pub fn iterations(&self) -> u64 {
+        self.entry.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with exclusive access to the underlying allocator — an
+    /// escape hatch for implementation-specific calls (e.g.
+    /// `GmLakeAllocator::state_counters`). Do not block inside `f`: every
+    /// other handle of this pool waits.
+    pub fn with_allocator<R>(&self, f: impl FnOnce(&mut dyn GpuAllocator) -> R) -> R {
+        f(&mut **self.entry.alloc.lock())
+    }
+
+    fn observation(&self) -> PoolObservation {
+        observe(self.device, &self.entry)
+    }
+
+    fn scheduler(&self) -> Option<&Arc<DefragScheduler>> {
+        self.service.scheduler.as_ref()
+    }
+
+    /// Applies `action` to this pool and to every pool registered with the
+    /// same physical-device affinity (see
+    /// [`PoolService::register_with_affinity`]): when several pools cohabit
+    /// one device, the memory starving this pool may be cached by a sibling
+    /// that the failing allocator's own fallback cannot touch. Pools on
+    /// other (or undeclared) devices are left alone — flushing their warm
+    /// caches could not relieve this device's pressure. Returns the bytes
+    /// reclaimed across the touched pools.
+    fn rescue_same_device(&self, action: DefragAction) -> u64 {
+        let mut bytes = apply_action(action, &mut **self.entry.alloc.lock());
+        if self.entry.affinity.is_none() {
+            return bytes;
+        }
+        let cohabitants: Vec<Arc<PoolEntry>> = self
+            .service
+            .pools
+            .lock()
+            .values()
+            .filter(|e| !Arc::ptr_eq(e, &self.entry) && e.affinity == self.entry.affinity)
+            .cloned()
+            .collect();
+        for entry in cohabitants {
+            bytes += apply_action(action, &mut **entry.alloc.lock());
+        }
+        bytes
+    }
+}
+
+impl GpuAllocator for PoolHandle {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let result = self.entry.alloc.lock().allocate(req);
+        let Err(AllocError::OutOfMemory { .. }) = &result else {
+            return result;
+        };
+        // OOM-pressure path: let the policy rescue the allocation. The pool
+        // lock is *not* held while the policy deliberates, and the rescue
+        // spans the pools cohabiting this pool's physical device (same
+        // registration affinity) — their caches may hold the memory the
+        // failing allocator's own fallback cannot release.
+        let Some(scheduler) = self.scheduler() else {
+            return result;
+        };
+        let scheduler = Arc::clone(scheduler);
+        let action = scheduler.decide_oom(&self.observation());
+        if action == DefragAction::None {
+            return result;
+        }
+        let bytes = self.rescue_same_device(action);
+        scheduler.record_oom_rescue(action, bytes);
+        self.entry.alloc.lock().allocate(req)
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        self.entry.alloc.lock().deallocate(id)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.entry.alloc.lock().stats()
+    }
+
+    fn name(&self) -> &'static str {
+        self.entry.alloc.lock().name()
+    }
+
+    fn iteration_boundary(&mut self) {
+        let obs = {
+            let mut guard = self.entry.alloc.lock();
+            guard.iteration_boundary();
+            let iteration = self.entry.iterations.fetch_add(1, Ordering::Relaxed) + 1;
+            PoolObservation {
+                device: self.device,
+                pool_epoch: self.entry.epoch,
+                iteration,
+                stats: guard.stats(),
+                fragmentation: guard.fragmentation(),
+            }
+        };
+        let Some(scheduler) = self.scheduler() else {
+            return;
+        };
+        let scheduler = Arc::clone(scheduler);
+        let action = scheduler.decide_iteration(&obs);
+        if action != DefragAction::None {
+            let bytes = apply_action(action, &mut **self.entry.alloc.lock());
+            scheduler.record(action, bytes);
+        }
+    }
+
+    fn release_cached(&mut self) -> u64 {
+        self.entry.alloc.lock().release_cached()
+    }
+
+    fn compact(&mut self) -> u64 {
+        self.entry.alloc.lock().compact()
+    }
+
+    fn fragmentation(&self) -> f64 {
+        self.entry.alloc.lock().fragmentation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlake_alloc_api::mib;
+    use gmlake_caching::CachingAllocator;
+    use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+    use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+
+    fn caching_pool() -> Box<dyn GpuAllocator + Send> {
+        Box::new(CachingAllocator::new(CudaDriver::new(
+            DeviceConfig::small_test().with_backing(false),
+        )))
+    }
+
+    #[test]
+    fn register_handle_unregister_lifecycle() {
+        let service = PoolService::new();
+        assert!(service.is_empty());
+        let h = service.register(DeviceId(0), caching_pool()).unwrap();
+        assert_eq!(h.device(), DeviceId(0));
+        assert_eq!(service.len(), 1);
+        assert_eq!(
+            service.register(DeviceId(0), caching_pool()).unwrap_err(),
+            RuntimeError::DuplicateDevice(DeviceId(0))
+        );
+        service.register(DeviceId(2), caching_pool()).unwrap();
+        service.register(DeviceId(1), caching_pool()).unwrap();
+        assert_eq!(
+            service.devices(),
+            vec![DeviceId(0), DeviceId(1), DeviceId(2)],
+            "ordered listing"
+        );
+        service.unregister(DeviceId(1)).unwrap();
+        assert_eq!(
+            service.unregister(DeviceId(1)).unwrap_err(),
+            RuntimeError::UnknownDevice(DeviceId(1))
+        );
+        assert_eq!(
+            service.handle(DeviceId(1)).unwrap_err(),
+            RuntimeError::UnknownDevice(DeviceId(1))
+        );
+        assert_eq!(service.len(), 2);
+    }
+
+    #[test]
+    fn handles_share_one_pool() {
+        let service = PoolService::new();
+        let mut a = service.register(DeviceId(0), caching_pool()).unwrap();
+        let mut b = service.handle(DeviceId(0)).unwrap();
+        let alloc = a.allocate(AllocRequest::new(mib(4))).unwrap();
+        assert_eq!(b.stats().active_bytes, alloc.size);
+        b.deallocate(alloc.id).unwrap();
+        assert_eq!(a.stats().active_bytes, 0);
+        assert_eq!(a.name(), "pytorch-caching");
+    }
+
+    #[test]
+    fn service_clones_share_the_registry() {
+        let service = PoolService::new();
+        let clone = service.clone();
+        service.register(DeviceId(4), caching_pool()).unwrap();
+        assert_eq!(clone.devices(), vec![DeviceId(4)]);
+    }
+
+    #[test]
+    fn aggregate_stats_sum_pools() {
+        let service = PoolService::new();
+        let mut a = service.register(DeviceId(0), caching_pool()).unwrap();
+        let mut b = service.register(DeviceId(1), caching_pool()).unwrap();
+        let x = a.allocate(AllocRequest::new(mib(2))).unwrap();
+        let y = b.allocate(AllocRequest::new(mib(6))).unwrap();
+        let total = service.aggregate_stats();
+        assert_eq!(total.active_bytes, x.size + y.size);
+        assert_eq!(total.alloc_count, 2);
+        a.deallocate(x.id).unwrap();
+        b.deallocate(y.id).unwrap();
+    }
+
+    #[test]
+    fn iteration_boundary_counts_and_triggers_periodic_defrag() {
+        let service = PoolService::with_scheduler(DefragScheduler::periodic(2));
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let mut pool = service
+            .register(DeviceId(0), Box::new(CachingAllocator::new(driver.clone())))
+            .unwrap();
+        // Populate the cache, then free: reserved stays high.
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert!(pool.stats().reserved_bytes > 0);
+        pool.iteration_boundary();
+        assert_eq!(pool.iterations(), 1);
+        assert!(
+            pool.stats().reserved_bytes > 0,
+            "period 2: nothing happens after iteration 1"
+        );
+        pool.iteration_boundary();
+        assert_eq!(pool.iterations(), 2);
+        assert_eq!(
+            pool.stats().reserved_bytes,
+            0,
+            "periodic compact released the idle cache"
+        );
+        let sched = service.scheduler().unwrap().stats();
+        assert_eq!(sched.compactions, 1);
+        assert!(sched.bytes_reclaimed >= mib(8));
+        assert_eq!(driver.phys_in_use(), 0);
+    }
+
+    #[test]
+    fn oom_rescue_frees_sibling_pool_cache_and_retries() {
+        // Two pools sharing ONE 256 MiB device (as two frameworks sharing a
+        // GPU would). The sibling pool hoards 160 MiB of idle cache; the
+        // failing pool's own internal OOM fallback cannot touch it — only
+        // the service-level rescue can.
+        let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let mut hoarder = service
+            .register_with_affinity(
+                DeviceId(0),
+                Box::new(CachingAllocator::new(driver.clone())),
+                0,
+            )
+            .unwrap();
+        let mut pool = service
+            .register_with_affinity(
+                DeviceId(1),
+                Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default(),
+                )),
+                0,
+            )
+            .unwrap();
+        let ids: Vec<_> = (0..4)
+            .map(|_| hoarder.allocate(AllocRequest::new(mib(40))).unwrap().id)
+            .collect();
+        for id in ids {
+            hoarder.deallocate(id).unwrap();
+        }
+        assert!(driver.phys_in_use() >= mib(160), "sibling cache retained");
+        // 200 MiB cannot coexist with the sibling's 160 MiB of cache on a
+        // 256 MiB device; the OOM-pressure policy must rescue it.
+        let big = pool.allocate(AllocRequest::new(mib(200))).unwrap();
+        assert_eq!(big.size, mib(200));
+        let sched = service.scheduler().unwrap().stats();
+        assert_eq!(sched.oom_rescues, 1);
+        assert_eq!(sched.releases, 1);
+        assert!(sched.bytes_reclaimed >= mib(160));
+        assert_eq!(hoarder.stats().reserved_bytes, 0, "sibling cache released");
+        pool.deallocate(big.id).unwrap();
+    }
+
+    #[test]
+    fn oom_rescue_leaves_other_devices_caches_alone() {
+        // The hoarder sits on a DIFFERENT physical device (its own driver,
+        // no shared affinity): flushing its warm cache could not relieve
+        // the failing pool's pressure, so the rescue must not touch it.
+        let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
+        let other_driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let mut hoarder = service
+            .register(
+                DeviceId(0),
+                Box::new(CachingAllocator::new(other_driver.clone())),
+            )
+            .unwrap();
+        let mut pool = service.register(DeviceId(1), caching_pool()).unwrap();
+        let a = hoarder.allocate(AllocRequest::new(mib(40))).unwrap();
+        hoarder.deallocate(a.id).unwrap();
+        assert!(hoarder.stats().reserved_bytes >= mib(40), "cache warm");
+        // Exhaust the failing pool's own device for real.
+        let err = pool.allocate(AllocRequest::new(mib(400))).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        assert!(
+            hoarder.stats().reserved_bytes >= mib(40),
+            "unrelated device's cache survived the rescue"
+        );
+    }
+
+    #[test]
+    fn oom_still_surfaces_when_rescue_cannot_help() {
+        let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
+        let mut pool = service.register(DeviceId(0), caching_pool()).unwrap();
+        let hold = pool.allocate(AllocRequest::new(mib(200))).unwrap();
+        let err = pool.allocate(AllocRequest::new(mib(200))).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        pool.deallocate(hold.id).unwrap();
+    }
+
+    #[test]
+    fn defrag_sweep_covers_every_pool() {
+        let service = PoolService::with_scheduler(DefragScheduler::frag_threshold(0.5, 1));
+        let mut handles: Vec<PoolHandle> = (0..3)
+            .map(|i| service.register(DeviceId(i), caching_pool()).unwrap())
+            .collect();
+        // Fragment pools 0 and 2 (idle cache, zero active), keep pool 1 empty.
+        for i in [0usize, 2] {
+            let a = handles[i].allocate(AllocRequest::new(mib(8))).unwrap();
+            handles[i].deallocate(a.id).unwrap();
+        }
+        let outcome = service.defrag_sweep();
+        assert_eq!(outcome.pools_evaluated, 3);
+        assert_eq!(outcome.actions_applied, 2);
+        assert!(outcome.bytes_reclaimed >= 2 * mib(8));
+        assert_eq!(handles[0].stats().reserved_bytes, 0);
+        assert_eq!(handles[2].stats().reserved_bytes, 0);
+        // A second sweep finds nothing fragmented.
+        let outcome2 = service.defrag_sweep();
+        assert_eq!(outcome2.actions_applied, 0);
+    }
+
+    #[test]
+    fn sweep_without_scheduler_is_a_noop() {
+        let service = PoolService::new();
+        service.register(DeviceId(0), caching_pool()).unwrap();
+        assert_eq!(service.defrag_sweep(), SweepOutcome::default());
+        assert!(service.scheduler().is_none());
+    }
+
+    #[test]
+    fn gmlake_pool_through_handle_stitches() {
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let service = PoolService::new();
+        let mut pool = service
+            .register(
+                DeviceId(0),
+                Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default().with_frag_limit(mib(2)),
+                )),
+            )
+            .unwrap();
+        let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+        let b = pool.allocate(AllocRequest::new(mib(6))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        pool.deallocate(b.id).unwrap();
+        let before = driver.phys_in_use();
+        let c = pool.allocate(AllocRequest::new(mib(10))).unwrap();
+        assert_eq!(driver.phys_in_use(), before, "stitched, no new physical");
+        let stitches = pool.with_allocator(|alloc| {
+            // Downcast-free escape hatch: name proves which allocator runs.
+            assert_eq!(alloc.name(), "gmlake");
+            alloc.stats().alloc_count
+        });
+        assert_eq!(stitches, 3);
+        pool.deallocate(c.id).unwrap();
+    }
+
+    #[test]
+    fn handles_are_send_and_clone() {
+        fn assert_send<T: Send + Clone>() {}
+        assert_send::<PoolHandle>();
+        assert_send::<PoolService>();
+    }
+}

@@ -94,7 +94,6 @@ impl TraceGenerator {
             * self.cfg.dtype_bytes as u64
     }
 
-
     /// Jitter applied to workspace tensors; grows with strategy complexity
     /// and vanishes for the fully static `N` configuration.
     fn workspace_jitter(&self) -> f64 {
@@ -236,8 +235,7 @@ impl TraceGenerator {
                 st.compute(timing.gather_ns);
                 st.free_all(&mut pending_gathers);
 
-                let mut acts =
-                    self.forward_activations(st, &mut self.rng_for(3, mb, layer), unit);
+                let mut acts = self.forward_activations(st, &mut self.rng_for(3, mb, layer), unit);
                 let checkpoint = st.alloc(unit, AllocTag::Activation);
                 let workspace = self.workspace(st, &mut self.rng_for(2, mb, layer), unit);
                 st.compute(timing.forward_ns);
@@ -296,15 +294,15 @@ impl TraceGenerator {
                     // buffer when the first gradient of the iteration is
                     // produced, and releases it after the step.
                     if grad_shards.is_empty() {
-                        grad_shards
-                            .push(st.alloc((cfg.model.params() * d).div_ceil(n), AllocTag::Gradient));
+                        grad_shards.push(
+                            st.alloc((cfg.model.params() * d).div_ceil(n), AllocTag::Gradient),
+                        );
                     }
                     // Full-layer weight gradient, reduce-scattered into the
                     // flat partition.
                     let grad_full = st.alloc(p_layer * d, AllocTag::Gradient);
                     st.compute(timing.backward_ns);
-                    let reduce =
-                        st.alloc((p_layer * d).div_ceil(n), AllocTag::Communication);
+                    let reduce = st.alloc((p_layer * d).div_ceil(n), AllocTag::Communication);
                     st.compute(timing.reduce_ns);
                     st.free(grad_full);
                     st.free(reduce);
@@ -327,7 +325,10 @@ impl TraceGenerator {
             // Lazy Adam init: the flat fp32 master-weight + moment buffer
             // appears at the first step, after the pool has already been
             // churned by the first forward/backward.
-            persistent.push(st.alloc((cfg.model.params() * 12).div_ceil(n), AllocTag::OptimizerState));
+            persistent.push(st.alloc(
+                (cfg.model.params() * 12).div_ceil(n),
+                AllocTag::OptimizerState,
+            ));
         }
         self.optimizer_phase(st, &mut self.rng_for(6, 0, 0));
         st.free_all(&mut grad_shards);
@@ -377,7 +378,10 @@ impl TraceGenerator {
 
     /// A transient kernel workspace (attention/cuBLAS scratch).
     fn workspace(&self, st: &mut GenState, rng: &mut StdRng, unit: u64) -> u64 {
-        st.alloc(jitter(rng, unit, self.workspace_jitter()), AllocTag::Workspace)
+        st.alloc(
+            jitter(rng, unit, self.workspace_jitter()),
+            AllocTag::Workspace,
+        )
     }
 
     /// Recomputation burst: checkpointing re-runs the layer's forward, so
@@ -463,9 +467,15 @@ mod tests {
     fn traces_are_well_formed_for_all_strategies() {
         for s in StrategySet::FIG10_SWEEP {
             let t = quick(s);
-            t.validate().unwrap_or_else(|e| panic!("{}: {e}", s.label()));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.label()));
             let stats = t.stats();
-            assert!(stats.allocs > 100, "{}: only {} allocs", s.label(), stats.allocs);
+            assert!(
+                stats.allocs > 100,
+                "{}: only {} allocs",
+                s.label(),
+                stats.allocs
+            );
             assert_eq!(stats.iterations, 2);
         }
     }

@@ -32,6 +32,7 @@
 //! println!("fragmentation: {:.1}%", report.fragmentation() * 100.0);
 //! ```
 
+mod concurrent;
 mod generator;
 mod metrics;
 mod model;
@@ -41,6 +42,7 @@ mod suite;
 mod timing;
 mod trace;
 
+pub use concurrent::{ConcurrentReplayer, RankReport, RankSpec, ScaleoutReport};
 pub use generator::TraceGenerator;
 pub use metrics::{mean, mem_reduction_ratio, to_gib};
 pub use model::ModelSpec;

@@ -76,6 +76,9 @@ pub struct ReplayReport {
     pub peak_active: u64,
     /// Peak bytes reserved on the device.
     pub peak_reserved: u64,
+    /// Bytes still reserved when the replay ended — what a defrag pass (or
+    /// the lack of one) leaves behind for the next workload on the device.
+    pub final_reserved: u64,
     /// Iterations that fully completed.
     pub iterations_completed: u32,
     /// Simulated wall time of the whole replay.
@@ -275,6 +278,7 @@ impl Replayer {
             outcome,
             peak_active: stats.peak_active_bytes,
             peak_reserved: stats.peak_reserved_bytes,
+            final_reserved: stats.reserved_bytes,
             iterations_completed,
             sim_time_ns,
             allocator_ns,
@@ -289,9 +293,9 @@ impl Replayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::TraceGenerator;
     use crate::model::ModelSpec;
     use crate::strategy::{StrategySet, TrainConfig};
-    use crate::generator::TraceGenerator;
     use gmlake_alloc_api::gib;
     use gmlake_caching::CachingAllocator;
     use gmlake_gpu_sim::{DeviceConfig, NativeAllocator};
@@ -334,7 +338,9 @@ mod tests {
             series_stride: 4,
             stop_on_oom: true,
         };
-        let report = Replayer::new(driver).with_options(opts).replay(&mut alloc, &trace, &cfg);
+        let report = Replayer::new(driver)
+            .with_options(opts)
+            .replay(&mut alloc, &trace, &cfg);
         let allocs_frees = trace.stats().allocs + trace.stats().frees;
         assert!(!report.series.is_empty());
         assert!(report.series.len() as u64 <= allocs_frees / 4 + 1);
@@ -368,7 +374,9 @@ mod tests {
             stop_on_oom: false,
             ..ReplayOptions::default()
         };
-        let report = Replayer::new(driver).with_options(opts).replay(&mut alloc, &trace, &cfg);
+        let report = Replayer::new(driver)
+            .with_options(opts)
+            .replay(&mut alloc, &trace, &cfg);
         assert!(report.outcome.is_completed(), "skip mode never stops");
         assert!(report.skipped_allocs > 0);
     }

@@ -280,8 +280,6 @@ mod tests {
 
     #[test]
     fn platform_buckets_differ() {
-        assert!(
-            Platform::Fsdp.gather_bucket_bytes() > Platform::ColossalAi.gather_bucket_bytes()
-        );
+        assert!(Platform::Fsdp.gather_bucket_bytes() > Platform::ColossalAi.gather_bucket_bytes());
     }
 }

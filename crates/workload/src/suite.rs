@@ -184,7 +184,9 @@ mod tests {
             if seen.insert(cfg.model.name.clone()) {
                 let trace = crate::generator::TraceGenerator::new(cfg.clone().with_iterations(1))
                     .generate();
-                trace.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+                trace
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
             }
         }
         assert_eq!(seen.len(), 6);

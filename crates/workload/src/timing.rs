@@ -114,10 +114,7 @@ mod tests {
     #[test]
     fn bigger_models_take_longer() {
         let small = ideal_iteration_ns(&TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::N));
-        let big = ideal_iteration_ns(&TrainConfig::new(
-            ModelSpec::gpt_neox_20b(),
-            StrategySet::N,
-        ));
+        let big = ideal_iteration_ns(&TrainConfig::new(ModelSpec::gpt_neox_20b(), StrategySet::N));
         assert!(big > 5 * small);
     }
 

@@ -297,11 +297,27 @@ mod tests {
     fn tag_breakdown_tracks_per_category_peaks() {
         let mut t = Trace::new("tags");
         t.events = vec![
-            TraceEvent::Alloc { key: 1, size: 100, tag: AllocTag::Weight },
-            TraceEvent::Alloc { key: 2, size: 50, tag: AllocTag::Activation },
-            TraceEvent::Alloc { key: 3, size: 70, tag: AllocTag::Activation },
+            TraceEvent::Alloc {
+                key: 1,
+                size: 100,
+                tag: AllocTag::Weight,
+            },
+            TraceEvent::Alloc {
+                key: 2,
+                size: 50,
+                tag: AllocTag::Activation,
+            },
+            TraceEvent::Alloc {
+                key: 3,
+                size: 70,
+                tag: AllocTag::Activation,
+            },
             TraceEvent::Free { key: 2 },
-            TraceEvent::Alloc { key: 4, size: 40, tag: AllocTag::Activation },
+            TraceEvent::Alloc {
+                key: 4,
+                size: 40,
+                tag: AllocTag::Activation,
+            },
             TraceEvent::Free { key: 3 },
             TraceEvent::Free { key: 4 },
             TraceEvent::Free { key: 1 },

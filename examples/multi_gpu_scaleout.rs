@@ -1,69 +1,68 @@
-//! Multi-GPU scale-out: replay each data-parallel rank on its own simulated
-//! device, in parallel threads, and watch fragmentation grow with the shard
-//! count (the paper's Observation 2 / Figure 11).
+//! Multi-GPU scale-out on the runtime layer: every data-parallel rank owns
+//! a simulated device registered in one `PoolService`, and all ranks replay
+//! *concurrently* — one OS thread per rank driving a thread-safe
+//! `PoolHandle` — while fragmentation grows with the shard count (the
+//! paper's Observation 2 / Figure 11).
+//!
+//! A second baseline fleet runs under a periodic `DefragScheduler`,
+//! showing the runtime's proactive compaction returning idle caches that a
+//! plain fleet keeps reserved.
 //!
 //! Run with: `cargo run --release --example multi_gpu_scaleout`
 
-use std::sync::Mutex;
-
 use gmlake::prelude::*;
-use gmlake_core::GmLakeConfig;
-use gmlake_workload::{to_gib, TraceGenerator};
+use gmlake_bench::{run_scaleout, Allocator};
+use gmlake_runtime::DefragScheduler;
+use gmlake_workload::to_gib;
 
 fn main() {
-    println!("GPU scale-out, OPT-13B with LoRA + recomputation, batch 16/GPU\n");
+    println!("GPU scale-out, OPT-13B with LoRA + recomputation, batch 16/GPU");
+    println!("(ranks replay concurrently through gmlake-runtime)\n");
     println!(
-        "{:<6} {:>12} {:>10} {:>12} {:>10}",
-        "gpus", "RM-pt (GiB)", "UR-pt", "RM-gml(GiB)", "UR-gml"
+        "{:<6} {:>12} {:>10} {:>12} {:>10} {:>14}",
+        "gpus", "RM-pt (GiB)", "UR-pt", "RM-gml(GiB)", "UR-gml", "defrag (GiB)"
     );
     for gpus in [1u32, 2, 4, 8, 16] {
         let cfg = TrainConfig::new(ModelSpec::opt_13b(), StrategySet::LR)
             .with_batch(16)
             .with_gpus(gpus);
-        // Every rank runs the same (statistically identical) trace on its
-        // own device; replay all ranks concurrently and aggregate. With
-        // identical per-rank traces the ranks agree exactly, which doubles
-        // as a determinism check.
-        let results: Mutex<Vec<(u64, f64, u64, f64)>> = Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
-            for rank in 0..gpus.min(4) {
-                let cfg = cfg.clone().with_seed(cfg.seed); // same seed: ZeRO ranks mirror
-                let results = &results;
-                scope.spawn(move |_| {
-                    let trace = TraceGenerator::new(cfg.clone()).generate();
-                    let d1 = CudaDriver::new(DeviceConfig::a100_80g());
-                    let mut pt = CachingAllocator::new(d1.clone());
-                    let r_pt = Replayer::new(d1).replay(&mut pt, &trace, &cfg);
-                    let d2 = CudaDriver::new(DeviceConfig::a100_80g());
-                    let mut gml = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
-                    let r_gml = Replayer::new(d2).replay(&mut gml, &trace, &cfg);
-                    let _ = rank;
-                    results.lock().unwrap().push((
-                        r_pt.peak_reserved,
-                        r_pt.utilization(),
-                        r_gml.peak_reserved,
-                        r_gml.utilization(),
-                    ));
-                });
-            }
-        })
-        .expect("rank threads run to completion");
+        let ranks = gpus.min(4);
 
-        let results = results.into_inner().unwrap();
-        // All ranks are identical; spot-check before reporting rank 0.
-        assert!(
-            results.windows(2).all(|w| w[0] == w[1]),
-            "ranks diverged — determinism broken"
+        // Same seed on every rank: ZeRO data-parallel ranks mirror.
+        let baseline = run_scaleout(&cfg, ranks, Allocator::Caching, None);
+        let defragged = run_scaleout(
+            &cfg,
+            ranks,
+            Allocator::Caching,
+            Some(DefragScheduler::periodic(2)),
         );
-        let (rm_pt, ur_pt, rm_gml, ur_gml) = results[0];
+        let gml = run_scaleout(&cfg, ranks, Allocator::GmLake, None);
+
+        // All ranks replay the same trace on identical devices; their
+        // reports must agree exactly — a determinism check that now also
+        // covers the concurrent pool path.
+        for fleet in [&baseline, &gml] {
+            assert!(
+                fleet.ranks.windows(2).all(|w| {
+                    w[0].report.peak_reserved == w[1].report.peak_reserved
+                        && w[0].report.peak_active == w[1].report.peak_active
+                }),
+                "ranks diverged — determinism broken"
+            );
+        }
+        let reclaimed = baseline
+            .total_final_reserved()
+            .saturating_sub(defragged.total_final_reserved());
         println!(
-            "{gpus:<6} {:>12.1} {:>9.1}% {:>12.1} {:>9.1}%",
-            to_gib(rm_pt),
-            ur_pt * 100.0,
-            to_gib(rm_gml),
-            ur_gml * 100.0
+            "{gpus:<6} {:>12.1} {:>9.1}% {:>12.1} {:>9.1}% {:>14.1}",
+            to_gib(baseline.max_peak_reserved()),
+            baseline.mean_utilization() * 100.0,
+            to_gib(gml.max_peak_reserved()),
+            gml.mean_utilization() * 100.0,
+            to_gib(reclaimed),
         );
     }
     println!("\nutilization of the splitting baseline degrades as shards shrink;");
-    println!("GMLake holds ~99% at every scale.");
+    println!("GMLake holds ~99% at every scale. The defrag column is idle cache");
+    println!("the periodic scheduler returned that the plain fleet kept reserved.");
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a small wall-clock benchmark harness with the subset of the `criterion`
+//! API that the `benches/` targets use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a warm-up call, a one-call estimate
+//! to size the run, then ONE timed block of iterations (so the clock is
+//! read twice per benchmark, not twice per iteration — per-call timing
+//! would swamp nanosecond-scale routines with `Instant::now` overhead).
+//! There is no statistical analysis, outlier rejection, or HTML report —
+//! numbers are printed to stdout. Good enough to catch order-of-magnitude
+//! regressions and to keep `cargo bench` working offline.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// measured call regardless of the variant, so this only documents intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to construct relative to the routine.
+    SmallInput,
+    /// Inputs are expensive to construct.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target measurement budget per benchmark.
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            // Effectively "as many as the time budget allows"; groups
+            // running expensive routines lower it via `sample_size`.
+            sample_size: 10_000_000,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hook; the shim accepts and ignores all args.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.measurement_time,
+            max_samples: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, total)) => {
+                let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+                println!(
+                    "bench {name:<44} {:>12.1} ns/iter ({iters} iters)",
+                    per_iter
+                );
+            }
+            None => println!("bench {name:<44} (no measurement)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        let outer_sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            outer_sample_size,
+        }
+    }
+}
+
+/// A named collection of related benchmarks. A group-level
+/// [`BenchmarkGroup::sample_size`] is scoped to the group (as in real
+/// criterion): the previous value is restored when the group ends.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    outer_sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measured samples for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(&format!("  {name}"), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+impl Drop for BenchmarkGroup<'_> {
+    fn drop(&mut self) {
+        self.criterion.sample_size = self.outer_sample_size;
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    max_samples: usize,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine` over a single block of iterations sized to the time
+    /// budget (estimated from one timed call), capped at the sample limit.
+    /// The clock is read once before and once after the block, so per-call
+    /// timer overhead does not pollute nanosecond-scale measurements.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        std::hint::black_box(routine());
+        // One-call estimate to size the measured block.
+        let t = Instant::now();
+        std::hint::black_box(routine());
+        let est_nanos = t.elapsed().as_nanos().max(1);
+        let by_budget = (self.budget.as_nanos() / est_nanos).clamp(1, u64::MAX as u128) as u64;
+        let iters = by_budget.min(self.max_samples as u64);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.merge(iters, start.elapsed());
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; only the
+    /// routine is timed. Unlike [`Bencher::iter`], the clock brackets each
+    /// call (setup must stay untimed), so sub-microsecond routines carry
+    /// timer overhead here — use `iter` for those.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let deadline = Instant::now() + self.budget;
+        while iters < self.max_samples as u64 && Instant::now() < deadline {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            iters += 1;
+        }
+        self.merge(iters, total);
+    }
+
+    fn merge(&mut self, iters: u64, total: Duration) {
+        match &mut self.report {
+            Some((i, t)) => {
+                *i += iters;
+                *t += total;
+            }
+            None => self.report = Some((iters, total)),
+        }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; there is
+            // nothing to test in a shim bench, so exit fast and green.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_past_finish() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let before = c.sample_size;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(7);
+        g.bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.sample_size, before, "group setting is group-scoped");
+    }
+}

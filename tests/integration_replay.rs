@@ -79,7 +79,12 @@ fn replays_are_deterministic() {
         let driver = CudaDriver::new(DeviceConfig::a100_80g());
         let mut lake = GmLakeAllocator::new(driver, GmLakeConfig::default());
         let r = Replayer::new(lake.driver().clone()).replay(&mut lake, &trace, &cfg);
-        (r.peak_active, r.peak_reserved, r.sim_time_ns, r.iterations_completed)
+        (
+            r.peak_active,
+            r.peak_reserved,
+            r.sim_time_ns,
+            r.iterations_completed,
+        )
     };
     assert_eq!(run(), run());
 }

@@ -56,7 +56,8 @@ fn baseline_ooms_where_gmlake_stitches() {
     );
 
     let d2 = tiny_device();
-    let mut lake = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default().with_frag_limit(mib(2)));
+    let mut lake =
+        GmLakeAllocator::new(d2.clone(), GmLakeConfig::default().with_frag_limit(mib(2)));
     let r_lake = Replayer::new(d2.clone()).replay_with_samples(&mut lake, &trace, 1);
     assert!(r_lake.outcome.is_completed(), "stitching serves 16 MiB");
     assert_eq!(d2.phys_in_use(), lake.stats().reserved_bytes);
@@ -65,8 +66,10 @@ fn baseline_ooms_where_gmlake_stitches() {
 #[test]
 fn oom_failure_is_clean_and_recoverable() {
     let driver = tiny_device();
-    let mut lake =
-        GmLakeAllocator::new(driver.clone(), GmLakeConfig::default().with_frag_limit(mib(2)));
+    let mut lake = GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    );
     let a = lake.allocate(AllocRequest::new(mib(30))).unwrap();
     let err = lake.allocate(AllocRequest::new(mib(20))).unwrap_err();
     assert!(matches!(err, AllocError::OutOfMemory { .. }));
@@ -81,8 +84,10 @@ fn oom_failure_is_clean_and_recoverable() {
 #[test]
 fn gmlake_oom_releases_cache_before_failing() {
     let driver = tiny_device();
-    let mut lake =
-        GmLakeAllocator::new(driver.clone(), GmLakeConfig::default().with_frag_limit(mib(2)));
+    let mut lake = GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    );
     // Fill the device with cached (inactive) blocks of awkward sizes.
     let ids: Vec<_> = (0..5)
         .map(|_| lake.allocate(AllocRequest::new(mib(8))).unwrap().id)

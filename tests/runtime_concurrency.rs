@@ -1,0 +1,218 @@
+//! Cross-crate concurrency tests of the runtime subsystem: many threads on
+//! one pool, whole fleets of ranks replaying through the service, and the
+//! defrag scheduler's end-to-end effect on reserved memory.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gmlake::prelude::*;
+use gmlake_core::GmLakeConfig;
+use gmlake_runtime::{BackgroundDefragger, DefragScheduler, DeviceId, PoolService};
+use gmlake_workload::{ConcurrentReplayer, RankSpec};
+
+fn a100() -> CudaDriver {
+    CudaDriver::new(DeviceConfig::a100_80g())
+}
+
+/// ≥4 threads allocate and free through clones of ONE `PoolHandle` without
+/// deadlock, without losing allocations, and with exact accounting.
+#[test]
+fn stress_many_threads_one_pool() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 300;
+    let service = PoolService::new();
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    service
+        .register(
+            DeviceId(0),
+            Box::new(GmLakeAllocator::new(
+                driver.clone(),
+                GmLakeConfig::default().with_frag_limit(mib(2)),
+            )),
+        )
+        .unwrap();
+
+    let total_allocs = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let mut pool = service.handle(DeviceId(0)).unwrap();
+            let total_allocs = &total_allocs;
+            s.spawn(move || {
+                // Deterministic per-thread op mix; sizes straddle the
+                // small/large threshold so both pool paths run.
+                let mut live: Vec<AllocationId> = Vec::new();
+                let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t + 1);
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let size = 512 + x % mib(4);
+                    match pool.allocate(AllocRequest::new(size)) {
+                        Ok(a) => {
+                            assert!(a.size >= size, "undersized block");
+                            total_allocs.fetch_add(1, Ordering::Relaxed);
+                            live.push(a.id);
+                        }
+                        Err(AllocError::OutOfMemory { .. }) => {}
+                        Err(e) => panic!("unexpected allocator error: {e}"),
+                    }
+                    if live.len() > 4 {
+                        let id = live.swap_remove((x % live.len() as u64) as usize);
+                        pool.deallocate(id).unwrap();
+                    }
+                }
+                for id in live {
+                    pool.deallocate(id).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = service.stats(DeviceId(0)).unwrap();
+    assert_eq!(
+        stats.alloc_count,
+        total_allocs.load(Ordering::Relaxed),
+        "every successful allocation was counted exactly once"
+    );
+    assert_eq!(stats.alloc_count, stats.free_count, "no allocation lost");
+    assert_eq!(stats.active_bytes, 0);
+    // The allocator's own invariants survived the contention.
+    service
+        .handle(DeviceId(0))
+        .unwrap()
+        .with_allocator(|a| a.stats());
+    assert_eq!(driver.phys_in_use(), stats.reserved_bytes);
+}
+
+/// A ≥4-device, ≥4-thread scale-out through the service completes with
+/// per-rank reports — the acceptance scenario of the runtime subsystem.
+#[test]
+fn scaleout_four_ranks_four_threads_with_reports() {
+    let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::LR)
+        .with_seq_len(256)
+        .with_batch(2)
+        .with_iterations(3)
+        .with_gpus(4);
+    let service = PoolService::new();
+    let ranks: Vec<RankSpec> = (0..4)
+        .map(|rank| {
+            let driver = a100();
+            service
+                .register(
+                    DeviceId(rank),
+                    Box::new(GmLakeAllocator::new(
+                        driver.clone(),
+                        GmLakeConfig::default(),
+                    )),
+                )
+                .unwrap();
+            RankSpec::new(DeviceId(rank), driver, cfg.clone())
+        })
+        .collect();
+    let report = ConcurrentReplayer::new(service.clone())
+        .replay_ranks(ranks)
+        .unwrap();
+    assert_eq!(report.ranks.len(), 4);
+    assert!(report.all_completed());
+    for rank in &report.ranks {
+        assert_eq!(rank.report.iterations_completed, 3);
+        assert!(rank.report.peak_reserved > 0);
+        assert!(rank.report.throughput > 0.0);
+    }
+    // Mirrored ranks agree exactly (determinism through the shared-pool
+    // path), and the service agrees with the reports.
+    let peaks: Vec<u64> = report
+        .ranks
+        .iter()
+        .map(|r| r.report.peak_reserved)
+        .collect();
+    assert!(peaks.windows(2).all(|w| w[0] == w[1]), "{peaks:?}");
+    let by_device: HashMap<DeviceId, u64> = report
+        .ranks
+        .iter()
+        .map(|r| (r.device, r.report.final_reserved))
+        .collect();
+    for device in service.devices() {
+        assert_eq!(
+            service.stats(device).unwrap().reserved_bytes,
+            by_device[&device]
+        );
+    }
+}
+
+/// The defrag scheduler demonstrably reduces reserved memory versus a
+/// no-defrag run of the identical fleet.
+#[test]
+fn defrag_scheduler_reduces_reserved_memory() {
+    let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::LR)
+        .with_seq_len(256)
+        .with_batch(2)
+        .with_iterations(4);
+    let run = |scheduler: Option<DefragScheduler>| {
+        let service = match scheduler {
+            Some(s) => PoolService::with_scheduler(s),
+            None => PoolService::new(),
+        };
+        let ranks: Vec<RankSpec> = (0..2)
+            .map(|rank| {
+                let driver = a100();
+                service
+                    .register(
+                        DeviceId(rank),
+                        Box::new(CachingAllocator::new(driver.clone())),
+                    )
+                    .unwrap();
+                RankSpec::new(DeviceId(rank), driver, cfg.clone())
+            })
+            .collect();
+        let report = ConcurrentReplayer::new(service.clone())
+            .replay_ranks(ranks)
+            .unwrap();
+        (service, report)
+    };
+
+    let (_, plain) = run(None);
+    let (supervised_service, supervised) = run(Some(DefragScheduler::periodic(2)));
+    assert!(plain.all_completed() && supervised.all_completed());
+    assert!(
+        supervised.total_final_reserved() < plain.total_final_reserved(),
+        "supervised fleet must end leaner: {} vs {}",
+        supervised.total_final_reserved(),
+        plain.total_final_reserved()
+    );
+    let sched = supervised_service.scheduler().unwrap().stats();
+    assert!(sched.compactions > 0, "the periodic policy actually fired");
+    assert!(sched.bytes_reclaimed > 0);
+}
+
+/// The background sweeper coexists with a live concurrent replay: no
+/// deadlock between sweep-side and handle-side locking, and the run's
+/// results stay correct.
+#[test]
+fn background_defragger_runs_alongside_replay() {
+    let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::LR)
+        .with_seq_len(256)
+        .with_batch(2)
+        .with_iterations(3);
+    let service = PoolService::with_scheduler(DefragScheduler::frag_threshold(0.6, mib(64)));
+    let ranks: Vec<RankSpec> = (0..2)
+        .map(|rank| {
+            let driver = a100();
+            service
+                .register(
+                    DeviceId(rank),
+                    Box::new(CachingAllocator::new(driver.clone())),
+                )
+                .unwrap();
+            RankSpec::new(DeviceId(rank), driver, cfg.clone())
+        })
+        .collect();
+    let defragger =
+        BackgroundDefragger::spawn(service.clone(), std::time::Duration::from_millis(1));
+    let report = ConcurrentReplayer::new(service.clone())
+        .replay_ranks(ranks)
+        .unwrap();
+    let sweeps = defragger.stop();
+    assert!(report.all_completed());
+    assert!(sweeps > 0, "the sweeper actually ran during the replay");
+}
