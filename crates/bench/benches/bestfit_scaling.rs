@@ -1,0 +1,39 @@
+//! Allocator hot-path scaling: allocate/deallocate and `BestFit`
+//! classification across pool sizes (1e2–1e5 inactive blocks), on the
+//! converged pool state where every inactive pBlock belongs to a cached
+//! available sBlock.
+//!
+//! `probe:indexed` vs `probe:reference` is the headline comparison: the
+//! tiered-index implementation against the retained pre-index reference on
+//! identical pool state. `alloc_free:s1` shows the end-to-end exact-match
+//! round-trip staying flat (logarithmic) as the pool grows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gmlake_alloc_api::{AllocRequest, GpuAllocator};
+use gmlake_bench::perf::{build_converged_pool, STITCH_PROBE_BYTES, VIEW_BYTES};
+
+fn bestfit_scaling(c: &mut Criterion) {
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        let mut lake = build_converged_pool(n);
+        let mut group = c.benchmark_group(&format!("bestfit_scaling/{n}_blocks"));
+        group.bench_function("alloc_free:s1", |b| {
+            b.iter(|| {
+                let a = lake
+                    .allocate(AllocRequest::new(VIEW_BYTES))
+                    .expect("exact match");
+                lake.deallocate(a.id).expect("live");
+            })
+        });
+        group.bench_function("probe:indexed", |b| {
+            b.iter(|| lake.probe_bestfit_indexed(STITCH_PROBE_BYTES))
+        });
+        let flat = lake.flat_inactive_index();
+        group.bench_function("probe:reference", |b| {
+            b.iter(|| lake.probe_bestfit_reference(STITCH_PROBE_BYTES, &flat))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bestfit_scaling);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Perf snapshot for the PR 2 hot-path rework: sweeps the `BestFit` pool
+//! sizes, counts driver calls for a 1 GiB stitch, and emits the results as
+//! machine-readable `BENCH_PR2.json` (committed to the repo, uploaded as a
+//! CI artifact) so later PRs have a perf trajectory to compare against.
+//!
+//! Wall-clock numbers are host-dependent; the *ratios* (reference vs
+//! indexed classification, per-chunk vs batched driver calls) are the
+//! stable quantities.
+
+use gmlake_alloc_api::{gib, mib, AllocRequest, GpuAllocator};
+use gmlake_bench::perf::{sample_pool, ScalingSample};
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+
+/// Driver traffic of a 1 GiB stitched allocation built from two cached
+/// 512 MiB blocks.
+struct StitchCost {
+    parts: u64,
+    chunks: u64,
+    map_calls: u64,
+    create_calls: u64,
+    sim_vmm_ns: u64,
+}
+
+fn stitch_1gib_driver_calls() -> StitchCost {
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+    let a = lake.allocate(AllocRequest::new(mib(512))).expect("fits");
+    let b = lake.allocate(AllocRequest::new(mib(512))).expect("fits");
+    lake.deallocate(a.id).expect("live");
+    lake.deallocate(b.id).expect("live");
+    let before = driver.stats();
+    let c = lake.allocate(AllocRequest::new(gib(1))).expect("stitches");
+    let after = driver.stats();
+    assert_eq!(c.size, gib(1));
+    assert_eq!(
+        lake.state_counters().stitches,
+        1,
+        "the 1 GiB alloc stitched"
+    );
+    StitchCost {
+        parts: 2,
+        chunks: gib(1) / driver.granularity(),
+        map_calls: after.map.calls - before.map.calls,
+        create_calls: after.create.calls - before.create.calls,
+        sim_vmm_ns: after.vmm_time_ns() - before.vmm_time_ns(),
+    }
+}
+
+fn main() {
+    let sizes = [100usize, 1_000, 10_000, 100_000];
+    eprintln!("sweeping pool sizes {sizes:?} (converged pools)...");
+    let samples: Vec<ScalingSample> = sizes
+        .iter()
+        .map(|&n| {
+            let s = sample_pool(n, 200);
+            eprintln!(
+                "  {:>7} blocks: alloc+free {:>9.1} ns, probe indexed {:>9.1} ns, \
+                 reference {:>12.1} ns ({:.0}x)",
+                s.pool_blocks,
+                s.alloc_free_s1_ns,
+                s.probe_indexed_ns,
+                s.probe_reference_ns,
+                s.speedup()
+            );
+            s
+        })
+        .collect();
+    let stitch = stitch_1gib_driver_calls();
+    eprintln!(
+        "1 GiB stitch: {} mem_map calls for {} parts ({} chunks; per-chunk \
+         mapping would cost {} calls)",
+        stitch.map_calls, stitch.parts, stitch.chunks, stitch.chunks
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"gmlake-bench-pr2/v1\",\n");
+    json.push_str("  \"pool_scaling\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"pool_blocks\": {}, \"alloc_free_s1_ns\": {:.1}, \
+             \"probe_indexed_ns\": {:.1}, \"probe_reference_ns\": {:.1}, \
+             \"reference_over_indexed\": {:.1}}}{}\n",
+            s.pool_blocks,
+            s.alloc_free_s1_ns,
+            s.probe_indexed_ns,
+            s.probe_reference_ns,
+            s.speedup(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"stitch_1gib\": {{\"parts\": {}, \"chunks\": {}, \
+         \"mem_map_calls\": {}, \"mem_create_calls\": {}, \
+         \"per_chunk_equivalent_map_calls\": {}, \"sim_vmm_ns\": {}}},\n",
+        stitch.parts,
+        stitch.chunks,
+        stitch.map_calls,
+        stitch.create_calls,
+        stitch.chunks,
+        stitch.sim_vmm_ns
+    ));
+    json.push_str(
+        "  \"notes\": \"converged pools (all inactive pBlocks woven into \
+         available sBlocks); probe = S3 BestFit classification; reference = \
+         retained pre-index implementation on identical state\"\n}\n",
+    );
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_PR2.json");
+}

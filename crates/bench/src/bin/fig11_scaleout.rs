@@ -38,18 +38,20 @@ fn main() {
     for model in models {
         println!("model: {}", model.name);
         println!(
-            "{:<6} {:>7} {:>7} {:>9}   {:>7} {:>7} {:>9}   {:>8} {:>9}",
+            "{:<6} {:>7} {:>7} {:>9} {:>8}   {:>7} {:>7} {:>9} {:>8}   {:>8} {:>9}",
             "gpus",
             "RM-pt",
             "UR-pt",
             "thr-pt",
+            "drv-pt",
             "RM-gml",
             "UR-gml",
             "thr-gml",
+            "drv-gml",
             "end-pt",
             "end+defrg"
         );
-        rule(84);
+        rule(102);
         for gpus in [1u32, 2, 4, 8, 16] {
             let cfg = TrainConfig::new(model.clone(), StrategySet::LR)
                 .with_batch(16)
@@ -64,13 +66,15 @@ fn main() {
             );
             let gmlake = run_scaleout(&cfg, ranks, Allocator::GmLake, None);
             println!(
-                "{gpus:<6} {:>7} {:>7} {:>9.1}   {:>7} {:>7} {:>9.1}   {:>8} {:>9}",
+                "{gpus:<6} {:>7} {:>7} {:>9.1} {:>8.0}   {:>7} {:>7} {:>9.1} {:>8.0}   {:>8} {:>9}",
                 fmt_rm(&baseline),
                 fmt_pct(baseline.mean_utilization()),
                 baseline.fleet_throughput(),
+                baseline.mean_driver_calls(),
                 fmt_rm(&gmlake),
                 fmt_pct(gmlake.mean_utilization()),
                 gmlake.fleet_throughput(),
+                gmlake.mean_driver_calls(),
                 fmt_gib(baseline.total_final_reserved() / ranks as u64),
                 fmt_gib(defragged.total_final_reserved() / ranks as u64),
             );
@@ -80,4 +84,9 @@ fn main() {
     println!("end-RM columns: the periodic DefragScheduler (every 2 iterations)");
     println!("compacts each pool at iteration boundaries, so the supervised fleet");
     println!("ends holding less reserved memory than the unsupervised one.");
+    println!();
+    println!("drv-* columns: mean per-rank driver calls (lock round-trips).");
+    println!("GMLake's stitching traffic rides the batched VMM entry points");
+    println!("(mem_create_batch / mem_map_range), so a whole multi-chunk stitch");
+    println!("costs one map call per part instead of one per 2 MiB chunk.");
 }

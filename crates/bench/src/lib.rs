@@ -16,6 +16,8 @@ use gmlake_workload::{
     TraceGenerator, TrainConfig,
 };
 
+pub mod perf;
+
 /// Which allocator to run a workload against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Allocator {

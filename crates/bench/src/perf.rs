@@ -1,0 +1,160 @@
+//! Hot-path perf harness: converged-pool builders and probe workloads
+//! shared by the `bestfit_scaling` criterion bench and the `bench_pr2`
+//! perf-snapshot binary.
+//!
+//! The interesting regime for `BestFit` is the paper's *converged* steady
+//! state: nearly every inactive pBlock is woven into a cached, fully
+//! inactive sBlock (`StitchCost::ReferencedAvailable`). In that state the
+//! reference implementation's S3 classification makes two full
+//! closure-evaluating passes over the pool (the unreferenced and
+//! referenced-blocked tiers are empty) before the third pass succeeds,
+//! while the tiered-index implementation probes two empty sets and walks a
+//! handful of candidates. [`build_converged_pool`] constructs exactly that
+//! state at an arbitrary scale.
+
+use std::time::Instant;
+
+use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig};
+
+/// Size of each cached stitched view the builder creates.
+pub const VIEW_BYTES: u64 = mib(10);
+/// A request no cached structure can satisfy alone: forces the S3
+/// (multi-block) classification, the reference path's worst case.
+pub const STITCH_PROBE_BYTES: u64 = mib(20);
+
+/// Builds a GMLake allocator in the converged steady state with
+/// `n_blocks` inactive pBlocks (rounded down to a pair multiple), every
+/// one referenced by an available cached sBlock.
+///
+/// Construction: pairs of 4 + 6 MiB tensors are freed and re-requested as
+/// 10 MiB, which stitches them; holding every 10 MiB tensor until the end
+/// keeps earlier structures out of `BestFit`'s way, and the final bulk
+/// free flips all views to available at once.
+pub fn build_converged_pool(n_blocks: usize) -> GmLakeAllocator {
+    let pairs = (n_blocks / 2).max(1);
+    let dev = DeviceConfig {
+        name: format!("bench-pool-{n_blocks}"),
+        capacity: pairs as u64 * VIEW_BYTES + mib(64),
+        granularity: mib(2),
+        backing: false,
+        cost: CostModel::zero(),
+    };
+    let cfg = GmLakeConfig::default()
+        .with_frag_limit(mib(2))
+        .with_max_sblocks(n_blocks.max(8192));
+    let mut lake = GmLakeAllocator::new(CudaDriver::new(dev), cfg);
+    let mut held = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let a = lake.allocate(AllocRequest::new(mib(4))).expect("capacity");
+        let b = lake.allocate(AllocRequest::new(mib(6))).expect("capacity");
+        lake.deallocate(a.id).expect("live");
+        lake.deallocate(b.id).expect("live");
+        // The only inactive blocks right now are a and b: this stitches
+        // them, and stays assigned so later pairs cannot disturb it.
+        let c = lake
+            .allocate(AllocRequest::new(VIEW_BYTES))
+            .expect("capacity");
+        held.push(c.id);
+    }
+    for id in held {
+        lake.deallocate(id).expect("live");
+    }
+    debug_assert_eq!(lake.pblock_count(), pairs * 2);
+    debug_assert_eq!(lake.sblock_count(), pairs);
+    lake
+}
+
+/// Times `op` with a two-point read of the monotonic clock around a single
+/// block of iterations (sized by a one-call estimate against
+/// `budget_ms`), returning ns per call. Mirrors the criterion shim's
+/// measurement strategy so the binary and the bench report comparable
+/// numbers.
+pub fn time_ns_per_call(budget_ms: u64, mut op: impl FnMut()) -> f64 {
+    op(); // warm-up
+    let t = Instant::now();
+    op();
+    let est = t.elapsed().as_nanos().max(1);
+    let iters = ((budget_ms as u128 * 1_000_000) / est).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One pool-size sample of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingSample {
+    /// Inactive pBlocks in the pool.
+    pub pool_blocks: usize,
+    /// Full allocate+deallocate round-trip of an exact-match (S1) request.
+    pub alloc_free_s1_ns: f64,
+    /// Indexed `BestFit` classification of an S3 (stitch) request.
+    pub probe_indexed_ns: f64,
+    /// Reference (pre-index) `BestFit` classification of the same request.
+    pub probe_reference_ns: f64,
+}
+
+impl ScalingSample {
+    /// reference / indexed classification-time ratio.
+    pub fn speedup(&self) -> f64 {
+        self.probe_reference_ns / self.probe_indexed_ns
+    }
+}
+
+/// Runs the sweep for one pool size.
+pub fn sample_pool(n_blocks: usize, budget_ms: u64) -> ScalingSample {
+    let mut lake = build_converged_pool(n_blocks);
+    let alloc_free_s1_ns = time_ns_per_call(budget_ms, || {
+        let a = lake
+            .allocate(AllocRequest::new(VIEW_BYTES))
+            .expect("exact match");
+        lake.deallocate(a.id).expect("live");
+    });
+    let probe_indexed_ns = time_ns_per_call(budget_ms, || {
+        std::hint::black_box(lake.probe_bestfit_indexed(STITCH_PROBE_BYTES));
+    });
+    let flat = lake.flat_inactive_index();
+    let probe_reference_ns = time_ns_per_call(budget_ms, || {
+        std::hint::black_box(lake.probe_bestfit_reference(STITCH_PROBE_BYTES, &flat));
+    });
+    ScalingSample {
+        pool_blocks: n_blocks,
+        alloc_free_s1_ns,
+        probe_indexed_ns,
+        probe_reference_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_pool_has_expected_shape_and_probes_agree() {
+        let lake = build_converged_pool(40);
+        assert_eq!(lake.pblock_count(), 40);
+        assert_eq!(lake.sblock_count(), 20);
+        lake.validate().unwrap();
+        // Exact view size classifies S1; the stitch probe classifies S3 in
+        // both implementations.
+        assert_eq!(lake.probe_bestfit_indexed(VIEW_BYTES), 1);
+        let flat = lake.flat_inactive_index();
+        assert_eq!(flat.len(), 40, "every pblock is inactive");
+        assert_eq!(
+            lake.probe_bestfit_indexed(STITCH_PROBE_BYTES),
+            lake.probe_bestfit_reference(STITCH_PROBE_BYTES, &flat)
+        );
+        assert_eq!(lake.probe_bestfit_indexed(STITCH_PROBE_BYTES), 3);
+    }
+
+    #[test]
+    fn timing_helper_returns_positive_nanoseconds() {
+        let ns = time_ns_per_call(1, || {
+            std::hint::black_box(42u64.wrapping_mul(7));
+        });
+        assert!(ns > 0.0);
+    }
+}

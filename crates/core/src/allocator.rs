@@ -18,6 +18,18 @@
 //! least-recently-used inactive sBlock *structures* when the sPool exceeds
 //! its capacity; actual physical memory is surrendered only by
 //! [`GmLakeAllocator::release_cached`] (the OOM fallback) or on drop.
+//!
+//! # Hot-path data structures
+//!
+//! Blocks live in dense [`Slab`] arenas (ids are sequential, lookups are an
+//! indexed load). Inactive pBlocks are indexed by a [`TieredPIndex`] — one
+//! `(size, id)` set per [`StitchCost`] tier, maintained *incrementally*:
+//! every structural event (activity flip, stitch, split, sBlock teardown)
+//! re-tiers only the blocks whose classification could actually have
+//! changed, so `BestFit` is a few `O(log n)` range probes instead of three
+//! closure-evaluating sweeps of the pool. Each sBlock carries an
+//! active-part counter (fully-inactive ⟺ counter is zero) and eviction
+//! victims come from an `(lru_tick, id)` set instead of an `O(n)` scan.
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -27,9 +39,10 @@ use gmlake_alloc_api::{
 use gmlake_caching::CachingAllocator;
 use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
 
-use crate::bestfit::{best_fit, BestFit, StitchCost};
+use crate::bestfit::{best_fit_indexed, best_fit_reference, BestFit, StitchCost, TieredPIndex};
 use crate::block::{PBlock, PBlockId, SBlock, SBlockId, Target};
 use crate::config::{AllocState, GmLakeConfig, StateCounters};
+use crate::slab::Slab;
 
 /// The GMLake virtual-memory-stitching allocator.
 ///
@@ -63,16 +76,20 @@ pub struct GmLakeAllocator {
     config: GmLakeConfig,
     chunk: u64,
     host_op_ns: u64,
+    /// `GMLAKE_DEBUG_S3` tracing, sampled once at construction so the
+    /// per-allocation path never touches the environment.
+    debug_s3: bool,
     small: CachingAllocator,
-    pblocks: HashMap<PBlockId, PBlock>,
-    sblocks: HashMap<SBlockId, SBlock>,
-    /// Inactive pBlocks, keyed `(size, id)`.
-    p_inactive: BTreeSet<(u64, PBlockId)>,
+    pblocks: Slab<PBlock>,
+    sblocks: Slab<SBlock>,
+    /// Inactive pBlocks, partitioned by stitch-cost tier, keyed `(size, id)`.
+    p_inactive: TieredPIndex,
     /// sBlocks whose parts are all inactive, keyed `(size, id)`.
     s_inactive: BTreeSet<(u64, SBlockId)>,
+    /// Eviction candidates (unassigned, fully-inactive sBlocks), keyed
+    /// `(lru_tick, id)` so `StitchFree` pops its LRU victim in `O(log n)`.
+    s_evictable: BTreeSet<(u64, SBlockId)>,
     live: HashMap<AllocationId, (Target, u64)>,
-    next_p: PBlockId,
-    next_s: SBlockId,
     next_alloc: u64,
     tick: u64,
     stats: MemStats,
@@ -108,14 +125,14 @@ impl GmLakeAllocator {
             config,
             chunk,
             host_op_ns,
+            debug_s3: std::env::var_os("GMLAKE_DEBUG_S3").is_some(),
             small,
-            pblocks: HashMap::new(),
-            sblocks: HashMap::new(),
-            p_inactive: BTreeSet::new(),
+            pblocks: Slab::new(),
+            sblocks: Slab::new(),
+            p_inactive: TieredPIndex::new(),
             s_inactive: BTreeSet::new(),
+            s_evictable: BTreeSet::new(),
             live: HashMap::new(),
-            next_p: 0,
-            next_s: 0,
             next_alloc: 0,
             tick: 0,
             stats: MemStats::default(),
@@ -184,18 +201,15 @@ impl GmLakeAllocator {
     pub fn memory_map(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let mut pids: Vec<_> = self.pblocks.keys().copied().collect();
-        pids.sort_unstable();
-        let active = pids.iter().filter(|p| self.pblocks[p].active).count();
+        let active = self.pblocks.iter().filter(|(_, p)| p.active).count();
         let _ = writeln!(
             out,
             "pPool: {} blocks ({} active), {:.1} MiB physical",
-            pids.len(),
+            self.pblocks.len(),
             active,
             self.reserved_phys as f64 / (1 << 20) as f64
         );
-        for pid in &pids {
-            let p = &self.pblocks[pid];
+        for (pid, p) in self.pblocks.iter() {
             let _ = writeln!(
                 out,
                 "  p{pid:<4} {:>8.1} MiB {} refs={:?}",
@@ -204,11 +218,8 @@ impl GmLakeAllocator {
                 p.referenced_by.iter().collect::<Vec<_>>()
             );
         }
-        let mut sids: Vec<_> = self.sblocks.keys().copied().collect();
-        sids.sort_unstable();
-        let _ = writeln!(out, "sPool: {} stitched views", sids.len());
-        for sid in &sids {
-            let s = &self.sblocks[sid];
+        let _ = writeln!(out, "sPool: {} stitched views", self.sblocks.len());
+        for (sid, s) in self.sblocks.iter() {
             let _ = writeln!(
                 out,
                 "  s{sid:<4} {:>8.1} MiB parts={:?}{}",
@@ -242,11 +253,55 @@ impl GmLakeAllocator {
         self.stats.set_reserved(reserved);
     }
 
-    /// Flips a pBlock's activity, maintaining the inactive indexes of the
-    /// pBlock itself and of every sBlock referencing it.
+    /// An sBlock is *available* when it could serve an exact match right
+    /// now: unassigned with every part inactive.
+    fn sblock_available(s: &SBlock) -> bool {
+        s.assigned_to.is_none() && s.active_parts == 0
+    }
+
+    /// Derives an inactive pBlock's stitch-cost tier from its references,
+    /// using the incremental active-part counters. `O(|referenced_by|)`.
+    fn compute_tier(&self, pid: PBlockId) -> StitchCost {
+        let p = &self.pblocks[pid];
+        if p.referenced_by.is_empty() {
+            StitchCost::Unreferenced
+        } else if p
+            .referenced_by
+            .iter()
+            .any(|&sid| Self::sblock_available(&self.sblocks[sid]))
+        {
+            StitchCost::ReferencedAvailable
+        } else {
+            StitchCost::ReferencedBlocked
+        }
+    }
+
+    /// Recomputes an *inactive* pBlock's tier and moves it between the
+    /// partitioned indexes when it changed. No-op for active blocks (they
+    /// are unindexed).
+    fn retier_pblock(&mut self, pid: PBlockId) {
+        let (active, size, old) = {
+            let p = &self.pblocks[pid];
+            (p.active, p.size, p.tier)
+        };
+        if active {
+            return;
+        }
+        let new = self.compute_tier(pid);
+        if new != old {
+            self.p_inactive.remove(old, size, pid);
+            self.p_inactive.insert(new, size, pid);
+            self.pblocks[pid].tier = new;
+        }
+    }
+
+    /// Flips a pBlock's activity, maintaining the tiered inactive index,
+    /// each referencing sBlock's active-part counter, and — when a counter
+    /// crosses zero — the sBlock indexes plus the tiers of every part whose
+    /// availability classification changed.
     fn set_pblock_active(&mut self, pid: PBlockId, active: bool) {
         let (size, refs): (u64, Vec<SBlockId>) = {
-            let p = self.pblocks.get_mut(&pid).expect("pblock exists");
+            let p = self.pblocks.get_mut(pid).expect("pblock exists");
             if p.active == active {
                 return;
             }
@@ -254,86 +309,105 @@ impl GmLakeAllocator {
             (p.size, p.referenced_by.iter().copied().collect())
         };
         if active {
-            self.p_inactive.remove(&(size, pid));
-        } else {
-            self.p_inactive.insert((size, pid));
+            let tier = self.pblocks[pid].tier;
+            self.p_inactive.remove(tier, size, pid);
         }
         for sid in refs {
-            self.refresh_sblock_index(sid);
+            let (s_size, s_tick, crossed, now_inactive, unassigned) = {
+                let s = self.sblocks.get_mut(sid).expect("sblock exists");
+                let was_zero = s.active_parts == 0;
+                if active {
+                    s.active_parts += 1;
+                } else {
+                    debug_assert!(s.active_parts > 0, "active_parts underflow on s{sid}");
+                    s.active_parts -= 1;
+                }
+                let is_zero = s.active_parts == 0;
+                (
+                    s.size,
+                    s.lru_tick,
+                    was_zero != is_zero,
+                    is_zero,
+                    s.assigned_to.is_none(),
+                )
+            };
+            if !crossed {
+                continue;
+            }
+            // Assignment only happens to fully-active sBlocks and is cleared
+            // before deactivation, so every zero-crossing is unassigned and
+            // flips availability.
+            debug_assert!(unassigned, "assigned sblock s{sid} crossed activity");
+            if now_inactive {
+                self.s_inactive.insert((s_size, sid));
+                self.s_evictable.insert((s_tick, sid));
+            } else {
+                self.s_inactive.remove(&(s_size, sid));
+                self.s_evictable.remove(&(s_tick, sid));
+            }
+            // The view's availability flipped: every (inactive) sibling part
+            // may change tier. Index-based iteration: `retier_pblock` needs
+            // `&mut self`, and part lists are never long enough to amortize
+            // a clone.
+            for i in 0..self.sblocks[sid].parts.len() {
+                let part = self.sblocks[sid].parts[i];
+                if part != pid {
+                    self.retier_pblock(part);
+                }
+            }
         }
-    }
-
-    /// Re-derives whether `sid` belongs to the inactive sBlock index.
-    fn refresh_sblock_index(&mut self, sid: SBlockId) {
-        let (size, inactive) = {
-            let s = self.sblocks.get(&sid).expect("sblock exists");
-            let inactive = s.parts.iter().all(|p| !self.pblocks[p].active);
-            (s.size, inactive)
-        };
-        if inactive {
-            self.s_inactive.insert((size, sid));
-        } else {
-            self.s_inactive.remove(&(size, sid));
+        if !active {
+            let tier = self.compute_tier(pid);
+            self.pblocks[pid].tier = tier;
+            self.p_inactive.insert(tier, size, pid);
         }
     }
 
     /// `Alloc` (§3.3.1): creates a brand-new pBlock of `size` bytes (a chunk
     /// multiple) with fresh physical chunks. The only function that
-    /// increases reserved physical memory.
+    /// increases reserved physical memory. Physical chunks are created and
+    /// mapped through the driver's batched entry points: one driver
+    /// round-trip for the creates, one for the maps.
     fn alloc_new_pblock(&mut self, size: u64) -> Result<PBlockId, DriverError> {
         debug_assert_eq!(size % self.chunk, 0);
         let va = self.driver.mem_address_reserve(size)?;
         let n = (size / self.chunk) as usize;
-        let mut chunks: Vec<PhysHandle> = Vec::with_capacity(n);
-        for _ in 0..n {
-            match self.driver.mem_create(self.chunk) {
-                Ok(h) => chunks.push(h),
-                Err(e) => {
-                    // Roll back: nothing is mapped yet.
-                    for h in chunks {
-                        let _ = self.driver.mem_release(h);
-                    }
-                    let _ = self.driver.mem_address_free(va, size);
-                    return Err(e);
-                }
+        let chunks: Vec<PhysHandle> = match self.driver.mem_create_batch(self.chunk, n) {
+            Ok(chunks) => chunks,
+            Err(e) => {
+                // Roll back: the batch is all-or-nothing, nothing is mapped.
+                let _ = self.driver.mem_address_free(va, size);
+                return Err(e);
             }
-        }
-        for (i, &h) in chunks.iter().enumerate() {
-            self.driver
-                .mem_map(va.offset(i as u64 * self.chunk), self.chunk, 0, h)
-                .expect("mapping fresh chunks into a fresh reservation");
-        }
+        };
+        self.driver
+            .mem_map_range(va, self.chunk, &chunks)
+            .expect("mapping fresh chunks into a fresh reservation");
         self.driver
             .mem_set_access(va, size, true)
             .expect("fully mapped range");
-        self.next_p += 1;
-        let pid = self.next_p;
-        self.pblocks.insert(pid, PBlock::new(va, size, chunks));
-        self.p_inactive.insert((size, pid));
+        let pid = self.pblocks.insert(PBlock::new(va, size, chunks));
+        self.p_inactive.insert(StitchCost::Unreferenced, size, pid);
         self.reserved_phys += size;
         Ok(pid)
     }
 
     /// Builds a pBlock over existing chunks (used by `Split`): reserves a
-    /// fresh VA and maps the chunks there.
+    /// fresh VA and maps the chunks there in one batched driver call.
     fn pblock_from_chunks(&mut self, chunks: Vec<PhysHandle>) -> PBlockId {
         let size = chunks.len() as u64 * self.chunk;
         let va = self
             .driver
             .mem_address_reserve(size)
             .expect("VA space is unbounded in simulation");
-        for (i, &h) in chunks.iter().enumerate() {
-            self.driver
-                .mem_map(va.offset(i as u64 * self.chunk), self.chunk, 0, h)
-                .expect("mapping live chunks into a fresh reservation");
-        }
+        self.driver
+            .mem_map_range(va, self.chunk, &chunks)
+            .expect("mapping live chunks into a fresh reservation");
         self.driver
             .mem_set_access(va, size, true)
             .expect("fully mapped range");
-        self.next_p += 1;
-        let pid = self.next_p;
-        self.pblocks.insert(pid, PBlock::new(va, size, chunks));
-        self.p_inactive.insert((size, pid));
+        let pid = self.pblocks.insert(PBlock::new(va, size, chunks));
+        self.p_inactive.insert(StitchCost::Unreferenced, size, pid);
         pid
     }
 
@@ -343,13 +417,13 @@ impl GmLakeAllocator {
     /// untouched) and their part lists are rewritten to the two children.
     fn split_pblock(&mut self, pid: PBlockId, left_size: u64) -> (PBlockId, PBlockId) {
         debug_assert_eq!(left_size % self.chunk, 0);
-        let p = self.pblocks.remove(&pid).expect("pblock exists");
+        let p = self.pblocks.remove(pid).expect("pblock exists");
         debug_assert!(
             !p.active && p.assigned_to.is_none(),
             "split of a live block"
         );
         debug_assert!(left_size > 0 && left_size < p.size);
-        self.p_inactive.remove(&(p.size, pid));
+        self.p_inactive.remove(p.tier, p.size, pid);
         let k = (left_size / self.chunk) as usize;
         let left_chunks = p.chunks[..k].to_vec();
         let right_chunks = p.chunks[k..].to_vec();
@@ -362,12 +436,10 @@ impl GmLakeAllocator {
         self.driver
             .mem_address_free(p.va, p.size)
             .expect("reservation exists and is empty");
-        // Rewrite referencing sBlocks to the two children.
+        // Rewrite referencing sBlocks to the two children. Both children are
+        // inactive (the parent was), so no active-part counter changes.
         for &sid in &p.referenced_by {
-            let s = self
-                .sblocks
-                .get_mut(&sid)
-                .expect("referenced sblock exists");
+            let s = self.sblocks.get_mut(sid).expect("referenced sblock exists");
             let pos = s
                 .parts
                 .iter()
@@ -378,51 +450,54 @@ impl GmLakeAllocator {
         for &child in &[left, right] {
             let refs = p.referenced_by.clone();
             self.pblocks
-                .get_mut(&child)
+                .get_mut(child)
                 .expect("child exists")
                 .referenced_by = refs;
+            // The children inherited references: move them off the
+            // unreferenced tier they were created in.
+            self.retier_pblock(child);
         }
         self.counters.splits += 1;
         (left, right)
     }
 
     /// `Stitch` (§3.3.1): creates an sBlock whose fresh VA range aliases the
-    /// chunks of `parts`, in order. No physical memory is created.
+    /// chunks of `parts`, in order — one batched map call per part. No
+    /// physical memory is created.
     fn stitch(&mut self, parts: Vec<PBlockId>) -> SBlockId {
-        let total: u64 = parts.iter().map(|p| self.pblocks[p].size).sum();
+        let total: u64 = parts.iter().map(|&p| self.pblocks[p].size).sum();
         let va = self
             .driver
             .mem_address_reserve(total)
             .expect("VA space is unbounded in simulation");
         let mut off = 0u64;
-        for pid in &parts {
-            let (chunks, _size) = {
-                let p = &self.pblocks[pid];
-                (p.chunks.clone(), p.size)
-            };
-            for h in chunks {
-                self.driver
-                    .mem_map(va.offset(off), self.chunk, 0, h)
-                    .expect("aliasing live chunks into a fresh reservation");
-                off += self.chunk;
-            }
+        for &pid in &parts {
+            let p = &self.pblocks[pid];
+            debug_assert!(!p.active, "stitching an active part");
+            self.driver
+                .mem_map_range(va.offset(off), self.chunk, &p.chunks)
+                .expect("aliasing live chunks into a fresh reservation");
+            off += p.size;
         }
         self.driver
             .mem_set_access(va, total, true)
             .expect("fully mapped range");
-        self.next_s += 1;
-        let sid = self.next_s;
         let tick = self.next_tick();
-        for pid in &parts {
+        let sid = self.sblocks.insert(SBlock::new(va, total, parts, tick));
+        // The new view is unassigned with all parts inactive: it is both
+        // exact-matchable and evictable, and referencing it promotes every
+        // part to the last-resort stitching tier.
+        self.s_inactive.insert((total, sid));
+        self.s_evictable.insert((tick, sid));
+        for i in 0..self.sblocks[sid].parts.len() {
+            let pid = self.sblocks[sid].parts[i];
             self.pblocks
                 .get_mut(pid)
                 .expect("part exists")
                 .referenced_by
                 .insert(sid);
+            self.retier_pblock(pid);
         }
-        self.sblocks
-            .insert(sid, SBlock::new(va, total, parts, tick));
-        self.refresh_sblock_index(sid);
         self.counters.stitches += 1;
         // NOTE: capacity enforcement runs in `allocate` *after* the new
         // block is assigned, so a freshly stitched block can never be its
@@ -431,19 +506,12 @@ impl GmLakeAllocator {
     }
 
     /// `StitchFree` (§3.3.2): evicts least-recently-used *inactive* sBlock
-    /// structures while the sPool exceeds its capacity.
+    /// structures while the sPool exceeds its capacity. Victims come
+    /// straight off the `(lru_tick, id)` eviction index.
     fn enforce_spool_capacity(&mut self) {
         while self.sblocks.len() > self.config.max_sblocks {
-            let victim = self
-                .sblocks
-                .iter()
-                .filter(|(sid, s)| {
-                    s.assigned_to.is_none() && self.s_inactive.contains(&(s.size, **sid))
-                })
-                .min_by_key(|(_, s)| s.lru_tick)
-                .map(|(sid, _)| *sid);
-            match victim {
-                Some(sid) => {
+            match self.s_evictable.first().copied() {
+                Some((_, sid)) => {
                     self.destroy_sblock(sid);
                     self.counters.evictions += 1;
                 }
@@ -455,12 +523,17 @@ impl GmLakeAllocator {
     /// Tears an sBlock structure down: its VA and mappings disappear; the
     /// chunks stay owned by the pBlocks.
     fn destroy_sblock(&mut self, sid: SBlockId) {
-        let s = self.sblocks.remove(&sid).expect("sblock exists");
+        let s = self.sblocks.remove(sid).expect("sblock exists");
         self.s_inactive.remove(&(s.size, sid));
-        for pid in &s.parts {
-            if let Some(p) = self.pblocks.get_mut(pid) {
-                p.referenced_by.remove(&sid);
-            }
+        self.s_evictable.remove(&(s.lru_tick, sid));
+        for &pid in &s.parts {
+            let Some(p) = self.pblocks.get_mut(pid) else {
+                continue;
+            };
+            p.referenced_by.remove(&sid);
+            // Losing a reference may drop the part a tier (down to
+            // unreferenced).
+            self.retier_pblock(pid);
         }
         self.driver
             .mem_unmap(s.va, s.size)
@@ -473,9 +546,9 @@ impl GmLakeAllocator {
     /// Returns a pBlock's physical memory to the device. The block must be
     /// inactive, unassigned and unreferenced.
     fn destroy_pblock(&mut self, pid: PBlockId) {
-        let p = self.pblocks.remove(&pid).expect("pblock exists");
+        let p = self.pblocks.remove(pid).expect("pblock exists");
         debug_assert!(!p.active && p.assigned_to.is_none() && p.referenced_by.is_empty());
-        self.p_inactive.remove(&(p.size, pid));
+        self.p_inactive.remove(p.tier, p.size, pid);
         self.driver
             .mem_unmap(p.va, p.size)
             .expect("pblock range was fully mapped");
@@ -501,17 +574,18 @@ impl GmLakeAllocator {
             Target::P(pid) => {
                 self.set_pblock_active(pid, true);
                 self.pblocks
-                    .get_mut(&pid)
+                    .get_mut(pid)
                     .expect("pblock exists")
                     .assigned_to = Some(id);
             }
             Target::S(sid) => {
-                let parts = self.sblocks[&sid].parts.clone();
+                let parts = self.sblocks[sid].parts.clone();
                 for pid in parts {
                     self.set_pblock_active(pid, true);
                 }
                 let tick = self.next_tick();
-                let s = self.sblocks.get_mut(&sid).expect("sblock exists");
+                let s = self.sblocks.get_mut(sid).expect("sblock exists");
+                debug_assert_eq!(s.active_parts, s.parts.len(), "assigning a partial sblock");
                 s.assigned_to = Some(id);
                 s.lru_tick = tick;
             }
@@ -540,47 +614,31 @@ impl GmLakeAllocator {
     /// caller can run the release-cached fallback and retry.
     fn try_allocate_large(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         let aligned = self.align_up(req.size);
-        let pblocks = &self.pblocks;
-        let sblocks = &self.sblocks;
-        let s_inactive = &self.s_inactive;
-        match best_fit(
+        match best_fit_indexed(
             aligned,
             &self.s_inactive,
             &self.p_inactive,
             self.config.frag_limit,
-            |pid| {
-                let p = &pblocks[&pid];
-                if p.referenced_by.is_empty() {
-                    StitchCost::Unreferenced
-                } else if p.referenced_by.iter().any(|sid| {
-                    let s = &sblocks[sid];
-                    s.assigned_to.is_none() && s_inactive.contains(&(s.size, *sid))
-                }) {
-                    StitchCost::ReferencedAvailable
-                } else {
-                    StitchCost::ReferencedBlocked
-                }
-            },
         ) {
             BestFit::ExactS(sid) => {
                 self.counters.record(AllocState::ExactMatch);
-                let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                 Ok(self.register_allocation(Target::S(sid), va, size, req.size))
             }
             BestFit::ExactP(pid) => {
                 self.counters.record(AllocState::ExactMatch);
-                let (va, size) = (self.pblocks[&pid].va, self.pblocks[&pid].size);
+                let (va, size) = (self.pblocks[pid].va, self.pblocks[pid].size);
                 Ok(self.register_allocation(Target::P(pid), va, size, req.size))
             }
             BestFit::Single(pid) => {
                 self.counters.record(AllocState::SingleBlock);
-                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                if self.debug_s3 {
                     eprintln!(
                         "S2 iter={} size={} block={}",
-                        self.iterations, aligned, self.pblocks[&pid].size
+                        self.iterations, aligned, self.pblocks[pid].size
                     );
                 }
-                let block_size = self.pblocks[&pid].size;
+                let block_size = self.pblocks[pid].size;
                 let remainder = block_size - aligned;
                 if remainder >= self.config.frag_limit.max(self.chunk) {
                     // Split; optionally cache an sBlock of the two halves so
@@ -592,31 +650,33 @@ impl GmLakeAllocator {
                     if self.config.cache_split_halves {
                         self.stitch(vec![left, right]);
                     }
-                    let (va, size) = (self.pblocks[&left].va, self.pblocks[&left].size);
+                    let (va, size) = (self.pblocks[left].va, self.pblocks[left].size);
                     Ok(self.register_allocation(Target::P(left), va, size, req.size))
                 } else {
                     // Remainder below the fragmentation limit: use the block
                     // whole (internal waste instead of an unusable fragment).
                     // This is pure best-fit reuse — zero driver calls — so it
                     // does not count as an adaptation step.
-                    let (va, size) = (self.pblocks[&pid].va, self.pblocks[&pid].size);
+                    let (va, size) = (self.pblocks[pid].va, self.pblocks[pid].size);
                     Ok(self.register_allocation(Target::P(pid), va, size, req.size))
                 }
             }
             BestFit::Multiple { mut ids, sum } => {
                 self.counters.record(AllocState::MultiBlock);
                 self.iter_non_exact += 1;
-                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                if self.debug_s3 {
                     eprintln!(
                         "S3 iter={} size={} candidates={:?}",
                         self.iterations,
                         aligned,
-                        ids.iter().map(|i| self.pblocks[i].size).collect::<Vec<_>>()
+                        ids.iter()
+                            .map(|&i| self.pblocks[i].size)
+                            .collect::<Vec<_>>()
                     );
                 }
                 if sum > aligned {
                     let last = ids.pop().expect("multiple has >= 2 candidates");
-                    let last_size = self.pblocks[&last].size;
+                    let last_size = self.pblocks[last].size;
                     let rest_sum = sum - last_size;
                     let need = aligned - rest_sum;
                     debug_assert!(need > 0 && need <= last_size);
@@ -631,13 +691,13 @@ impl GmLakeAllocator {
                     }
                 }
                 let sid = self.stitch(ids);
-                let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                 Ok(self.register_allocation(Target::S(sid), va, size, req.size))
             }
             BestFit::Insufficient { mut ids, sum } => {
                 self.counters.record(AllocState::Insufficient);
                 self.iter_non_exact += 1;
-                if std::env::var_os("GMLAKE_DEBUG_S3").is_some() {
+                if self.debug_s3 {
                     eprintln!("S4 iter={} size={} have={}", self.iterations, aligned, sum);
                 }
                 debug_assert!(sum < aligned);
@@ -654,12 +714,12 @@ impl GmLakeAllocator {
                     Err(e) => return Err(AllocError::Driver(e.to_string())),
                 };
                 if ids.is_empty() {
-                    let (va, size) = (self.pblocks[&new_pid].va, self.pblocks[&new_pid].size);
+                    let (va, size) = (self.pblocks[new_pid].va, self.pblocks[new_pid].size);
                     Ok(self.register_allocation(Target::P(new_pid), va, size, req.size))
                 } else {
                     ids.push(new_pid);
                     let sid = self.stitch(ids);
-                    let (va, size) = (self.sblocks[&sid].va, self.sblocks[&sid].size);
+                    let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                     Ok(self.register_allocation(Target::S(sid), va, size, req.size))
                 }
             }
@@ -675,7 +735,7 @@ impl GmLakeAllocator {
             .sblocks
             .iter()
             .filter(|(_, s)| s.assigned_to.is_none())
-            .map(|(sid, _)| *sid)
+            .map(|(sid, _)| sid)
             .collect();
         for sid in unassigned {
             self.destroy_sblock(sid);
@@ -684,16 +744,109 @@ impl GmLakeAllocator {
             .pblocks
             .iter()
             .filter(|(_, p)| !p.active && p.assigned_to.is_none() && p.referenced_by.is_empty())
-            .map(|(pid, _)| *pid)
+            .map(|(pid, _)| pid)
             .collect();
         let mut released = 0;
         for pid in idle {
-            released += self.pblocks[&pid].size;
+            released += self.pblocks[pid].size;
             self.destroy_pblock(pid);
         }
         released += self.small.release_cached();
         self.sync_reserved();
         released
+    }
+
+    /// The pre-index `stitch_cost` closure semantics, kept verbatim for the
+    /// reference `BestFit` path: chase `referenced_by`, look the sBlocks up,
+    /// and probe the inactive index per call.
+    fn reference_stitch_cost(&self, pid: PBlockId) -> StitchCost {
+        let p = &self.pblocks[pid];
+        if p.referenced_by.is_empty() {
+            StitchCost::Unreferenced
+        } else if p.referenced_by.iter().any(|sid| {
+            let s = &self.sblocks[*sid];
+            s.assigned_to.is_none() && self.s_inactive.contains(&(s.size, *sid))
+        }) {
+            StitchCost::ReferencedAvailable
+        } else {
+            StitchCost::ReferencedBlocked
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Benchmark probes — classify a hypothetical request without mutating
+    // state, through either `BestFit` implementation. Hidden: these exist
+    // so `bestfit_scaling` / `bench_pr2` can measure the indexed hot path
+    // against the retained reference path on identical pool states.
+    // ------------------------------------------------------------------
+
+    /// Runs the indexed `BestFit` for a request of `size` bytes and returns
+    /// the state it classified to (1–4 for S1–S4).
+    #[doc(hidden)]
+    pub fn probe_bestfit_indexed(&self, size: u64) -> u8 {
+        let fit = best_fit_indexed(
+            self.align_up(size),
+            &self.s_inactive,
+            &self.p_inactive,
+            self.config.frag_limit,
+        );
+        Self::state_code(&fit)
+    }
+
+    /// The flat `(size, id)` inactive-pBlock set the reference path
+    /// consumes; build it once per pool state, outside the timed region.
+    #[doc(hidden)]
+    pub fn flat_inactive_index(&self) -> BTreeSet<(u64, u64)> {
+        self.p_inactive.to_flat()
+    }
+
+    /// Runs the retained reference `BestFit` (full-pool passes plus the
+    /// per-block cost closure) over `flat` and this allocator's state.
+    #[doc(hidden)]
+    pub fn probe_bestfit_reference(&self, size: u64, flat: &BTreeSet<(u64, u64)>) -> u8 {
+        let fit = best_fit_reference(
+            self.align_up(size),
+            &self.s_inactive,
+            flat,
+            self.config.frag_limit,
+            |pid| self.reference_stitch_cost(pid),
+        );
+        Self::state_code(&fit)
+    }
+
+    fn state_code(fit: &BestFit) -> u8 {
+        match fit {
+            BestFit::ExactS(_) | BestFit::ExactP(_) => 1,
+            BestFit::Single(_) => 2,
+            BestFit::Multiple { .. } => 3,
+            BestFit::Insufficient { .. } => 4,
+        }
+    }
+
+    /// Differential oracle: asserts the indexed and reference `BestFit`
+    /// agree exactly (not just on the state code) for a request of `size`
+    /// bytes against the current pool state.
+    #[cfg(test)]
+    pub(crate) fn assert_bestfit_agrees(&self, size: u64) {
+        let aligned = self.align_up(size);
+        let flat = self.p_inactive.to_flat();
+        let reference = best_fit_reference(
+            aligned,
+            &self.s_inactive,
+            &flat,
+            self.config.frag_limit,
+            |pid| self.reference_stitch_cost(pid),
+        );
+        let indexed = best_fit_indexed(
+            aligned,
+            &self.s_inactive,
+            &self.p_inactive,
+            self.config.frag_limit,
+        );
+        assert_eq!(
+            reference, indexed,
+            "indexed BestFit diverged from the reference for size {size}"
+        );
     }
 
     /// Verifies every internal invariant; heavily used by tests.
@@ -702,25 +855,51 @@ impl GmLakeAllocator {
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        // 1. pBlock shape + index consistency.
+        // 0. Slab arenas: reuse-after-destroy free-list consistency.
+        self.pblocks
+            .validate()
+            .map_err(|e| format!("pblock arena: {e}"))?;
+        self.sblocks
+            .validate()
+            .map_err(|e| format!("sblock arena: {e}"))?;
+        // 1. pBlock shape + tiered-index consistency.
         let mut chunk_owner: HashMap<u64, PBlockId> = HashMap::new();
         let mut phys_sum = 0u64;
-        for (pid, p) in &self.pblocks {
+        let mut inactive_p = 0usize;
+        for (pid, p) in self.pblocks.iter() {
             if p.chunks.len() as u64 * self.chunk != p.size {
                 return Err(format!("pblock {pid}: chunk count disagrees with size"));
             }
             phys_sum += p.size;
             for h in &p.chunks {
-                if let Some(prev) = chunk_owner.insert(h.as_u64(), *pid) {
+                if let Some(prev) = chunk_owner.insert(h.as_u64(), pid) {
                     return Err(format!("chunk {h} owned by both pblock {prev} and {pid}"));
                 }
             }
-            let indexed = self.p_inactive.contains(&(p.size, *pid));
-            if p.active == indexed {
-                return Err(format!(
-                    "pblock {pid}: active={} but inactive-index={}",
-                    p.active, indexed
-                ));
+            let indexed_tier = self.p_inactive.tier_of(p.size, pid);
+            if p.active {
+                if let Some(t) = indexed_tier {
+                    return Err(format!("active pblock {pid} present in tier {t:?}"));
+                }
+            } else {
+                match indexed_tier {
+                    None => return Err(format!("inactive pblock {pid} missing from index")),
+                    Some(t) if t != p.tier => {
+                        return Err(format!(
+                            "pblock {pid}: cached tier {:?} but indexed in {t:?}",
+                            p.tier
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                let derived = self.compute_tier(pid);
+                if derived != p.tier {
+                    return Err(format!(
+                        "pblock {pid}: cached tier {:?} but references imply {derived:?}",
+                        p.tier
+                    ));
+                }
+                inactive_p += 1;
             }
             if p.assigned_to.is_some() && !p.active {
                 return Err(format!("pblock {pid}: assigned but inactive"));
@@ -728,9 +907,9 @@ impl GmLakeAllocator {
             for sid in &p.referenced_by {
                 let s = self
                     .sblocks
-                    .get(sid)
+                    .get(*sid)
                     .ok_or_else(|| format!("pblock {pid} references dead sblock {sid}"))?;
-                if !s.parts.contains(pid) {
+                if !s.parts.contains(&pid) {
                     return Err(format!("sblock {sid} does not list pblock {pid}"));
                 }
             }
@@ -741,18 +920,31 @@ impl GmLakeAllocator {
                 self.reserved_phys
             ));
         }
-        // 2. sBlock consistency.
-        for (sid, s) in &self.sblocks {
+        if self.p_inactive.len() != inactive_p {
+            return Err(format!(
+                "p index holds {} entries but {} pblocks are inactive",
+                self.p_inactive.len(),
+                inactive_p
+            ));
+        }
+        // 2. sBlock consistency: part lists, counters, and both indexes.
+        let mut inactive_s = 0usize;
+        let mut evictable_s = 0usize;
+        for (sid, s) in self.sblocks.iter() {
             let mut size_sum = 0;
+            let mut active_parts = 0usize;
             for pid in &s.parts {
                 let p = self
                     .pblocks
-                    .get(pid)
+                    .get(*pid)
                     .ok_or_else(|| format!("sblock {sid} lists dead pblock {pid}"))?;
-                if !p.referenced_by.contains(sid) {
+                if !p.referenced_by.contains(&sid) {
                     return Err(format!("pblock {pid} missing backref to sblock {sid}"));
                 }
                 size_sum += p.size;
+                if p.active {
+                    active_parts += 1;
+                }
             }
             if size_sum != s.size {
                 return Err(format!(
@@ -760,19 +952,50 @@ impl GmLakeAllocator {
                     s.size
                 ));
             }
-            let all_inactive = s.parts.iter().all(|p| !self.pblocks[p].active);
-            let indexed = self.s_inactive.contains(&(s.size, *sid));
+            if active_parts != s.active_parts {
+                return Err(format!(
+                    "sblock {sid}: counter says {} active parts, scan says {active_parts}",
+                    s.active_parts
+                ));
+            }
+            let all_inactive = s.active_parts == 0;
+            let indexed = self.s_inactive.contains(&(s.size, sid));
             if all_inactive != indexed {
                 return Err(format!(
                     "sblock {sid}: all_inactive={all_inactive} but index={indexed}"
                 ));
             }
+            if all_inactive {
+                inactive_s += 1;
+            }
+            let evictable = s.assigned_to.is_none() && all_inactive;
+            let in_evict = self.s_evictable.contains(&(s.lru_tick, sid));
+            if evictable != in_evict {
+                return Err(format!(
+                    "sblock {sid}: evictable={evictable} but eviction index={in_evict}"
+                ));
+            }
+            if evictable {
+                evictable_s += 1;
+            }
             if s.assigned_to.is_some() {
-                let fully_active = s.parts.iter().all(|p| self.pblocks[p].active);
+                let fully_active = s.active_parts == s.parts.len();
                 if !fully_active {
                     return Err(format!("assigned sblock {sid} has inactive parts"));
                 }
             }
+        }
+        if self.s_inactive.len() != inactive_s {
+            return Err(format!(
+                "s_inactive holds {} entries but {inactive_s} sblocks are fully inactive",
+                self.s_inactive.len()
+            ));
+        }
+        if self.s_evictable.len() != evictable_s {
+            return Err(format!(
+                "s_evictable holds {} entries but {evictable_s} sblocks are evictable",
+                self.s_evictable.len()
+            ));
         }
         // 3. Live allocations point at correctly-assigned targets, and no
         //    pBlock serves two live allocations.
@@ -782,7 +1005,7 @@ impl GmLakeAllocator {
                 Target::P(pid) => {
                     let p = self
                         .pblocks
-                        .get(pid)
+                        .get(*pid)
                         .ok_or_else(|| format!("{id} targets dead pblock {pid}"))?;
                     if p.assigned_to != Some(*id) {
                         return Err(format!("{id}: pblock {pid} assignment mismatch"));
@@ -794,7 +1017,7 @@ impl GmLakeAllocator {
                 Target::S(sid) => {
                     let s = self
                         .sblocks
-                        .get(sid)
+                        .get(*sid)
                         .ok_or_else(|| format!("{id} targets dead sblock {sid}"))?;
                     if s.assigned_to != Some(*id) {
                         return Err(format!("{id}: sblock {sid} assignment mismatch"));
@@ -864,13 +1087,13 @@ impl GpuAllocator for GmLakeAllocator {
         self.driver.advance_clock(self.host_op_ns);
         match target {
             Target::P(pid) => {
-                self.pblocks.get_mut(&pid).expect("live pblock").assigned_to = None;
+                self.pblocks.get_mut(pid).expect("live pblock").assigned_to = None;
                 self.set_pblock_active(pid, false);
             }
             Target::S(sid) => {
                 let parts = {
                     let tick = self.next_tick();
-                    let s = self.sblocks.get_mut(&sid).expect("live sblock");
+                    let s = self.sblocks.get_mut(sid).expect("live sblock");
                     s.assigned_to = None;
                     s.lru_tick = tick;
                     s.parts.clone()
@@ -936,10 +1159,8 @@ impl GpuAllocator for GmLakeAllocator {
         let blocked: Vec<SBlockId> = self
             .sblocks
             .iter()
-            .filter(|(sid, s)| {
-                s.assigned_to.is_none() && !self.s_inactive.contains(&(s.size, **sid))
-            })
-            .map(|(sid, _)| *sid)
+            .filter(|(_, s)| s.assigned_to.is_none() && s.active_parts > 0)
+            .map(|(sid, _)| sid)
             .collect();
         for sid in blocked {
             self.destroy_sblock(sid);
@@ -954,11 +1175,11 @@ impl GpuAllocator for GmLakeAllocator {
                     && p.referenced_by.is_empty()
                     && p.size < self.config.frag_limit
             })
-            .map(|(pid, _)| *pid)
+            .map(|(pid, _)| pid)
             .collect();
         let mut released = 0;
         for pid in dead {
-            released += self.pblocks[&pid].size;
+            released += self.pblocks[pid].size;
             self.destroy_pblock(pid);
         }
         self.sync_reserved();
@@ -969,15 +1190,15 @@ impl GpuAllocator for GmLakeAllocator {
 impl Drop for GmLakeAllocator {
     fn drop(&mut self) {
         // Destructors never fail (C-DTOR-FAIL): best-effort teardown.
-        let sids: Vec<SBlockId> = self.sblocks.keys().copied().collect();
+        let sids: Vec<SBlockId> = self.sblocks.keys().collect();
         for sid in sids {
-            let s = self.sblocks.remove(&sid).expect("listed above");
+            let s = self.sblocks.remove(sid).expect("listed above");
             let _ = self.driver.mem_unmap(s.va, s.size);
             let _ = self.driver.mem_address_free(s.va, s.size);
         }
-        let pids: Vec<PBlockId> = self.pblocks.keys().copied().collect();
+        let pids: Vec<PBlockId> = self.pblocks.keys().collect();
         for pid in pids {
-            let p = self.pblocks.remove(&pid).expect("listed above");
+            let p = self.pblocks.remove(pid).expect("listed above");
             let _ = self.driver.mem_unmap(p.va, p.size);
             for h in &p.chunks {
                 let _ = self.driver.mem_release(*h);

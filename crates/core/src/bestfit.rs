@@ -1,6 +1,23 @@
-//! The `BestFit` function — a direct transcription of the paper's
-//! Algorithm 1, as a pure function over the inactive pool indexes so it can
-//! be unit- and property-tested in isolation.
+//! The `BestFit` function — the paper's Algorithm 1 over the inactive pool
+//! indexes, in two interchangeable implementations:
+//!
+//! * [`best_fit_indexed`] — the production hot path. It runs over a
+//!   [`TieredPIndex`]: three `BTreeSet<(size, id)>` indexes, one per
+//!   [`StitchCost`] tier, maintained incrementally by the allocator. Every
+//!   classification step is a handful of `O(log n)` range probes (plus the
+//!   inherently output-sized greedy walk for S3/S4), with **zero** per-block
+//!   cost-closure calls.
+//! * [`best_fit_reference`] — the original transcription over a single
+//!   `(size, id)` set with a per-block cost closure. It makes up to three
+//!   full passes over the pool and calls the closure (which chases
+//!   `referenced_by` edges) per visited block, so it is `O(n)` per
+//!   allocation on converged pools. It is retained as the differential
+//!   oracle for property tests and as the benchmark baseline the
+//!   `bestfit_scaling` bench measures the indexed path against.
+//!
+//! Both implementations must agree bit-for-bit on every input — S1–S5
+//! classification, tier preference, candidate order — which the unit tests
+//! here and the property tests in `tests.rs` enforce.
 //!
 //! One refinement beyond the paper's pseudocode: when choosing *non-exact*
 //! candidates (S2/S3), pBlocks that are not referenced by any cached sBlock
@@ -50,15 +67,148 @@ pub(crate) enum StitchCost {
     ReferencedAvailable = 2,
 }
 
-/// Runs Algorithm 1 over the inactive indexes.
+impl StitchCost {
+    /// All tiers in consumption-preference order.
+    pub(crate) const ALL: [StitchCost; 3] = [
+        StitchCost::Unreferenced,
+        StitchCost::ReferencedBlocked,
+        StitchCost::ReferencedAvailable,
+    ];
+}
+
+/// The cost-partitioned inactive-pBlock index: one `(size, id)` set per
+/// [`StitchCost`] tier, maintained incrementally by the allocator as block
+/// activity and sBlock references change. Partitioning moves the cost
+/// classification off the allocation hot path: `best_fit_indexed` never
+/// evaluates a per-block closure, it just range-probes the right tier.
+#[derive(Debug, Default)]
+pub(crate) struct TieredPIndex {
+    tiers: [BTreeSet<(u64, PBlockId)>; 3],
+}
+
+impl TieredPIndex {
+    pub fn new() -> Self {
+        TieredPIndex::default()
+    }
+
+    pub fn insert(&mut self, tier: StitchCost, size: u64, pid: PBlockId) {
+        self.tiers[tier as usize].insert((size, pid));
+    }
+
+    pub fn remove(&mut self, tier: StitchCost, size: u64, pid: PBlockId) -> bool {
+        self.tiers[tier as usize].remove(&(size, pid))
+    }
+
+    pub fn contains(&self, tier: StitchCost, size: u64, pid: PBlockId) -> bool {
+        self.tiers[tier as usize].contains(&(size, pid))
+    }
+
+    /// Total entries across all tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.iter().map(|t| t.len()).sum()
+    }
+
+    /// The tier a pid of `size` currently sits in, if any (validation).
+    pub fn tier_of(&self, size: u64, pid: PBlockId) -> Option<StitchCost> {
+        StitchCost::ALL
+            .into_iter()
+            .find(|&t| self.contains(t, size, pid))
+    }
+
+    /// Merges the tiers back into the flat `(size, id)` set the reference
+    /// implementation consumes (oracle tests and benchmark setup).
+    pub fn to_flat(&self) -> BTreeSet<(u64, PBlockId)> {
+        self.tiers.iter().flatten().copied().collect()
+    }
+}
+
+/// Runs Algorithm 1 over the incremental indexes — the production hot path.
 ///
-/// `s_inactive` and `p_inactive` are `(size, id)` sets; iteration in
-/// descending order reproduces the paper's "sorted by block size in
-/// descending order" pools. Blocks smaller than `frag_limit` are skipped as
-/// *stitching candidates* (the robustness rule of §4.2.3) but still serve
-/// exact matches. `stitch_cost` classifies a pBlock's relationship to the
-/// cached sBlocks (see [`StitchCost`] and the module docs).
-pub(crate) fn best_fit(
+/// `s_inactive` is the `(size, id)` set of sBlocks whose parts are all
+/// inactive; `p_index` partitions inactive pBlocks by [`StitchCost`].
+/// Blocks smaller than `frag_limit` are skipped as *stitching candidates*
+/// (the robustness rule of §4.2.3) but still serve exact matches.
+pub(crate) fn best_fit_indexed(
+    bsize: u64,
+    s_inactive: &BTreeSet<(u64, SBlockId)>,
+    p_index: &TieredPIndex,
+    frag_limit: u64,
+) -> BestFit {
+    debug_assert!(bsize > 0);
+    let [unref, blocked, available] = &p_index.tiers;
+    // S1: exact match. sBlocks are checked first: reusing a cached stitched
+    // block is the paper's steady-state fast path. Among equal-size exact
+    // pBlocks, unreferenced ones are preferred so that blocks woven into
+    // cached sBlocks stay available to those sBlocks; ties break on the
+    // lowest id, as in the reference scan.
+    if let Some(&(_, sid)) = s_inactive.range((bsize, 0)..=(bsize, u64::MAX)).next() {
+        return BestFit::ExactS(sid);
+    }
+    let exact = |tier: &BTreeSet<(u64, PBlockId)>| {
+        tier.range((bsize, 0)..=(bsize, u64::MAX))
+            .next()
+            .map(|&(_, pid)| pid)
+    };
+    if let Some(pid) = exact(unref) {
+        return BestFit::ExactP(pid);
+    }
+    if let Some(pid) = [exact(blocked), exact(available)]
+        .into_iter()
+        .flatten()
+        .min()
+    {
+        return BestFit::ExactP(pid);
+    }
+    // S2: single pBlock larger than the request — the smallest unreferenced
+    // one if any exists within a reasonable window, else the smallest
+    // overall. The window (4× the request) avoids shredding a huge
+    // unreferenced block when a snug referenced one exists.
+    let above = |tier: &BTreeSet<(u64, PBlockId)>| tier.range((bsize, u64::MAX)..).next().copied();
+    if let Some((size, pid)) = above(unref) {
+        if size <= bsize.saturating_mul(4) {
+            return BestFit::Single(pid);
+        }
+    }
+    let smallest_any = [above(unref), above(blocked), above(available)]
+        .into_iter()
+        .flatten()
+        .min();
+    if let Some((_, pid)) = smallest_any {
+        return BestFit::Single(pid);
+    }
+    // S3/S4: accumulate candidates in descending size order until they cover
+    // the request (greedy, as in Algorithm 1 lines 11-13) — in increasing
+    // [`StitchCost`] order: unreferenced blocks first, then blocks whose
+    // cached views are blocked anyway, and only as a last resort blocks
+    // belonging to a fully-inactive cached view (consuming those poisons a
+    // ready exact-match candidate and is what sustains re-stitch limit
+    // cycles on periodic workloads). Unlike the reference, each pass walks
+    // only its own tier: the work is sized by the candidates taken, not by
+    // three closure-evaluating sweeps of the whole pool.
+    let mut ids = Vec::new();
+    let mut sum = 0u64;
+    for tier in &p_index.tiers {
+        for &(size, pid) in tier.iter().rev() {
+            debug_assert!(size < bsize, "larger blocks were handled above");
+            if size < frag_limit {
+                continue; // too small to be worth stitching
+            }
+            ids.push(pid);
+            sum += size;
+            if sum >= bsize {
+                return BestFit::Multiple { ids, sum };
+            }
+        }
+    }
+    BestFit::Insufficient { ids, sum }
+}
+
+/// The pre-index transcription of Algorithm 1: a single flat `(size, id)`
+/// set plus a per-block `stitch_cost` closure, making up to three full
+/// passes over the pool. Retained as the differential oracle (property
+/// tests assert it agrees with [`best_fit_indexed`] on every case) and as
+/// the baseline the `bestfit_scaling` benchmark measures against.
+pub(crate) fn best_fit_reference(
     bsize: u64,
     s_inactive: &BTreeSet<(u64, SBlockId)>,
     p_inactive: &BTreeSet<(u64, PBlockId)>,
@@ -66,10 +216,7 @@ pub(crate) fn best_fit(
     stitch_cost: impl Fn(PBlockId) -> StitchCost,
 ) -> BestFit {
     debug_assert!(bsize > 0);
-    // S1: exact match. sBlocks are checked first: reusing a cached stitched
-    // block is the paper's steady-state fast path. Among equal-size exact
-    // pBlocks, unreferenced ones are preferred so that blocks woven into
-    // cached sBlocks stay available to those sBlocks.
+    // S1: exact match, sBlocks first; unreferenced exact pBlocks preferred.
     if let Some(&(_, sid)) = s_inactive.range((bsize, 0)..=(bsize, u64::MAX)).next() {
         return BestFit::ExactS(sid);
     }
@@ -85,10 +232,7 @@ pub(crate) fn best_fit(
     if let Some(pid) = exact_any {
         return BestFit::ExactP(pid);
     }
-    // S2: single pBlock larger than the request — the smallest unreferenced
-    // one if any exists within a reasonable window, else the smallest
-    // overall. The window (4× the request) avoids shredding a huge
-    // unreferenced block when a snug referenced one exists.
+    // S2: smallest larger block, preferring unreferenced within a 4× window.
     let mut smallest_any: Option<PBlockId> = None;
     for &(size, pid) in p_inactive.range((bsize, u64::MAX)..) {
         if smallest_any.is_none() {
@@ -104,20 +248,11 @@ pub(crate) fn best_fit(
     if let Some(pid) = smallest_any {
         return BestFit::Single(pid);
     }
-    // S3/S4: accumulate candidates in descending size order until they cover
-    // the request (greedy, as in Algorithm 1 lines 11-13) — in increasing
-    // [`StitchCost`] order: unreferenced blocks first, then blocks whose
-    // cached views are blocked anyway, and only as a last resort blocks
-    // belonging to a fully-inactive cached view (consuming those poisons a
-    // ready exact-match candidate and is what sustains re-stitch limit
-    // cycles on periodic workloads).
+    // S3/S4: greedy accumulation in descending size order, one full pass per
+    // cost tier.
     let mut ids = Vec::new();
     let mut sum = 0u64;
-    for pass in [
-        StitchCost::Unreferenced,
-        StitchCost::ReferencedBlocked,
-        StitchCost::ReferencedAvailable,
-    ] {
+    for pass in StitchCost::ALL {
         for &(size, pid) in p_inactive.iter().rev() {
             debug_assert!(size < bsize, "larger blocks were handled above");
             if size < frag_limit {
@@ -162,6 +297,28 @@ mod tests {
         }
     }
 
+    /// Runs both implementations on the same input and asserts they agree;
+    /// every test below therefore doubles as a reference/indexed oracle.
+    fn best_fit(
+        bsize: u64,
+        s_inactive: &BTreeSet<(u64, SBlockId)>,
+        p_inactive: &BTreeSet<(u64, PBlockId)>,
+        frag_limit: u64,
+        stitch_cost: impl Fn(PBlockId) -> StitchCost,
+    ) -> BestFit {
+        let mut index = TieredPIndex::new();
+        for &(size, pid) in p_inactive {
+            index.insert(stitch_cost(pid), size, pid);
+        }
+        let reference = best_fit_reference(bsize, s_inactive, p_inactive, frag_limit, stitch_cost);
+        let indexed = best_fit_indexed(bsize, s_inactive, &index, frag_limit);
+        assert_eq!(
+            reference, indexed,
+            "indexed best_fit diverged from the reference for bsize={bsize}"
+        );
+        indexed
+    }
+
     #[test]
     fn exact_sblock_wins_over_everything() {
         let s = set(&[(100, 1)]);
@@ -179,6 +336,22 @@ mod tests {
         assert_eq!(
             best_fit(100, &s, &p, NO_LIMIT, unreferenced),
             BestFit::ExactP(2)
+        );
+    }
+
+    #[test]
+    fn exact_pblock_prefers_unreferenced_then_lowest_id() {
+        let s = BTreeSet::new();
+        let p = set(&[(100, 1), (100, 2), (100, 3)]);
+        // 1 and 2 belong to available views; 3 is free-standing.
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, available(&[1, 2])),
+            BestFit::ExactP(3)
+        );
+        // All referenced: fall back to the lowest id.
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, available(&[1, 2, 3])),
+            BestFit::ExactP(1)
         );
     }
 
@@ -335,5 +508,51 @@ mod tests {
                 sum: 170
             }
         );
+    }
+
+    #[test]
+    fn oversized_unreferenced_block_outside_window_still_serves_single() {
+        // The only block is unreferenced but beyond the 4x window: the
+        // reference breaks out before the cost check and falls back to it.
+        let s = BTreeSet::new();
+        let p = set(&[(1000, 1)]);
+        assert_eq!(
+            best_fit(100, &s, &p, NO_LIMIT, unreferenced),
+            BestFit::Single(1)
+        );
+    }
+
+    #[test]
+    fn blocked_tier_is_consumed_before_available_tier() {
+        let s = BTreeSet::new();
+        let p = set(&[(60, 1), (50, 2), (40, 3)]);
+        let cost = |pid: PBlockId| match pid {
+            1 => StitchCost::ReferencedAvailable,
+            2 => StitchCost::ReferencedBlocked,
+            _ => StitchCost::ReferencedBlocked,
+        };
+        // Blocked blocks 2+3 cover 90 without poisoning the available view.
+        assert_eq!(
+            best_fit(90, &s, &p, NO_LIMIT, cost),
+            BestFit::Multiple {
+                ids: vec![2, 3],
+                sum: 90
+            }
+        );
+    }
+
+    #[test]
+    fn tiered_index_roundtrips_and_reports_tiers() {
+        let mut idx = TieredPIndex::new();
+        idx.insert(StitchCost::Unreferenced, 10, 1);
+        idx.insert(StitchCost::ReferencedAvailable, 20, 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.tier_of(10, 1), Some(StitchCost::Unreferenced));
+        assert_eq!(idx.tier_of(20, 2), Some(StitchCost::ReferencedAvailable));
+        assert_eq!(idx.tier_of(10, 2), None);
+        assert_eq!(idx.to_flat(), set(&[(10, 1), (20, 2)]));
+        assert!(idx.remove(StitchCost::Unreferenced, 10, 1));
+        assert!(!idx.remove(StitchCost::Unreferenced, 10, 1));
+        assert_eq!(idx.len(), 1);
     }
 }

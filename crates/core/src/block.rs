@@ -13,6 +13,8 @@ use std::collections::BTreeSet;
 use gmlake_alloc_api::{AllocationId, VirtAddr};
 use gmlake_gpu_sim::PhysHandle;
 
+use crate::bestfit::StitchCost;
+
 /// Identifier of a pBlock within one allocator.
 pub(crate) type PBlockId = u64;
 /// Identifier of an sBlock within one allocator.
@@ -34,6 +36,11 @@ pub(crate) struct PBlock {
     pub assigned_to: Option<AllocationId>,
     /// sBlocks whose mapping includes this pBlock's chunks.
     pub referenced_by: BTreeSet<SBlockId>,
+    /// Cached stitch-cost tier — which partition of the inactive index this
+    /// block sits in while inactive. Maintained incrementally by the
+    /// allocator as references and sBlock availability change, so `BestFit`
+    /// never has to re-derive it.
+    pub tier: StitchCost,
 }
 
 impl PBlock {
@@ -45,6 +52,7 @@ impl PBlock {
             active: false,
             assigned_to: None,
             referenced_by: BTreeSet::new(),
+            tier: StitchCost::Unreferenced,
         }
     }
 }
@@ -60,6 +68,11 @@ pub(crate) struct SBlock {
     pub assigned_to: Option<AllocationId>,
     /// Monotone tick of the last assignment, for LRU eviction.
     pub lru_tick: u64,
+    /// Number of `parts` currently active. The sBlock is fully inactive
+    /// (eligible for exact matches and eviction) exactly when this is zero —
+    /// maintained incrementally so activity flips never re-scan the part
+    /// list.
+    pub active_parts: usize,
 }
 
 impl SBlock {
@@ -70,6 +83,7 @@ impl SBlock {
             parts,
             assigned_to: None,
             lru_tick: tick,
+            active_parts: 0,
         }
     }
 }

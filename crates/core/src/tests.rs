@@ -65,7 +65,14 @@ fn free_then_same_size_is_exact_match() {
     let b = l.allocate(AllocRequest::new(mib(10))).unwrap();
     assert_eq!(b.va, a.va, "same pBlock reused");
     assert_eq!(l.state_counters().exact, 1);
-    assert_eq!(l.driver().stats().create.calls, 5, "no new chunks");
+    // The first allocation created its 5 chunks in one batched driver call;
+    // the exact match created nothing.
+    assert_eq!(l.driver().stats().create.calls, 1, "no new create calls");
+    assert_eq!(
+        l.driver().snapshot().phys_created_total,
+        mib(10),
+        "no new chunks"
+    );
     l.validate().unwrap();
 }
 
@@ -589,4 +596,111 @@ fn compact_on_empty_allocator_is_a_noop() {
     let mut l = lake();
     assert_eq!(l.compact(), 0);
     l.validate().unwrap();
+}
+
+#[test]
+fn slab_slots_are_recycled_after_destroy() {
+    // Destroying blocks vacates slab slots; later blocks reuse them. The
+    // reuse-after-destroy invariants are part of `validate()`.
+    let mut l = lake();
+    let a = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let b = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    l.deallocate(a.id).unwrap();
+    l.deallocate(b.id).unwrap();
+    let c = l.allocate(AllocRequest::new(mib(10))).unwrap(); // stitched view
+    l.deallocate(c.id).unwrap();
+    assert_eq!(l.pblock_count(), 2);
+    assert_eq!(l.sblock_count(), 1);
+    assert_eq!(l.release_cached(), mib(10), "all structures destroyed");
+    assert_eq!((l.pblock_count(), l.sblock_count()), (0, 0));
+    l.validate().unwrap();
+    // Fresh blocks land in the recycled slots; every index stays coherent.
+    let d = l.allocate(AllocRequest::new(mib(8))).unwrap();
+    let e = l.allocate(AllocRequest::new(mib(2))).unwrap();
+    assert_eq!(l.pblock_count(), 2);
+    l.validate().unwrap();
+    l.deallocate(d.id).unwrap();
+    l.deallocate(e.id).unwrap();
+    let f = l.allocate(AllocRequest::new(mib(10))).unwrap(); // restitches
+    assert_eq!(f.size, mib(10));
+    l.validate().unwrap();
+}
+
+mod bestfit_oracle {
+    //! Differential oracle: after every step of a random allocator program,
+    //! the indexed `BestFit` must agree *exactly* with the retained
+    //! reference implementation (and every incremental index must satisfy
+    //! `validate()`).
+
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Allocate this many bytes (rounded internally).
+        Alloc(u64),
+        /// Free the n-th (mod live count) live allocation.
+        Free(usize),
+        /// Proactive defrag pass (sPool GC + dead-fragment release).
+        Compact,
+        /// Surrender every cached structure.
+        ReleaseCached,
+        /// Iteration boundary (convergence accounting).
+        Boundary,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            6 => (1u64..16 * 1024 * 1024).prop_map(Op::Alloc),
+            5 => any::<usize>().prop_map(Op::Free),
+            1 => Just(Op::Compact),
+            1 => Just(Op::ReleaseCached),
+            1 => Just(Op::Boundary),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn indexed_bestfit_matches_reference(
+            ops in proptest::collection::vec(op_strategy(), 1..120)
+        ) {
+            let dev = DeviceConfig::small_test()
+                .with_capacity(mib(64))
+                .with_backing(false);
+            // A tiny sPool keeps `StitchFree` eviction in play.
+            let mut l = lake_with(dev, test_config().with_max_sblocks(12));
+            let mut live: Vec<AllocationId> = Vec::new();
+            let probes = [
+                mib(2), mib(3), mib(4), mib(6), mib(10), mib(16), mib(40), mib(200),
+            ];
+            for op in &ops {
+                match op {
+                    Op::Alloc(size) => match l.allocate(AllocRequest::new(*size)) {
+                        Ok(a) => live.push(a.id),
+                        Err(AllocError::OutOfMemory { .. }) => {}
+                        Err(e) => panic!("unexpected allocator error: {e}"),
+                    },
+                    Op::Free(n) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(n % live.len());
+                            l.deallocate(id).unwrap();
+                        }
+                    }
+                    Op::Compact => {
+                        l.compact();
+                    }
+                    Op::ReleaseCached => {
+                        l.release_cached();
+                    }
+                    Op::Boundary => l.iteration_boundary(),
+                }
+                l.validate().unwrap();
+                for &p in &probes {
+                    l.assert_bestfit_agrees(p);
+                }
+            }
+        }
+    }
 }

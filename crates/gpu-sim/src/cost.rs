@@ -53,6 +53,11 @@ const MEM_FREE_LINEAR_AT_2GIB: f64 = 0.05;
 const UNMAP_NORM: f64 = 0.0005;
 const RELEASE_NORM: f64 = 0.002;
 const ADDRESS_FREE_NORM: f64 = 0.001;
+/// Host-side dispatch overhead baked into every per-call VMM cost: the
+/// user→driver transition plus argument validation. A *batched* entry point
+/// (`mem_create_batch`, `mem_map_range`) pays it once for the whole batch,
+/// so batching `n` chunks saves `(n-1)` dispatches versus `n` single calls.
+const DISPATCH_NORM: f64 = 0.0003;
 /// Host-side bookkeeping of a pool allocator (hash/tree operations) per
 /// (de)allocation, in nanoseconds. The paper reports the caching allocator is
 /// ~10× faster end to end than the native path; sub-microsecond bookkeeping
@@ -135,6 +140,33 @@ impl CostModel {
     /// Cost of one `cuMemMap` of a chunk of `chunk_size` bytes.
     pub fn map_ns(&self, chunk_size: u64) -> u64 {
         self.to_ns(interp_log(&MAP_PTS, chunk_size))
+    }
+
+    /// Per-call dispatch overhead (see [`DISPATCH_NORM`]): the fixed cost a
+    /// batched entry point amortizes over its whole batch.
+    pub fn dispatch_ns(&self) -> u64 {
+        self.to_ns(DISPATCH_NORM)
+    }
+
+    /// Cost of one *batched* create of `n` chunks of `chunk_size` bytes:
+    /// the full per-call cost once, then the dispatch-free marginal cost
+    /// for the remaining `n - 1` chunks. Equals `n` single calls minus
+    /// `(n-1)` amortized dispatches.
+    pub fn create_batch_ns(&self, chunk_size: u64, n: u64) -> u64 {
+        Self::amortized(self.create_ns(chunk_size), self.dispatch_ns(), n)
+    }
+
+    /// Cost of one *batched* map of `n` contiguous chunks of `chunk_size`
+    /// bytes (same amortization as [`CostModel::create_batch_ns`]).
+    pub fn map_range_ns(&self, chunk_size: u64, n: u64) -> u64 {
+        Self::amortized(self.map_ns(chunk_size), self.dispatch_ns(), n)
+    }
+
+    fn amortized(per_call: u64, dispatch: u64, n: u64) -> u64 {
+        match n {
+            0 => 0,
+            n => per_call + (n - 1) * per_call.saturating_sub(dispatch),
+        }
     }
 
     /// Cost of one `cuMemUnmap`.
@@ -267,6 +299,30 @@ mod tests {
         assert_eq!(m.set_access_ns(mib(2)), 0);
         assert_eq!(m.host_op_ns(), 0);
         assert_eq!(m.memcpy_ns(mib(100)), 0);
+        assert_eq!(m.create_batch_ns(mib(2), 100), 0);
+        assert_eq!(m.map_range_ns(mib(2), 100), 0);
+    }
+
+    #[test]
+    fn batch_costs_amortize_exactly_one_dispatch_per_extra_chunk() {
+        let m = CostModel::calibrated();
+        for n in [1u64, 2, 16, 512] {
+            assert_eq!(
+                m.create_batch_ns(mib(2), n),
+                n * m.create_ns(mib(2)) - (n - 1) * m.dispatch_ns()
+            );
+            assert_eq!(
+                m.map_range_ns(mib(2), n),
+                n * m.map_ns(mib(2)) - (n - 1) * m.dispatch_ns()
+            );
+        }
+        assert_eq!(m.create_batch_ns(mib(2), 0), 0);
+        // The dispatch overhead never exceeds the cheapest per-call cost at
+        // any Figure-6 chunk size, so marginal costs stay positive.
+        for chunk in figure6_chunk_sizes() {
+            assert!(m.dispatch_ns() < m.map_ns(chunk), "chunk {chunk}");
+            assert!(m.dispatch_ns() < m.create_ns(chunk), "chunk {chunk}");
+        }
     }
 
     #[test]

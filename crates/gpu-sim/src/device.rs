@@ -145,6 +145,23 @@ impl DriverStats {
     pub fn allocator_time_ns(&self) -> u64 {
         self.vmm_time_ns() + self.native_time_ns()
     }
+
+    /// Total driver entries across every API (copies included). Batched
+    /// entry points (`mem_create_batch`, `mem_map_range`) count as one call
+    /// each, so this is the number of lock round-trips an allocator cost
+    /// the device — the quantity batching drives down.
+    pub fn total_calls(&self) -> u64 {
+        self.mem_alloc.calls
+            + self.mem_free.calls
+            + self.address_reserve.calls
+            + self.address_free.calls
+            + self.create.calls
+            + self.release.calls
+            + self.map.calls
+            + self.unmap.calls
+            + self.set_access.calls
+            + self.memcpy.calls
+    }
 }
 
 /// A point-in-time view of device occupancy (all counters in bytes unless
@@ -219,6 +236,7 @@ mod tests {
         assert_eq!(s.native_time_ns(), 100);
         assert_eq!(s.vmm_time_ns(), 50);
         assert_eq!(s.allocator_time_ns(), 150);
+        assert_eq!(s.total_calls(), 4);
     }
 
     #[test]

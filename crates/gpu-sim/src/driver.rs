@@ -242,6 +242,48 @@ impl CudaDriver {
         Ok(h)
     }
 
+    /// Batched `cuMemCreate`: allocates `count` physical chunks of
+    /// `chunk_size` bytes each under a single driver entry (one lock
+    /// acquisition, one dispatch). The batch is all-or-nothing: capacity is
+    /// checked for the whole batch up front, so a failure leaves the device
+    /// untouched. Cost is the per-call create cost once plus the
+    /// dispatch-free marginal cost per additional chunk (see
+    /// [`CostModel::create_batch_ns`](crate::CostModel::create_batch_ns)).
+    pub fn mem_create_batch(&self, chunk_size: u64, count: usize) -> DriverResult<Vec<PhysHandle>> {
+        let mut g = self.inner.lock();
+        if chunk_size == 0 || count == 0 {
+            return Err(DriverError::ZeroSize);
+        }
+        Self::check_aligned(chunk_size, g.config.granularity)?;
+        let total = chunk_size
+            .checked_mul(count as u64)
+            .ok_or(DriverError::OutOfMemory {
+                requested: u64::MAX,
+                in_use: g.phys.in_use,
+                capacity: g.config.capacity,
+            })?;
+        if total > g.config.capacity.saturating_sub(g.phys.in_use) {
+            return Err(DriverError::OutOfMemory {
+                requested: total,
+                in_use: g.phys.in_use,
+                capacity: g.config.capacity,
+            });
+        }
+        let backing = g.config.backing;
+        let capacity = g.config.capacity;
+        let handles: Vec<PhysHandle> = (0..count)
+            .map(|_| {
+                g.phys
+                    .create(chunk_size, capacity, backing)
+                    .expect("batch capacity checked up front")
+            })
+            .collect();
+        let ns = g.config.cost.create_batch_ns(chunk_size, count as u64);
+        g.clock.advance(ns);
+        g.stats.create.record(ns);
+        Ok(handles)
+    }
+
     /// `cuMemRelease`: drops the creation reference of `h`. Physical memory
     /// is freed once no mapping references it.
     pub fn mem_release(&self, h: PhysHandle) -> DriverResult<()> {
@@ -279,6 +321,66 @@ impl CudaDriver {
             return Err(e);
         }
         let ns = g.config.cost.map_ns(size);
+        g.clock.advance(ns);
+        g.stats.map.record(ns);
+        Ok(())
+    }
+
+    /// Batched `cuMemMap`: maps `handles[i]` (offset 0) at
+    /// `va + i * chunk_size` for every `i`, under a single driver entry.
+    /// Each handle must hold at least `chunk_size` bytes; the target ranges
+    /// must lie inside one reservation and be unmapped. On any failure,
+    /// mappings made so far are rolled back (strong exception safety).
+    /// Advances the clock by the per-call map cost once plus the
+    /// dispatch-free marginal cost per additional chunk — identical to the
+    /// equivalent [`CudaDriver::mem_map`] sequence minus the amortized
+    /// dispatch overhead — and records **one** `map` call in the telemetry.
+    pub fn mem_map_range(
+        &self,
+        va: VirtAddr,
+        chunk_size: u64,
+        handles: &[PhysHandle],
+    ) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        if handles.is_empty() || chunk_size == 0 {
+            return Err(DriverError::ZeroSize);
+        }
+        let gran = g.config.granularity;
+        Self::check_aligned(va.as_u64(), gran)?;
+        Self::check_aligned(chunk_size, gran)?;
+        // Validate handle bounds before any mutation.
+        for &h in handles {
+            let hsize = g.phys.size_of(h)?;
+            if chunk_size > hsize {
+                return Err(DriverError::HandleRangeOutOfBounds {
+                    handle: h.as_u64(),
+                    offset: 0,
+                    len: chunk_size,
+                    size: hsize,
+                });
+            }
+        }
+        for (i, &h) in handles.iter().enumerate() {
+            let at = va.offset(i as u64 * chunk_size);
+            let result = g.phys.add_map(h).and_then(|()| {
+                g.va.map(at, chunk_size, h, 0).inspect_err(|_| {
+                    g.phys.remove_map(h).expect("just added");
+                })
+            });
+            if let Err(e) = result {
+                // Roll the partial batch back.
+                for j in 0..i {
+                    let undone =
+                        g.va.unmap(va.offset(j as u64 * chunk_size), chunk_size)
+                            .expect("mapped above");
+                    for u in undone {
+                        g.phys.remove_map(u).expect("mapping existed");
+                    }
+                }
+                return Err(e);
+            }
+        }
+        let ns = g.config.cost.map_range_ns(chunk_size, handles.len() as u64);
         g.clock.advance(ns);
         g.stats.map.record(ns);
         Ok(())
@@ -553,6 +655,85 @@ mod tests {
     fn driver_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CudaDriver>();
+    }
+
+    #[test]
+    fn map_range_advances_clock_like_per_chunk_maps_minus_dispatch() {
+        // The batched map must cost exactly the per-chunk sequence minus the
+        // amortized dispatch overhead — the cost-model contract.
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let gran = cfg.granularity;
+        let n = 8u64;
+
+        let single = CudaDriver::new(cfg.clone());
+        let va = single.mem_address_reserve(n * gran).unwrap();
+        let handles: Vec<PhysHandle> = (0..n).map(|_| single.mem_create(gran).unwrap()).collect();
+        let t0 = single.now_ns();
+        for (i, &h) in handles.iter().enumerate() {
+            single
+                .mem_map(va.offset(i as u64 * gran), gran, 0, h)
+                .unwrap();
+        }
+        let per_chunk_ns = single.now_ns() - t0;
+
+        let batched = CudaDriver::new(cfg);
+        let va2 = batched.mem_address_reserve(n * gran).unwrap();
+        let handles2 = batched.mem_create_batch(gran, n as usize).unwrap();
+        let t1 = batched.now_ns();
+        batched.mem_map_range(va2, gran, &handles2).unwrap();
+        let range_ns = batched.now_ns() - t1;
+
+        let dispatch = batched.cost_model().dispatch_ns();
+        assert_eq!(range_ns, per_chunk_ns - (n - 1) * dispatch);
+        // Telemetry counts one call for the whole range, n for the sequence.
+        assert_eq!(batched.stats().map.calls, 1);
+        assert_eq!(single.stats().map.calls, n);
+        // The mapped state is identical either way.
+        assert_eq!(batched.snapshot().mappings, single.snapshot().mappings);
+    }
+
+    #[test]
+    fn create_batch_is_all_or_nothing_on_oom() {
+        let d = test_driver(); // 256 MiB capacity
+        let gran = d.granularity();
+        let before = d.snapshot();
+        // 200 chunks of 2 MiB = 400 MiB > 256 MiB: nothing must be created.
+        let err = d.mem_create_batch(gran, 200).unwrap_err();
+        assert!(
+            matches!(err, DriverError::OutOfMemory { requested, .. } if requested == 200 * gran)
+        );
+        assert_eq!(d.snapshot(), before);
+        // A fitting batch creates every chunk and counts one driver call.
+        let handles = d.mem_create_batch(gran, 4).unwrap();
+        assert_eq!(handles.len(), 4);
+        assert_eq!(d.phys_in_use(), 4 * gran);
+        assert_eq!(d.stats().create.calls, 1);
+        for h in handles {
+            d.mem_release(h).unwrap();
+        }
+    }
+
+    #[test]
+    fn map_range_rejects_empty_and_rolls_back_on_overlap() {
+        let d = test_driver();
+        let gran = d.granularity();
+        assert!(matches!(
+            d.mem_map_range(VirtAddr::new(0), gran, &[]).unwrap_err(),
+            DriverError::ZeroSize
+        ));
+        // A pre-existing mapping in the middle of the target range forces a
+        // mid-batch failure; the first chunk's mapping must be rolled back.
+        let va = d.mem_address_reserve(3 * gran).unwrap();
+        let blocker = d.mem_create(gran).unwrap();
+        d.mem_map(va.offset(gran), gran, 0, blocker).unwrap();
+        let batch = d.mem_create_batch(gran, 2).unwrap();
+        let err = d.mem_map_range(va, gran, &batch).unwrap_err();
+        assert!(matches!(err, DriverError::AlreadyMapped(_)));
+        assert_eq!(d.snapshot().mappings, 1, "only the blocker survives");
+        // The rolled-back handles are still mappable elsewhere.
+        let va2 = d.mem_address_reserve(2 * gran).unwrap();
+        d.mem_map_range(va2, gran, &batch).unwrap();
+        assert_eq!(d.snapshot().mappings, 3);
     }
 
     #[test]

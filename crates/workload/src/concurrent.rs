@@ -34,7 +34,7 @@
 //! # Ok::<(), gmlake_runtime::RuntimeError>(())
 //! ```
 
-use gmlake_gpu_sim::CudaDriver;
+use gmlake_gpu_sim::{CudaDriver, DriverStats};
 use gmlake_runtime::{DeviceId, PoolService, RuntimeError};
 
 use crate::generator::TraceGenerator;
@@ -74,6 +74,16 @@ pub struct RankReport {
     pub device: DeviceId,
     /// The full sequential-replayer report for this rank.
     pub report: ReplayReport,
+    /// Per-API driver telemetry of the rank's device at the end of the
+    /// replay. `driver_stats.total_calls()` is the number of driver
+    /// lock round-trips the rank cost its device — the quantity the batched
+    /// VMM entry points (`mem_create_batch` / `mem_map_range`) drive down.
+    ///
+    /// This is a *device-global* snapshot: it equals the rank's own traffic
+    /// only under the standard one-rank-per-device setup (which every
+    /// scale-out harness here uses). Ranks sharing a `DeviceId` would each
+    /// see the combined device stats.
+    pub driver_stats: DriverStats,
 }
 
 /// Aggregated outcome of a concurrent scale-out replay.
@@ -111,6 +121,26 @@ impl ScaleoutReport {
     /// no-defrag run keeps them.
     pub fn total_final_reserved(&self) -> u64 {
         self.ranks.iter().map(|r| r.report.final_reserved).sum()
+    }
+
+    /// Total driver calls across every rank's device (batched entry points
+    /// count once — see [`DriverStats::total_calls`]). Assumes the standard
+    /// one-rank-per-device fleet; see [`RankReport::driver_stats`].
+    pub fn total_driver_calls(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.driver_stats.total_calls())
+            .sum()
+    }
+
+    /// Mean per-rank driver-call count, for scale-out tables.
+    pub fn mean_driver_calls(&self) -> f64 {
+        let calls: Vec<f64> = self
+            .ranks
+            .iter()
+            .map(|r| r.driver_stats.total_calls() as f64)
+            .collect();
+        mean(&calls)
     }
 
     /// Fleet steady-state throughput (samples per simulated second).
@@ -184,6 +214,7 @@ impl ConcurrentReplayer {
                         RankReport {
                             device: spec.device,
                             report,
+                            driver_stats: spec.driver.stats(),
                         }
                     })
                 })
@@ -251,7 +282,16 @@ mod tests {
         for w in report.ranks.windows(2) {
             assert_eq!(w[0].report.peak_reserved, w[1].report.peak_reserved);
             assert_eq!(w[0].report.peak_active, w[1].report.peak_active);
+            assert_eq!(
+                w[0].driver_stats.total_calls(),
+                w[1].driver_stats.total_calls()
+            );
         }
+        assert!(report.total_driver_calls() > 0);
+        assert!(
+            (report.mean_driver_calls() * 4.0 - report.total_driver_calls() as f64).abs() < 1e-6,
+            "mirrored ranks: mean x ranks == total"
+        );
         // Submission order is preserved.
         let devices: Vec<u32> = report.ranks.iter().map(|r| r.device.0).collect();
         assert_eq!(devices, vec![0, 1, 2, 3]);
