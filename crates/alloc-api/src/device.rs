@@ -1,0 +1,922 @@
+//! The concurrent allocator front-end: a cloneable, `Send + Sync`
+//! [`DeviceAllocator`] that wraps any [`AllocatorCore`] and shards small
+//! allocation traffic away from the core's mutex.
+//!
+//! # Why a front-end?
+//!
+//! GMLake's promise is that defragmentation stays off the training critical
+//! path — but a shared pool whose every operation funnels through one mutex
+//! re-serializes the ranks at the allocator instead. The front-end splits
+//! the traffic the way PyTorch's stream-aware caching allocator does:
+//!
+//! * **Small requests** (below the stitch threshold, 2 MiB by default) are
+//!   served from N sharded per-size-class free-list caches, each guarded by
+//!   its own lock. A request's size class picks its shard; the shard holds
+//!   the class's free list, the live table of the ids it minted, and the
+//!   statistics counters, so a warm allocate/deallocate pair costs exactly
+//!   one short shard-lock acquisition each — threads working on different
+//!   size classes never contend, and none of them ever waits behind stitch
+//!   work.
+//! * **Large / stitch traffic** and shard misses fall back to the wrapped
+//!   core behind a single mutex, exactly as before.
+//!
+//! Front-end ids encode their shard in the low bits (and live in the upper
+//! half of the id space, disjoint from every core's sequential ids), so a
+//! deallocation routes back to the owning shard without any shared lookup.
+//!
+//! The cache is transparent: blocks parked in a shard remain "live" from
+//! the core's perspective and are returned to it by [`DeviceAllocator::flush`]
+//! (which [`DeviceAllocator::release_cached`], [`DeviceAllocator::compact`],
+//! and the out-of-memory retry path run automatically), so defragmentation
+//! and OOM rescue still see every cached byte.
+//!
+//! # Example
+//!
+//! ```
+//! use gmlake_alloc_api::{AllocRequest, DeviceAllocator, kib};
+//! # use gmlake_alloc_api::{AllocatorCore, AllocError, Allocation, AllocationId, MemStats, VirtAddr};
+//! # #[derive(Default)]
+//! # struct TestCore { next: u64, live: std::collections::HashMap<AllocationId, u64>, stats: MemStats }
+//! # impl AllocatorCore for TestCore {
+//! #     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+//! #         if req.size == 0 { return Err(AllocError::ZeroSize); }
+//! #         self.next += 1;
+//! #         let id = AllocationId::new(self.next);
+//! #         self.live.insert(id, req.size);
+//! #         self.stats.on_alloc(req.size, req.size);
+//! #         let r = self.stats.active_bytes;
+//! #         self.stats.set_reserved(r);
+//! #         Ok(Allocation { id, va: VirtAddr::new(self.next << 20), size: req.size, requested: req.size })
+//! #     }
+//! #     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+//! #         let size = self.live.remove(&id).ok_or(AllocError::UnknownAllocation(id))?;
+//! #         self.stats.on_free(size);
+//! #         Ok(())
+//! #     }
+//! #     fn stats(&self) -> MemStats { self.stats }
+//! #     fn name(&self) -> &'static str { "test-core" }
+//! # }
+//! let pool = DeviceAllocator::new(TestCore::default());
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let pool = pool.clone();
+//!         s.spawn(move || {
+//!             for _ in 0..64 {
+//!                 let a = pool.allocate(AllocRequest::new(kib(64 + t))).unwrap();
+//!                 pool.deallocate(a.id).unwrap();
+//!             }
+//!         });
+//!     }
+//! });
+//! let stats = pool.stats();
+//! assert_eq!(stats.alloc_count, 4 * 64);
+//! assert_eq!(stats.active_bytes, 0);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::AllocError;
+use crate::request::{AllocRequest, Allocation};
+use crate::stats::MemStats;
+use crate::traits::AllocatorCore;
+use crate::types::{mib, AllocationId, VirtAddr};
+
+/// Front-end allocation ids live in the top half of the id space so they can
+/// never collide with a core's sequential ids.
+const FRONT_ID_BASE: u64 = 1 << 63;
+
+/// Smallest size class (bytes): requests below this round up to it.
+const MIN_CLASS: u64 = 512;
+
+/// Multiply-shift hasher for the shard maps: every key is a `u64` (size
+/// class or front-end id), so a single multiply + xor-shift beats the
+/// default SipHash by a wide margin on the hot path.
+#[derive(Default)]
+struct U64MixHasher(u64);
+
+impl Hasher for U64MixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        self.0 = h;
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused on the hot path).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+type U64Map<V> = HashMap<u64, V, BuildHasherDefault<U64MixHasher>>;
+
+/// Tuning knobs of the [`DeviceAllocator`] front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAllocatorConfig {
+    /// Requests strictly below this size take the sharded fast path
+    /// (default: 2 MiB, GMLake's stitch threshold — everything the stitching
+    /// machinery would not touch anyway). `0` disables the fast path
+    /// entirely, degenerating to the single-mutex behaviour of the old
+    /// `SharedAllocator`; benches use this as the contention baseline.
+    pub small_threshold: u64,
+    /// Number of cache shards (rounded up to a power of two, default 16).
+    pub shards: usize,
+    /// Maximum cached blocks per size class; overflowing frees go straight
+    /// back to the core (default 64).
+    pub max_cached_per_class: usize,
+}
+
+impl Default for DeviceAllocatorConfig {
+    fn default() -> Self {
+        DeviceAllocatorConfig {
+            small_threshold: mib(2),
+            shards: 16,
+            max_cached_per_class: 64,
+        }
+    }
+}
+
+impl DeviceAllocatorConfig {
+    /// Sets the fast-path threshold (`0` disables the fast path).
+    #[must_use]
+    pub fn with_small_threshold(mut self, small_threshold: u64) -> Self {
+        self.small_threshold = small_threshold;
+        self
+    }
+
+    /// Sets the shard count (rounded up to a power of two).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-size-class cache capacity.
+    #[must_use]
+    pub fn with_max_cached_per_class(mut self, max: usize) -> Self {
+        self.max_cached_per_class = max;
+        self
+    }
+}
+
+/// A core allocation parked in (or in flight between) the shard caches.
+#[derive(Debug, Clone, Copy)]
+struct CachedBlock {
+    /// The id the wrapped core knows this block by.
+    core_id: AllocationId,
+    va: VirtAddr,
+    size: u64,
+}
+
+/// A live small allocation handed out under a front-end id.
+#[derive(Debug, Clone, Copy)]
+struct LiveSmall {
+    block: CachedBlock,
+    /// Size class of the original request — the free-list key the block
+    /// returns to on deallocation.
+    class: u64,
+}
+
+/// Counters reconciling one shard's fast-path activity with the core's
+/// `MemStats`. Guarded by the shard lock, so the hot path pays no atomic
+/// read-modify-writes; [`DeviceAllocator::stats`] aggregates across shards.
+///
+/// A cache *hit* hands out a block the core still counts as active, and a
+/// cached *free* parks a block the core never sees freed — these counters
+/// carry the difference, so the aggregate stays exact whenever the pool is
+/// quiescent (and a faithful snapshot under concurrency).
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardStats {
+    /// Allocations served from the cache (the core saw nothing).
+    hits: u64,
+    /// Fast-path allocations that fell through to the core.
+    misses: u64,
+    /// Frees absorbed by the fast path (the core saw nothing — yet).
+    fast_frees: u64,
+    /// Core-side deallocations performed for cache maintenance (flush and
+    /// per-class overflow); each undoes the core-visible half of a free
+    /// already counted in `fast_frees`.
+    cache_returns: u64,
+    /// Bytes requested by cache hits (the core never saw the requests).
+    requested: u64,
+    /// Bytes of size-class rounding the core recorded as "requested" on
+    /// fast-path misses, subtracted back out of the aggregate.
+    requested_inflation: u64,
+    /// Bytes currently parked in this shard (active from the core's
+    /// perspective, free from the caller's).
+    cached_bytes: u64,
+    /// Blocks currently parked in this shard.
+    cached_blocks: u64,
+}
+
+/// One shard: the free lists of the size classes that hash here, the live
+/// table of the front-end ids this shard minted, its id sequence, and its
+/// statistics — everything one warm allocate or deallocate touches, behind
+/// one lock.
+#[derive(Debug, Default)]
+struct Shard {
+    free: U64Map<Vec<CachedBlock>>,
+    live: U64Map<LiveSmall>,
+    next_seq: u64,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// Mints a fresh front-end id owned by shard `index`: the shard index
+    /// rides in the low bits (so deallocation routes back here without any
+    /// shared lookup) and the top bit marks the id as front-end-minted.
+    #[inline]
+    fn mint(&mut self, index: usize, shard_bits: u32) -> u64 {
+        self.next_seq += 1;
+        FRONT_ID_BASE | (self.next_seq << shard_bits) | index as u64
+    }
+}
+
+/// Point-in-time cache telemetry (see [`DeviceAllocator::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceCacheStats {
+    /// Fast-path allocations served without touching the core mutex.
+    pub hits: u64,
+    /// Fast-path allocations that fell through to the core.
+    pub misses: u64,
+    /// Bytes currently parked in the shard caches.
+    pub cached_bytes: u64,
+    /// Blocks currently parked in the shard caches.
+    pub cached_blocks: u64,
+    /// Number of cache shards.
+    pub shards: usize,
+}
+
+struct Inner {
+    core: Mutex<Box<dyn AllocatorCore + Send>>,
+    /// Backend name, captured at construction so `name()` never locks.
+    name: &'static str,
+    small_threshold: u64,
+    max_cached_per_class: usize,
+    shard_mask: u64,
+    shard_bits: u32,
+    shards: Box<[Mutex<Shard>]>,
+}
+
+/// The concurrent allocator front-end: cloneable, `Send + Sync`, `&self` on
+/// every call. See the [module docs](self) for the routing design.
+///
+/// This is the only type the runtime, the workload replayers, the examples,
+/// and the benches speak to when a pool is shared between threads; the
+/// wrapped [`AllocatorCore`] stays single-owner behind the front-end.
+///
+/// `DeviceAllocator` also implements [`AllocatorCore`] itself (delegating to
+/// the `&self` methods), so trait-generic code such as the sequential
+/// replayer drives a shared pool unmodified.
+#[derive(Clone)]
+pub struct DeviceAllocator {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for DeviceAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceAllocator")
+            .field("name", &self.inner.name)
+            .field("shards", &self.inner.shards.len())
+            .field("small_threshold", &self.inner.small_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Rounds a small request up to its size class (the next power of two, at
+/// least [`MIN_CLASS`]). Classing at allocation time guarantees every cached
+/// block in a class is large enough for every request of that class.
+#[inline]
+fn size_class(size: u64) -> u64 {
+    size.next_power_of_two().max(MIN_CLASS)
+}
+
+/// Fibonacci hash of a size class into a shard index.
+#[inline]
+fn class_shard_index(class: u64, mask: u64) -> usize {
+    ((class.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) & mask) as usize
+}
+
+impl DeviceAllocator {
+    /// Wraps `core` with the default [`DeviceAllocatorConfig`].
+    pub fn new<A: AllocatorCore + Send + 'static>(core: A) -> Self {
+        Self::with_config(core, DeviceAllocatorConfig::default())
+    }
+
+    /// Wraps `core` with an explicit configuration.
+    pub fn with_config<A: AllocatorCore + Send + 'static>(
+        core: A,
+        config: DeviceAllocatorConfig,
+    ) -> Self {
+        Self::from_boxed(Box::new(core), config)
+    }
+
+    /// Wraps an already-boxed core (the registry path of `gmlake-runtime`).
+    pub fn from_boxed(core: Box<dyn AllocatorCore + Send>, config: DeviceAllocatorConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        let name = core.name();
+        DeviceAllocator {
+            inner: Arc::new(Inner {
+                core: Mutex::new(core),
+                name,
+                small_threshold: config.small_threshold,
+                max_cached_per_class: config.max_cached_per_class,
+                shard_mask: shards as u64 - 1,
+                shard_bits: shards.trailing_zeros(),
+                shards: (0..shards).map(|_| Mutex::default()).collect(),
+            }),
+        }
+    }
+
+    /// Allocates through the core mutex; on out-of-memory, returns the shard
+    /// caches to the core and retries once (the core's own OOM fallbacks
+    /// cannot reach blocks parked in the front-end).
+    ///
+    /// The retry runs even when this thread's own `flush()` found the shards
+    /// empty: a concurrent flush may have drained the shards but not yet
+    /// handed its blocks to the core, and the retry — sequenced after that
+    /// flush's core deallocations by the core lock — is what rescues the
+    /// allocation in that window. The extra attempt only costs time on the
+    /// already-failing error path.
+    fn core_allocate(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let first = self.inner.core.lock().allocate(req);
+        let Err(AllocError::OutOfMemory { .. }) = &first else {
+            return first;
+        };
+        self.flush();
+        self.inner.core.lock().allocate(req)
+    }
+
+    fn allocate_small(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let class = size_class(req.size);
+        let index = class_shard_index(class, self.inner.shard_mask);
+        let shard = &self.inner.shards[index];
+        {
+            let mut guard = shard.lock();
+            let g = &mut *guard;
+            if let Some(block) = g.free.get_mut(&class).and_then(Vec::pop) {
+                g.stats.cached_bytes -= block.size;
+                g.stats.cached_blocks -= 1;
+                g.stats.hits += 1;
+                g.stats.requested += req.size;
+                let id = g.mint(index, self.inner.shard_bits);
+                g.live.insert(id, LiveSmall { block, class });
+                return Ok(Allocation {
+                    id: AllocationId::new(id),
+                    va: block.va,
+                    size: block.size,
+                    requested: req.size,
+                });
+            }
+            g.stats.misses += 1;
+        }
+        // Miss: allocate the whole class size from the core (no shard lock
+        // held), so the block can later serve any request of the class. The
+        // core records `class` as requested; `requested_inflation` subtracts
+        // the rounding back out.
+        let core_alloc = self.core_allocate(AllocRequest::new(class).with_tag(req.tag))?;
+        let block = CachedBlock {
+            core_id: core_alloc.id,
+            va: core_alloc.va,
+            size: core_alloc.size,
+        };
+        let mut guard = shard.lock();
+        let g = &mut *guard;
+        g.stats.requested_inflation += class - req.size;
+        let id = g.mint(index, self.inner.shard_bits);
+        g.live.insert(id, LiveSmall { block, class });
+        Ok(Allocation {
+            id: AllocationId::new(id),
+            va: block.va,
+            size: block.size,
+            requested: req.size,
+        })
+    }
+
+    /// Allocates memory for `req` (see [`AllocatorCore::allocate`] for the
+    /// contract). Small requests take the sharded fast path; everything else
+    /// goes to the wrapped core.
+    pub fn allocate(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        if req.size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        if req.size < self.inner.small_threshold {
+            self.allocate_small(req)
+        } else {
+            self.core_allocate(req)
+        }
+    }
+
+    /// Releases the allocation identified by `id` (see
+    /// [`AllocatorCore::deallocate`]). Small allocations are parked in their
+    /// size class's shard for reuse instead of being returned to the core.
+    pub fn deallocate(&self, id: AllocationId) -> Result<(), AllocError> {
+        let raw = id.as_u64();
+        if raw < FRONT_ID_BASE {
+            // Large allocation (or an unknown id): the core owns it. Core
+            // ids and front-end ids live in disjoint halves of the id
+            // space, so a double-freed front-end id can never alias a
+            // core allocation.
+            return self.inner.core.lock().deallocate(id);
+        }
+        // The minting shard rides in the id's low bits; its lock covers the
+        // live entry, the class free list, and the stats in one acquisition.
+        let shard = &self.inner.shards[(raw & self.inner.shard_mask) as usize];
+        let overflow = {
+            let mut guard = shard.lock();
+            let g = &mut *guard;
+            let Some(entry) = g.live.remove(&raw) else {
+                return Err(AllocError::UnknownAllocation(id));
+            };
+            g.stats.fast_frees += 1;
+            let cap = self.inner.max_cached_per_class;
+            let stack = g.free.entry(entry.class).or_default();
+            if stack.len() < cap {
+                stack.push(entry.block);
+                g.stats.cached_bytes += entry.block.size;
+                g.stats.cached_blocks += 1;
+                None
+            } else {
+                g.stats.cache_returns += 1;
+                Some(entry.block)
+            }
+        };
+        if let Some(block) = overflow {
+            self.inner
+                .core
+                .lock()
+                .deallocate(block.core_id)
+                .expect("front-end owns every cached block");
+        }
+        Ok(())
+    }
+
+    /// Returns every block parked in the shard caches to the wrapped core
+    /// and reports the bytes handed back. The core decides what happens
+    /// next (pool them, release them); flushing itself frees no physical
+    /// memory.
+    pub fn flush(&self) -> u64 {
+        let mut blocks: Vec<CachedBlock> = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let mut guard = shard.lock();
+            let g = &mut *guard;
+            for stack in g.free.values_mut() {
+                for block in stack.iter() {
+                    g.stats.cache_returns += 1;
+                    g.stats.cached_bytes -= block.size;
+                    g.stats.cached_blocks -= 1;
+                }
+                blocks.append(stack);
+            }
+        }
+        if blocks.is_empty() {
+            return 0;
+        }
+        let mut bytes = 0;
+        let mut core = self.inner.core.lock();
+        for block in &blocks {
+            bytes += block.size;
+            core.deallocate(block.core_id)
+                .expect("front-end owns every cached block");
+        }
+        bytes
+    }
+
+    /// Sums the per-shard reconciliation counters.
+    fn shard_totals(&self) -> ShardStats {
+        let mut total = ShardStats::default();
+        for shard in self.inner.shards.iter() {
+            let s = shard.lock().stats;
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.fast_frees += s.fast_frees;
+            total.cache_returns += s.cache_returns;
+            total.requested += s.requested;
+            total.requested_inflation += s.requested_inflation;
+            total.cached_bytes += s.cached_bytes;
+            total.cached_blocks += s.cached_blocks;
+        }
+        total
+    }
+
+    /// Memory statistics of the pool: the wrapped core's counters
+    /// reconciled with the per-shard fast-path counters. Exact whenever the
+    /// pool is quiescent; a faithful snapshot under concurrency.
+    ///
+    /// Peak watermarks are measured at the core, so bytes parked in the
+    /// shard caches count toward `peak_active_bytes` (an upper bound).
+    pub fn stats(&self) -> MemStats {
+        let fast = self.shard_totals();
+        let mut s = self.inner.core.lock().stats();
+        s.alloc_count += fast.hits;
+        s.free_count = (s.free_count + fast.fast_frees).saturating_sub(fast.cache_returns);
+        s.requested_bytes_total =
+            (s.requested_bytes_total + fast.requested).saturating_sub(fast.requested_inflation);
+        s.active_bytes = s.active_bytes.saturating_sub(fast.cached_bytes);
+        s
+    }
+
+    /// Cache-shard telemetry.
+    pub fn cache_stats(&self) -> DeviceCacheStats {
+        let fast = self.shard_totals();
+        DeviceCacheStats {
+            hits: fast.hits,
+            misses: fast.misses,
+            cached_bytes: fast.cached_bytes,
+            cached_blocks: fast.cached_blocks,
+            shards: self.inner.shards.len(),
+        }
+    }
+
+    /// Backend name, cached at construction (never takes a lock).
+    pub fn name(&self) -> &'static str {
+        self.inner.name
+    }
+
+    /// Forwards the iteration hint to the core (see
+    /// [`AllocatorCore::iteration_boundary`]).
+    pub fn iteration_boundary(&self) {
+        self.inner.core.lock().iteration_boundary();
+    }
+
+    /// Flushes the shard caches into the core, then releases the core's
+    /// cached memory (see [`AllocatorCore::release_cached`]). Returns the
+    /// physical bytes released.
+    pub fn release_cached(&self) -> u64 {
+        self.flush();
+        self.inner.core.lock().release_cached()
+    }
+
+    /// Flushes the shard caches into the core, then runs the core's
+    /// proactive defrag pass (see [`AllocatorCore::compact`]). Returns the
+    /// physical bytes released.
+    pub fn compact(&self) -> u64 {
+        self.flush();
+        self.inner.core.lock().compact()
+    }
+
+    /// Instantaneous fragmentation ratio over the reconciled [`stats`]
+    /// (bytes parked in shard caches count as reclaimable, not active).
+    ///
+    /// [`stats`]: DeviceAllocator::stats
+    pub fn fragmentation(&self) -> f64 {
+        let s = self.stats();
+        if s.reserved_bytes == 0 {
+            0.0
+        } else {
+            1.0 - s.active_bytes as f64 / s.reserved_bytes as f64
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped core — the escape
+    /// hatch for implementation-specific calls. The shard caches are *not*
+    /// flushed first (call [`DeviceAllocator::flush`] if `f` needs to see
+    /// every block); do not block inside `f`, every core-path caller waits.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut dyn AllocatorCore) -> R) -> R {
+        f(&mut **self.inner.core.lock())
+    }
+
+    /// Typed variant of [`DeviceAllocator::with_core`]: runs `f` on the
+    /// wrapped core if it is a `T` (via [`AllocatorCore::as_any_mut`]),
+    /// e.g. to read `GmLakeAllocator::state_counters` behind the
+    /// type-erased front-end. Returns `None` when the core is not a `T`.
+    pub fn with_core_as<T: AllocatorCore + 'static, R>(
+        &self,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let mut guard = self.inner.core.lock();
+        guard.as_any_mut()?.downcast_mut::<T>().map(f)
+    }
+}
+
+/// `DeviceAllocator` is itself an [`AllocatorCore`] so trait-generic code
+/// (the sequential replayer, ablation harnesses) can drive a shared pool;
+/// every method delegates to the concurrent `&self` inherent API.
+impl AllocatorCore for DeviceAllocator {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        DeviceAllocator::allocate(self, req)
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        DeviceAllocator::deallocate(self, id)
+    }
+
+    fn stats(&self) -> MemStats {
+        DeviceAllocator::stats(self)
+    }
+
+    fn name(&self) -> &'static str {
+        DeviceAllocator::name(self)
+    }
+
+    fn iteration_boundary(&mut self) {
+        DeviceAllocator::iteration_boundary(self)
+    }
+
+    fn release_cached(&mut self) -> u64 {
+        DeviceAllocator::release_cached(self)
+    }
+
+    fn compact(&mut self) -> u64 {
+        DeviceAllocator::compact(self)
+    }
+
+    fn fragmentation(&self) -> f64 {
+        DeviceAllocator::fragmentation(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+
+    /// Test core with strict accounting and a bounded capacity.
+    #[derive(Default)]
+    struct TestCore {
+        next: u64,
+        live: StdHashMap<AllocationId, u64>,
+        stats: MemStats,
+        capacity: u64,
+        released: u64,
+    }
+
+    impl TestCore {
+        fn bounded(capacity: u64) -> Self {
+            TestCore {
+                capacity,
+                ..TestCore::default()
+            }
+        }
+    }
+
+    impl AllocatorCore for TestCore {
+        fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+            if req.size == 0 {
+                return Err(AllocError::ZeroSize);
+            }
+            if self.capacity > 0 && self.stats.active_bytes + req.size > self.capacity {
+                return Err(AllocError::OutOfMemory {
+                    requested: req.size,
+                    reserved: self.stats.reserved_bytes,
+                    capacity: self.capacity,
+                });
+            }
+            self.next += 1;
+            let id = AllocationId::new(self.next);
+            self.live.insert(id, req.size);
+            self.stats.on_alloc(req.size, req.size);
+            let r = self.stats.active_bytes;
+            self.stats.set_reserved(r.max(self.stats.reserved_bytes));
+            Ok(Allocation {
+                id,
+                va: VirtAddr::new(self.next << 24),
+                size: req.size,
+                requested: req.size,
+            })
+        }
+
+        fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+            let size = self
+                .live
+                .remove(&id)
+                .ok_or(AllocError::UnknownAllocation(id))?;
+            self.stats.on_free(size);
+            Ok(())
+        }
+
+        fn stats(&self) -> MemStats {
+            self.stats
+        }
+
+        fn name(&self) -> &'static str {
+            "test-core"
+        }
+
+        fn release_cached(&mut self) -> u64 {
+            let r = self.stats.reserved_bytes - self.stats.active_bytes;
+            self.released += r;
+            let active = self.stats.active_bytes;
+            self.stats.set_reserved(active);
+            // set_reserved only raises the peak; force the current value.
+            self.stats.reserved_bytes = active;
+            r
+        }
+    }
+
+    #[test]
+    fn size_classes_round_up_to_powers_of_two() {
+        assert_eq!(size_class(1), MIN_CLASS);
+        assert_eq!(size_class(512), 512);
+        assert_eq!(size_class(513), 1024);
+        assert_eq!(size_class(mib(1)), mib(1));
+        assert_eq!(size_class(mib(1) + 1), mib(2));
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_route_back_to_their_shard() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let mask = pool.inner.shard_mask;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u64 {
+            let size = 512 << (i % 8); // several classes, several shards
+            let a = pool.allocate(AllocRequest::new(size)).unwrap();
+            assert!(a.id.as_u64() >= FRONT_ID_BASE);
+            assert!(seen.insert(a.id), "front-end ids are never reused");
+            let class = size_class(size);
+            assert_eq!(
+                (a.id.as_u64() & mask) as usize,
+                class_shard_index(class, mask),
+                "the id's low bits name the minting shard"
+            );
+            pool.deallocate(a.id).unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_path_reuses_blocks_without_touching_the_core() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let a = pool.allocate(AllocRequest::new(1000)).unwrap();
+        assert!(a.size >= 1000);
+        pool.deallocate(a.id).unwrap();
+        // Same class: served from the shard cache — the core sees nothing.
+        let b = pool.allocate(AllocRequest::new(900)).unwrap();
+        assert_eq!(b.va, a.va, "the cached block was reused");
+        assert!(b.size >= 900);
+        assert_ne!(b.id, a.id, "front-end ids are never reused");
+        pool.deallocate(b.id).unwrap();
+        let cache = pool.cache_stats();
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        assert_eq!(cache.cached_blocks, 1);
+        assert_eq!(pool.with_core(|c| c.stats().alloc_count), 1);
+    }
+
+    #[test]
+    fn stats_reconcile_exactly_at_quiescence() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        for _ in 0..5 {
+            let a = pool.allocate(AllocRequest::new(700)).unwrap();
+            pool.deallocate(a.id).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 5);
+        assert_eq!(s.free_count, 5);
+        assert_eq!(s.active_bytes, 0);
+        assert_eq!(s.requested_bytes_total, 5 * 700, "true requested bytes");
+        // Flushing hands the cached block back to the core without
+        // disturbing the caller-visible counters.
+        assert_eq!(pool.flush(), 1024);
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 5);
+        assert_eq!(s.free_count, 5);
+        assert_eq!(s.active_bytes, 0);
+        assert_eq!(pool.cache_stats().cached_blocks, 0);
+    }
+
+    #[test]
+    fn double_free_of_a_front_end_id_is_reported() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let a = pool.allocate(AllocRequest::new(100)).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(
+            pool.deallocate(a.id).unwrap_err(),
+            AllocError::UnknownAllocation(a.id)
+        );
+    }
+
+    #[test]
+    fn zero_size_rejected_without_locking_the_core() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let _hold = pool.inner.core.lock();
+        // Must not deadlock: the zero-size check precedes any core access.
+        assert_eq!(
+            pool.allocate(AllocRequest::new(0)).unwrap_err(),
+            AllocError::ZeroSize
+        );
+    }
+
+    #[test]
+    fn large_requests_bypass_the_shards() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        assert!(a.id.as_u64() < FRONT_ID_BASE, "core id handed out");
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(pool.cache_stats().cached_blocks, 0);
+        assert_eq!(
+            pool.deallocate(a.id).unwrap_err(),
+            AllocError::UnknownAllocation(a.id),
+            "large double-free detected by the core"
+        );
+    }
+
+    #[test]
+    fn oom_flushes_the_shards_and_retries() {
+        // Capacity fits exactly one 1 KiB class block. The cached block
+        // must be handed back to the core for the second allocation to
+        // succeed — the core alone could never free it.
+        let pool = DeviceAllocator::new(TestCore::bounded(1024));
+        let a = pool.allocate(AllocRequest::new(1000)).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(pool.cache_stats().cached_blocks, 1);
+        let b = pool.allocate(AllocRequest::new(600)).unwrap();
+        assert!(b.size >= 600);
+        pool.deallocate(b.id).unwrap();
+        // 600 rounds to the 1024 class: the flush made room for it.
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 2);
+        assert_eq!(s.free_count, 2);
+        assert_eq!(s.active_bytes, 0);
+    }
+
+    #[test]
+    fn per_class_cache_overflow_returns_to_the_core() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_max_cached_per_class(2),
+        );
+        let ids: Vec<_> = (0..4)
+            .map(|_| pool.allocate(AllocRequest::new(800)).unwrap().id)
+            .collect();
+        for id in ids {
+            pool.deallocate(id).unwrap();
+        }
+        assert_eq!(pool.cache_stats().cached_blocks, 2, "capped at 2");
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 4);
+        assert_eq!(s.free_count, 4);
+        assert_eq!(s.active_bytes, 0);
+        assert_eq!(
+            pool.with_core(|c| c.stats().live_allocations()),
+            2,
+            "only the cached blocks remain live in the core"
+        );
+    }
+
+    #[test]
+    fn release_cached_reaches_blocks_parked_in_shards() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let a = pool.allocate(AllocRequest::new(1024)).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(pool.cache_stats().cached_bytes, 1024);
+        let released = pool.release_cached();
+        assert_eq!(released, 1024, "the parked block reached the device");
+        assert_eq!(pool.cache_stats().cached_bytes, 0);
+        assert_eq!(pool.stats().reserved_bytes, 0);
+    }
+
+    #[test]
+    fn threshold_zero_disables_the_fast_path() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_small_threshold(0),
+        );
+        let a = pool.allocate(AllocRequest::new(100)).unwrap();
+        assert!(a.id.as_u64() < FRONT_ID_BASE);
+        pool.deallocate(a.id).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!((c.hits, c.misses, c.cached_blocks), (0, 0, 0));
+    }
+
+    #[test]
+    fn front_end_is_send_sync_clone() {
+        fn assert_traits<T: Send + Sync + Clone>() {}
+        assert_traits::<DeviceAllocator>();
+    }
+
+    #[test]
+    fn cross_thread_alloc_free_keeps_exact_accounting() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        let (tx, rx) = std::sync::mpsc::channel::<AllocationId>();
+        std::thread::scope(|s| {
+            let producer = pool.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    tx.send(producer.allocate(AllocRequest::new(2048)).unwrap().id)
+                        .unwrap();
+                }
+            });
+            let consumer = pool.clone();
+            s.spawn(move || {
+                for id in rx {
+                    consumer.deallocate(id).unwrap();
+                }
+            });
+        });
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 100);
+        assert_eq!(s.free_count, 100);
+        assert_eq!(s.active_bytes, 0);
+    }
+}

@@ -2,10 +2,17 @@
 //!
 //! This crate defines the vocabulary that every allocator in the workspace
 //! speaks: byte-size helpers, allocation identifiers and requests, memory
-//! statistics, error types, and the [`GpuAllocator`] trait implemented by
-//! * the native pass-through allocator (`gmlake-gpu-sim`),
-//! * the PyTorch-style caching allocator (`gmlake-caching`), and
-//! * the GMLake virtual-memory-stitching allocator (`gmlake-core`).
+//! statistics, error types, and the two-layer allocator API:
+//!
+//! * [`AllocatorCore`] — the single-owner `&mut self` *backend* trait,
+//!   implemented by the native pass-through allocator (`gmlake-gpu-sim`),
+//!   the PyTorch-style caching allocator (`gmlake-caching`), and the GMLake
+//!   virtual-memory-stitching allocator (`gmlake-core`);
+//! * [`DeviceAllocator`] — the cloneable, `Send + Sync`, `&self`
+//!   *front-end* that wraps any core and is the only type concurrent
+//!   callers (the runtime's pool service, replayers, benches) speak to. It
+//!   shards small allocation traffic into per-size-class free-list caches
+//!   so threads never contend with each other or with stitch work.
 //!
 //! The trait mirrors the narrow interface a deep-learning framework exposes to
 //! its tensor layer: `allocate`, `deallocate`, plus the cache-management hooks
@@ -21,15 +28,19 @@
 //! assert_eq!(req.size, 96 * 1024 * 1024);
 //! ```
 
+mod device;
 mod error;
 mod request;
 mod stats;
 mod traits;
 mod types;
 
+pub use device::{DeviceAllocator, DeviceAllocatorConfig, DeviceCacheStats};
 pub use error::AllocError;
 pub use request::{AllocRequest, Allocation};
 pub use stats::{MemStats, StatsDelta};
+pub use traits::AllocatorCore;
+#[allow(deprecated)]
 pub use traits::{share, GpuAllocator, SharedAllocator};
 pub use types::{
     gib, kib, mib, AllocTag, AllocationId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB, BYTES_PER_MIB,

@@ -1,6 +1,7 @@
-//! The allocator trait every memory manager in this workspace implements,
-//! plus the shared-handle path ([`SharedAllocator`]) that lets many threads
-//! drive one allocator through an `Arc<Mutex<…>>`.
+//! The backend allocator trait every memory manager in this workspace
+//! implements ([`AllocatorCore`]), plus the deprecated single-mutex
+//! shared-handle shim ([`SharedAllocator`]) superseded by
+//! [`DeviceAllocator`](crate::DeviceAllocator).
 
 use std::sync::Arc;
 
@@ -11,7 +12,13 @@ use crate::request::{AllocRequest, Allocation};
 use crate::stats::MemStats;
 use crate::types::AllocationId;
 
-/// A GPU memory allocator as seen by the tensor layer of a DL framework.
+/// A GPU memory allocator *backend* as seen by the tensor layer of a DL
+/// framework: single-owner, `&mut self` on every mutating call.
+///
+/// This is the bottom layer of the two-layer allocator API. Concurrent
+/// callers never speak to an `AllocatorCore` directly — they wrap it in a
+/// [`DeviceAllocator`](crate::DeviceAllocator), the cloneable `Send + Sync`
+/// front-end that shards small traffic away from the core's mutex.
 ///
 /// Implementations in this workspace:
 /// * `NativeAllocator` (`gmlake-gpu-sim`) — direct `cudaMalloc`/`cudaFree`
@@ -29,7 +36,9 @@ use crate::types::AllocationId;
 /// * **No panics** on OOM — allocation failure is an `Err`, never an abort.
 /// * **Teardown** — dropping the allocator releases all device memory it
 ///   reserved; destructors never fail (C-DTOR-FAIL).
-pub trait GpuAllocator {
+/// * **Unique identifiers** — [`AllocationId`]s are never reused within one
+///   core instance.
+pub trait AllocatorCore {
     /// Allocates memory for `req`, returning a handle whose virtual address
     /// range is contiguous and at least `req.size` bytes long.
     ///
@@ -71,7 +80,7 @@ pub trait GpuAllocator {
     ///
     /// This is the hook a defrag scheduler calls *proactively* (between
     /// iterations, or when fragmentation crosses a threshold), as opposed to
-    /// [`GpuAllocator::release_cached`], which is the reactive
+    /// [`AllocatorCore::release_cached`], which is the reactive
     /// surrender-everything OOM fallback. Implementations should release
     /// memory that is unlikely to be reused and may garbage-collect internal
     /// cache structures, while keeping the caches that make the steady state
@@ -94,11 +103,22 @@ pub trait GpuAllocator {
             1.0 - s.active_bytes as f64 / s.reserved_bytes as f64
         }
     }
+
+    /// Mutable [`Any`](std::any::Any) view of the concrete allocator, for
+    /// implementation-specific telemetry behind a type-erased front-end
+    /// (see
+    /// [`DeviceAllocator::with_core_as`](crate::DeviceAllocator::with_core_as)).
+    /// Concrete allocators return `Some(self)`; the default (`None`) keeps
+    /// wrappers and ad-hoc test doubles honest — a wrapper must not
+    /// masquerade as its inner core.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
-/// Blanket impl so `&mut A` can be passed where a `GpuAllocator` is expected
-/// (the replayer takes allocators by `&mut dyn`).
-impl<A: GpuAllocator + ?Sized> GpuAllocator for &mut A {
+/// Blanket impl so `&mut A` can be passed where an `AllocatorCore` is
+/// expected (the replayer takes allocators by `&mut dyn`).
+impl<A: AllocatorCore + ?Sized> AllocatorCore for &mut A {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         (**self).allocate(req)
     }
@@ -130,12 +150,16 @@ impl<A: GpuAllocator + ?Sized> GpuAllocator for &mut A {
     fn fragmentation(&self) -> f64 {
         (**self).fragmentation()
     }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
 }
 
-/// Blanket impl for boxed allocators, so `Box<dyn GpuAllocator + Send>` is
-/// itself a `GpuAllocator` (the multi-device pool service stores its
-/// per-device allocators this way).
-impl<A: GpuAllocator + ?Sized> GpuAllocator for Box<A> {
+/// Blanket impl for boxed allocators, so `Box<dyn AllocatorCore + Send>` is
+/// itself an `AllocatorCore` (the concurrent front-end stores the wrapped
+/// core this way).
+impl<A: AllocatorCore + ?Sized> AllocatorCore for Box<A> {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         (**self).allocate(req)
     }
@@ -167,53 +191,107 @@ impl<A: GpuAllocator + ?Sized> GpuAllocator for Box<A> {
     fn fragmentation(&self) -> f64 {
         (**self).fragmentation()
     }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        (**self).as_any_mut()
+    }
 }
 
-/// A cloneable, thread-safe handle to one allocator: the shared-handle
-/// allocation path used by `gmlake-runtime`'s pool service.
+/// Deprecated name of [`AllocatorCore`], kept for one release so downstream
+/// code migrates at its own pace (see the README's "Allocator API" section).
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `AllocatorCore`; concurrent callers should wrap it in `DeviceAllocator`"
+)]
+pub use AllocatorCore as GpuAllocator;
+
+/// Deprecated single-mutex shared-handle path: every clone funnels every
+/// call — small or large — through one global mutex, which is exactly the
+/// serialization the sharded [`DeviceAllocator`](crate::DeviceAllocator)
+/// front-end removes.
 ///
-/// Locking discipline: every trait call acquires the mutex for exactly its
-/// own duration. The mutex is the workspace's `parking_lot` one, whose
-/// `lock()` recovers from poisoning (the allocator's strong exception
-/// safety means a panicking caller cannot leave it half-mutated).
-pub type SharedAllocator = Arc<Mutex<Box<dyn GpuAllocator + Send>>>;
-
-/// Wraps an allocator into the shared-handle path.
-pub fn share<A: GpuAllocator + Send + 'static>(alloc: A) -> SharedAllocator {
-    Arc::new(Mutex::new(Box::new(alloc)))
+/// Kept for one release as a migration shim. The backend name is cached at
+/// construction, so [`AllocatorCore::name`] does not take the lock.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DeviceAllocator::new` instead; see the README's allocator-API migration table"
+)]
+#[derive(Clone)]
+pub struct SharedAllocator {
+    inner: Arc<Mutex<Box<dyn AllocatorCore + Send>>>,
+    /// Backend name, captured once at construction instead of locking the
+    /// pool on every `name()` call.
+    name: &'static str,
 }
 
-impl GpuAllocator for SharedAllocator {
+#[allow(deprecated)]
+impl std::fmt::Debug for SharedAllocator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedAllocator")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[allow(deprecated)]
+impl SharedAllocator {
+    /// Wraps an allocator core into the single-mutex shared-handle path.
+    pub fn new<A: AllocatorCore + Send + 'static>(core: A) -> Self {
+        let name = core.name();
+        SharedAllocator {
+            inner: Arc::new(Mutex::new(Box::new(core))),
+            name,
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped core.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut dyn AllocatorCore) -> R) -> R {
+        f(&mut **self.inner.lock())
+    }
+}
+
+/// Wraps an allocator into the deprecated shared-handle path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DeviceAllocator::new` instead; see the README's allocator-API migration table"
+)]
+#[allow(deprecated)]
+pub fn share<A: AllocatorCore + Send + 'static>(alloc: A) -> SharedAllocator {
+    SharedAllocator::new(alloc)
+}
+
+#[allow(deprecated)]
+impl AllocatorCore for SharedAllocator {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
-        self.lock().allocate(req)
+        self.inner.lock().allocate(req)
     }
 
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
-        self.lock().deallocate(id)
+        self.inner.lock().deallocate(id)
     }
 
     fn stats(&self) -> MemStats {
-        self.lock().stats()
+        self.inner.lock().stats()
     }
 
     fn name(&self) -> &'static str {
-        self.lock().name()
+        self.name
     }
 
     fn iteration_boundary(&mut self) {
-        self.lock().iteration_boundary()
+        self.inner.lock().iteration_boundary()
     }
 
     fn release_cached(&mut self) -> u64 {
-        self.lock().release_cached()
+        self.inner.lock().release_cached()
     }
 
     fn compact(&mut self) -> u64 {
-        self.lock().compact()
+        self.inner.lock().compact()
     }
 
     fn fragmentation(&self) -> f64 {
-        self.lock().fragmentation()
+        self.inner.lock().fragmentation()
     }
 }
 
@@ -226,13 +304,13 @@ mod tests {
     /// Minimal in-memory allocator used to exercise the trait contract and
     /// the blanket `&mut A` impl.
     #[derive(Default)]
-    struct Bump {
+    pub(crate) struct Bump {
         next: u64,
         live: HashMap<AllocationId, u64>,
         stats: MemStats,
     }
 
-    impl GpuAllocator for Bump {
+    impl AllocatorCore for Bump {
         fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
             if req.size == 0 {
                 return Err(AllocError::ZeroSize);
@@ -269,7 +347,7 @@ mod tests {
         }
     }
 
-    fn exercise<A: GpuAllocator>(mut a: A) {
+    fn exercise<A: AllocatorCore>(mut a: A) {
         let alloc = a.allocate(AllocRequest::new(64)).unwrap();
         assert_eq!(a.stats().active_bytes, 64);
         a.deallocate(alloc.id).unwrap();
@@ -280,7 +358,7 @@ mod tests {
     fn trait_object_and_mut_ref_work() {
         let mut b = Bump::default();
         exercise(&mut b);
-        let dyn_ref: &mut dyn GpuAllocator = &mut b;
+        let dyn_ref: &mut dyn AllocatorCore = &mut b;
         exercise(dyn_ref);
         assert_eq!(b.stats().alloc_count, 2);
     }
@@ -329,13 +407,14 @@ mod tests {
 
     #[test]
     fn boxed_allocator_is_an_allocator() {
-        let mut boxed: Box<dyn GpuAllocator + Send> = Box::new(Bump::default());
+        let mut boxed: Box<dyn AllocatorCore + Send> = Box::new(Bump::default());
         exercise(&mut boxed);
         assert_eq!(boxed.name(), "bump");
     }
 
     #[test]
-    fn shared_handle_allocates_from_many_clones() {
+    #[allow(deprecated)]
+    fn deprecated_shared_handle_still_works_and_caches_its_name() {
         let shared = share(Bump::default());
         let mut a = shared.clone();
         let mut b = shared.clone();
@@ -343,10 +422,17 @@ mod tests {
         assert_eq!(b.stats().active_bytes, 32, "clones see one allocator");
         b.deallocate(alloc.id).unwrap();
         assert_eq!(a.stats().active_bytes, 0);
+        // The name is served from the construction-time cache: even while a
+        // clone holds the pool lock, `name()` answers without blocking.
+        shared.with_core(|_core| {
+            assert_eq!(a.name(), "bump");
+        });
+        assert!(format!("{shared:?}").contains("bump"));
     }
 
     #[test]
-    fn shared_handle_is_usable_across_threads() {
+    #[allow(deprecated)]
+    fn deprecated_shared_handle_is_usable_across_threads() {
         let shared = share(Bump::default());
         let threads: Vec<_> = (0..4)
             .map(|_| {
@@ -362,7 +448,7 @@ mod tests {
         for t in threads {
             t.join().unwrap();
         }
-        let s = shared.lock().stats();
+        let s = shared.stats();
         assert_eq!(s.alloc_count, 200);
         assert_eq!(s.active_bytes, 0, "no allocation lost or leaked");
     }

@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use gmlake_alloc_api::{gib, mib, AllocRequest, GpuAllocator};
+use gmlake_alloc_api::{gib, mib, AllocRequest, AllocatorCore};
 use gmlake_caching::CachingAllocator;
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig};

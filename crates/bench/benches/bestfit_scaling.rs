@@ -9,7 +9,7 @@
 //! round-trip staying flat (logarithmic) as the pool grows.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gmlake_alloc_api::{AllocRequest, GpuAllocator};
+use gmlake_alloc_api::{AllocRequest, AllocatorCore};
 use gmlake_bench::perf::{build_converged_pool, STITCH_PROBE_BYTES, VIEW_BYTES};
 
 fn bestfit_scaling(c: &mut Criterion) {

@@ -7,7 +7,7 @@
 //! indexed classification, per-chunk vs batched driver calls) are the
 //! stable quantities.
 
-use gmlake_alloc_api::{gib, mib, AllocRequest, GpuAllocator};
+use gmlake_alloc_api::{gib, mib, AllocRequest, AllocatorCore};
 use gmlake_bench::perf::{sample_pool, ScalingSample};
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CudaDriver, DeviceConfig};

@@ -6,7 +6,7 @@
 //! the PyTorch-style caching allocator and against GMLake on identical
 //! fresh devices, and print the paper's rows/series.
 
-use gmlake_alloc_api::{gib, GpuAllocator};
+use gmlake_alloc_api::{gib, AllocatorCore};
 use gmlake_caching::CachingAllocator;
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
@@ -91,7 +91,7 @@ pub fn run_scaleout(
         .map(|rank| {
             let driver = CudaDriver::new(DeviceConfig::a100_80g());
             let device = DeviceId(rank);
-            let alloc: Box<dyn GpuAllocator + Send> = match which {
+            let alloc: Box<dyn AllocatorCore + Send> = match which {
                 Allocator::Caching => Box::new(CachingAllocator::new(driver.clone())),
                 Allocator::GmLake => Box::new(GmLakeAllocator::new(
                     driver.clone(),
@@ -114,7 +114,7 @@ pub fn run_scaleout(
 /// ablations with custom configurations).
 pub fn run_with<A, F>(cfg: &TrainConfig, make: F) -> ReplayReport
 where
-    A: GpuAllocator,
+    A: AllocatorCore,
     F: FnOnce(CudaDriver) -> A,
 {
     let trace = TraceGenerator::new(cfg.clone()).generate();

@@ -14,7 +14,10 @@
 
 use std::time::Instant;
 
-use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+use gmlake_alloc_api::{
+    gib, kib, mib, AllocRequest, AllocatorCore, DeviceAllocator, DeviceAllocatorConfig,
+};
+use gmlake_caching::CachingAllocator;
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CostModel, CudaDriver, DeviceConfig};
 
@@ -64,6 +67,37 @@ pub fn build_converged_pool(n_blocks: usize) -> GmLakeAllocator {
     debug_assert_eq!(lake.pblock_count(), pairs * 2);
     debug_assert_eq!(lake.sblock_count(), pairs);
     lake
+}
+
+// ---------------------------------------------------------------------
+// Pool-contention sweep harness, shared by the `pool_contention` criterion
+// bench and the `bench_pr3` snapshot/CI-gate binary so both measure the
+// same workload.
+// ---------------------------------------------------------------------
+
+/// Builds the shared pool of the contention sweep: a caching core on a
+/// zero-cost device. `sharded = false` disables the front-end fast path,
+/// reproducing the retired one-global-mutex `SharedAllocator` behaviour —
+/// the sweep's baseline.
+pub fn contention_pool(sharded: bool) -> DeviceAllocator {
+    let driver = CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    );
+    let config = if sharded {
+        DeviceAllocatorConfig::default()
+    } else {
+        DeviceAllocatorConfig::default().with_small_threshold(0)
+    };
+    DeviceAllocator::with_config(CachingAllocator::new(driver), config)
+}
+
+/// Distinct small size per sweep thread (distinct power-of-two classes,
+/// 8 KiB … 1 MiB for threads 0…7), as data-parallel ranks with different
+/// tensor shapes would issue.
+pub fn contention_thread_size(t: usize) -> u64 {
+    kib(8) << t
 }
 
 /// Times `op` with a two-point read of the monotonic clock around a single

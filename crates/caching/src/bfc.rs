@@ -16,7 +16,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use gmlake_alloc_api::{
-    AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats, VirtAddr,
+    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, VirtAddr,
 };
 use gmlake_gpu_sim::{CudaDriver, DriverError};
 
@@ -63,7 +63,7 @@ pub struct SegmentView {
 /// ```
 /// use gmlake_caching::CachingAllocator;
 /// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-/// use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+/// use gmlake_alloc_api::{AllocRequest, AllocatorCore, mib};
 ///
 /// let driver = CudaDriver::new(DeviceConfig::small_test());
 /// let mut alloc = CachingAllocator::new(driver);
@@ -442,7 +442,7 @@ impl CachingAllocator {
     }
 }
 
-impl GpuAllocator for CachingAllocator {
+impl AllocatorCore for CachingAllocator {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         if req.size == 0 {
             return Err(AllocError::ZeroSize);
@@ -502,6 +502,10 @@ impl GpuAllocator for CachingAllocator {
 
     fn name(&self) -> &'static str {
         "pytorch-caching"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 
     fn release_cached(&mut self) -> u64 {

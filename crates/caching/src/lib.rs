@@ -11,7 +11,7 @@
 //! ```
 //! use gmlake_caching::CachingAllocator;
 //! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-//! use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+//! use gmlake_alloc_api::{AllocRequest, AllocatorCore, mib};
 //!
 //! let driver = CudaDriver::new(DeviceConfig::small_test());
 //! let mut alloc = CachingAllocator::new(driver.clone());

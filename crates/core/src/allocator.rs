@@ -34,7 +34,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use gmlake_alloc_api::{
-    AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats, VirtAddr,
+    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, VirtAddr,
 };
 use gmlake_caching::CachingAllocator;
 use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
@@ -51,7 +51,7 @@ use crate::slab::Slab;
 /// ```
 /// use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 /// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-/// use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+/// use gmlake_alloc_api::{AllocRequest, AllocatorCore, mib};
 ///
 /// let driver = CudaDriver::new(DeviceConfig::small_test());
 /// // Lower the fragmentation limit so MiB-scale doctest blocks may stitch.
@@ -178,7 +178,7 @@ impl GmLakeAllocator {
     }
 
     /// Completed training iterations (see
-    /// [`GpuAllocator::iteration_boundary`]).
+    /// [`AllocatorCore::iteration_boundary`]).
     pub fn iterations(&self) -> u64 {
         self.iterations
     }
@@ -431,7 +431,7 @@ impl GmLakeAllocator {
         let right = self.pblock_from_chunks(right_chunks);
         // The old VA disappears; physical chunks live on through the new maps.
         self.driver
-            .mem_unmap(p.va, p.size)
+            .mem_unmap_range(p.va, p.size)
             .expect("pblock range was fully mapped");
         self.driver
             .mem_address_free(p.va, p.size)
@@ -535,8 +535,11 @@ impl GmLakeAllocator {
             // unreferenced).
             self.retier_pblock(pid);
         }
+        // Batched teardown: one driver round-trip for the whole view's
+        // mappings, so a StitchFree/OOM-rescue storm stops paying one
+        // dispatch per chunk.
         self.driver
-            .mem_unmap(s.va, s.size)
+            .mem_unmap_range(s.va, s.size)
             .expect("sblock range was fully mapped");
         self.driver
             .mem_address_free(s.va, s.size)
@@ -544,17 +547,19 @@ impl GmLakeAllocator {
     }
 
     /// Returns a pBlock's physical memory to the device. The block must be
-    /// inactive, unassigned and unreferenced.
+    /// inactive, unassigned and unreferenced. The whole block tears down in
+    /// three driver round-trips (batched unmap, batched release, address
+    /// free) regardless of its chunk count.
     fn destroy_pblock(&mut self, pid: PBlockId) {
         let p = self.pblocks.remove(pid).expect("pblock exists");
         debug_assert!(!p.active && p.assigned_to.is_none() && p.referenced_by.is_empty());
         self.p_inactive.remove(p.tier, p.size, pid);
         self.driver
-            .mem_unmap(p.va, p.size)
+            .mem_unmap_range(p.va, p.size)
             .expect("pblock range was fully mapped");
-        for h in &p.chunks {
-            self.driver.mem_release(*h).expect("chunk owned by pblock");
-        }
+        self.driver
+            .mem_release_batch(&p.chunks)
+            .expect("chunks owned by pblock");
         self.driver
             .mem_address_free(p.va, p.size)
             .expect("reservation exists and is empty");
@@ -1037,7 +1042,7 @@ impl GmLakeAllocator {
     }
 }
 
-impl GpuAllocator for GmLakeAllocator {
+impl AllocatorCore for GmLakeAllocator {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         if req.size == 0 {
             return Err(AllocError::ZeroSize);
@@ -1121,6 +1126,10 @@ impl GpuAllocator for GmLakeAllocator {
         "gmlake"
     }
 
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
     fn iteration_boundary(&mut self) {
         if self.iter_allocs > 0 && self.iter_non_exact == 0 {
             self.converged_streak += 1;
@@ -1189,20 +1198,19 @@ impl GpuAllocator for GmLakeAllocator {
 
 impl Drop for GmLakeAllocator {
     fn drop(&mut self) {
-        // Destructors never fail (C-DTOR-FAIL): best-effort teardown.
+        // Destructors never fail (C-DTOR-FAIL): best-effort teardown via
+        // the batched entry points.
         let sids: Vec<SBlockId> = self.sblocks.keys().collect();
         for sid in sids {
             let s = self.sblocks.remove(sid).expect("listed above");
-            let _ = self.driver.mem_unmap(s.va, s.size);
+            let _ = self.driver.mem_unmap_range(s.va, s.size);
             let _ = self.driver.mem_address_free(s.va, s.size);
         }
         let pids: Vec<PBlockId> = self.pblocks.keys().collect();
         for pid in pids {
             let p = self.pblocks.remove(pid).expect("listed above");
-            let _ = self.driver.mem_unmap(p.va, p.size);
-            for h in &p.chunks {
-                let _ = self.driver.mem_release(*h);
-            }
+            let _ = self.driver.mem_unmap_range(p.va, p.size);
+            let _ = self.driver.mem_release_batch(&p.chunks);
             let _ = self.driver.mem_address_free(p.va, p.size);
         }
     }

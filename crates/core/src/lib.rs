@@ -18,7 +18,7 @@
 //! ```
 //! use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 //! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-//! use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+//! use gmlake_alloc_api::{AllocRequest, AllocatorCore, mib};
 //!
 //! let driver = CudaDriver::new(DeviceConfig::small_test());
 //! // Lower the fragmentation limit so MiB-scale doctest blocks may stitch.

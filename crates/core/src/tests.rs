@@ -1,7 +1,7 @@
 //! Unit tests for the GMLake allocator: every state of Figure 9, the cache
 //! lifecycle, convergence, eviction, OOM semantics and data integrity.
 
-use gmlake_alloc_api::{mib, AllocError, AllocRequest, AllocationId, GpuAllocator};
+use gmlake_alloc_api::{mib, AllocError, AllocRequest, AllocationId, AllocatorCore};
 use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
 
 use crate::{GmLakeAllocator, GmLakeConfig};
@@ -356,6 +356,30 @@ fn release_cached_spares_live_allocations() {
     assert_eq!(driver.phys_in_use(), mib(4));
     // The live allocation still works.
     driver.memcpy_htod(a.va, &[1, 2, 3]).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn release_cached_tears_down_with_batched_driver_calls() {
+    // A 64 MiB pBlock holds 32 chunks; surrendering it must cost three
+    // driver round-trips (batched unmap, batched release, address free) —
+    // not one release per chunk, which is what an OOM-rescue storm used to
+    // pay.
+    let driver = CudaDriver::new(DeviceConfig::small_test());
+    let mut l = GmLakeAllocator::new(driver.clone(), test_config());
+    let a = l.allocate(AllocRequest::new(mib(64))).unwrap();
+    l.deallocate(a.id).unwrap();
+    let before = driver.stats();
+    let released = l.release_cached();
+    assert_eq!(released, mib(64));
+    let after = driver.stats();
+    assert_eq!(after.release.calls - before.release.calls, 1, "one batch");
+    assert_eq!(after.unmap.calls - before.unmap.calls, 1, "one range unmap");
+    assert_eq!(
+        after.total_calls() - before.total_calls(),
+        3,
+        "unmap_range + release_batch + address_free"
+    );
     l.validate().unwrap();
 }
 

@@ -174,6 +174,20 @@ impl CostModel {
         self.to_ns(UNMAP_NORM)
     }
 
+    /// Cost of one *batched* unmap covering `n` mapped chunks: the full
+    /// per-call cost once, then the dispatch-free marginal cost for the
+    /// remaining `n - 1` (same amortization as
+    /// [`CostModel::create_batch_ns`]).
+    pub fn unmap_range_ns(&self, n: u64) -> u64 {
+        Self::amortized(self.unmap_ns(), self.dispatch_ns(), n)
+    }
+
+    /// Cost of one *batched* release of `n` physical handles (same
+    /// amortization as [`CostModel::create_batch_ns`]).
+    pub fn release_batch_ns(&self, n: u64) -> u64 {
+        Self::amortized(self.release_ns(), self.dispatch_ns(), n)
+    }
+
     /// Cost of one `cuMemSetAccess` covering one chunk of `chunk_size` bytes.
     /// Callers covering a range of `n` chunks charge this `n` times, matching
     /// the per-chunk accounting in the paper's Table 1.

@@ -401,6 +401,55 @@ impl CudaDriver {
         Ok(())
     }
 
+    /// Batched `cuMemUnmap`: unmaps `[va, va + size)` — which must exactly
+    /// cover whole mappings — under a single driver entry. State-wise
+    /// identical to [`CudaDriver::mem_unmap`]; the clock advances by the
+    /// per-call unmap cost once plus the dispatch-free marginal cost per
+    /// additional mapping, and **one** `unmap` call is recorded. This is the
+    /// teardown mirror of [`CudaDriver::mem_map_range`]: an OOM-rescue storm
+    /// destroying hundreds of cached blocks stops paying one dispatch per
+    /// chunk.
+    pub fn mem_unmap_range(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        let handles = g.va.unmap(va, size)?;
+        let n = handles.len() as u64;
+        for h in handles {
+            g.phys.remove_map(h).expect("mapping existed");
+        }
+        let ns = g.config.cost.unmap_range_ns(n.max(1));
+        g.clock.advance(ns);
+        g.stats.unmap.record(ns);
+        Ok(())
+    }
+
+    /// Batched `cuMemRelease`: drops the creation reference of every handle
+    /// in `handles` under a single driver entry. The batch is
+    /// all-or-nothing: every handle is validated (live, unreleased, no
+    /// duplicates) before anything is mutated, so a failure leaves the
+    /// device untouched. Costed as one per-call release plus the
+    /// dispatch-free marginal per additional handle; records **one**
+    /// `release` call.
+    pub fn mem_release_batch(&self, handles: &[PhysHandle]) -> DriverResult<()> {
+        let mut g = self.inner.lock();
+        if handles.is_empty() {
+            return Err(DriverError::ZeroSize);
+        }
+        let mut seen = std::collections::HashSet::with_capacity(handles.len());
+        for &h in handles {
+            g.phys.check_releasable(h)?;
+            if !seen.insert(h.as_u64()) {
+                return Err(DriverError::InvalidHandle(h.as_u64()));
+            }
+        }
+        for &h in handles {
+            g.phys.release(h).expect("batch validated up front");
+        }
+        let ns = g.config.cost.release_batch_ns(handles.len() as u64);
+        g.clock.advance(ns);
+        g.stats.release.record(ns);
+        Ok(())
+    }
+
     /// `cuMemSetAccess`: enables (or disables) access on `[va, va + size)`,
     /// which must be fully mapped. Cost is charged per mapped chunk, matching
     /// the paper's Table 1 accounting.
@@ -734,6 +783,92 @@ mod tests {
         let va2 = d.mem_address_reserve(2 * gran).unwrap();
         d.mem_map_range(va2, gran, &batch).unwrap();
         assert_eq!(d.snapshot().mappings, 3);
+    }
+
+    #[test]
+    fn unmap_range_advances_clock_like_per_chunk_unmaps_minus_dispatch() {
+        // Two identical 8-chunk stitched ranges; one torn down with n
+        // single-chunk unmaps, one with a single mem_unmap_range. The
+        // batched call must cost exactly the per-chunk sequence minus the
+        // amortized dispatch overhead.
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let gran = cfg.granularity;
+        let n = 8u64;
+
+        let build = |d: &CudaDriver| {
+            let va = d.mem_address_reserve(n * gran).unwrap();
+            let handles = d.mem_create_batch(gran, n as usize).unwrap();
+            d.mem_map_range(va, gran, &handles).unwrap();
+            va
+        };
+
+        let single = CudaDriver::new(cfg.clone());
+        let va = build(&single);
+        let t0 = single.now_ns();
+        for i in 0..n {
+            single.mem_unmap(va.offset(i * gran), gran).unwrap();
+        }
+        let per_chunk_ns = single.now_ns() - t0;
+
+        let batched = CudaDriver::new(cfg);
+        let va2 = build(&batched);
+        let t1 = batched.now_ns();
+        batched.mem_unmap_range(va2, n * gran).unwrap();
+        let range_ns = batched.now_ns() - t1;
+
+        let dispatch = batched.cost_model().dispatch_ns();
+        assert_eq!(range_ns, per_chunk_ns - (n - 1) * dispatch);
+        assert_eq!(batched.stats().unmap.calls, 1);
+        assert_eq!(single.stats().unmap.calls, n);
+        assert_eq!(batched.snapshot().mappings, 0);
+    }
+
+    #[test]
+    fn release_batch_is_all_or_nothing_and_amortizes_dispatch() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let gran = cfg.granularity;
+        let d = CudaDriver::new(cfg);
+        let handles = d.mem_create_batch(gran, 4).unwrap();
+        // A stale handle anywhere in the batch must poison the whole call.
+        let stale = d.mem_create(gran).unwrap();
+        d.mem_release(stale).unwrap();
+        let err = d
+            .mem_release_batch(&[handles[0], stale, handles[1]])
+            .unwrap_err();
+        assert!(matches!(err, DriverError::InvalidHandle(_)));
+        assert_eq!(d.phys_in_use(), 4 * gran, "nothing was released");
+        // Duplicates are rejected before any mutation.
+        let err = d.mem_release_batch(&[handles[2], handles[2]]).unwrap_err();
+        assert!(matches!(err, DriverError::InvalidHandle(_)));
+        assert_eq!(d.phys_in_use(), 4 * gran);
+        assert!(matches!(
+            d.mem_release_batch(&[]).unwrap_err(),
+            DriverError::ZeroSize
+        ));
+        // A clean batch releases everything in one telemetry call, costed
+        // as n releases minus (n-1) dispatches.
+        let releases_before = d.stats().release.calls;
+        let t0 = d.now_ns();
+        d.mem_release_batch(&handles).unwrap();
+        let m = d.cost_model();
+        assert_eq!(d.now_ns() - t0, 4 * m.release_ns() - 3 * m.dispatch_ns());
+        assert_eq!(d.stats().release.calls, releases_before + 1);
+        assert_eq!(d.phys_in_use(), 0);
+    }
+
+    #[test]
+    fn release_batch_defers_freeing_mapped_handles() {
+        let d = test_driver();
+        let gran = d.granularity();
+        let handles = d.mem_create_batch(gran, 2).unwrap();
+        let va = d.mem_address_reserve(2 * gran).unwrap();
+        d.mem_map_range(va, gran, &handles).unwrap();
+        d.mem_release_batch(&handles).unwrap();
+        assert_eq!(d.phys_in_use(), 2 * gran, "mapped memory survives release");
+        d.mem_unmap_range(va, 2 * gran).unwrap();
+        assert_eq!(d.phys_in_use(), 0, "last unmap frees the released batch");
+        d.mem_address_free(va, 2 * gran).unwrap();
+        assert!(d.snapshot().is_quiescent());
     }
 
     #[test]

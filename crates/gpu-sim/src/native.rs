@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 
 use gmlake_alloc_api::{
-    AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats, VirtAddr,
+    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, VirtAddr,
 };
 
 use crate::driver::CudaDriver;
@@ -33,7 +33,7 @@ const SYNC_STALL_NS: f64 = 3_000_000.0;
 ///
 /// ```
 /// use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
-/// use gmlake_alloc_api::{AllocRequest, GpuAllocator, mib};
+/// use gmlake_alloc_api::{AllocRequest, AllocatorCore, mib};
 ///
 /// let driver = CudaDriver::new(DeviceConfig::small_test());
 /// let mut alloc = NativeAllocator::new(driver);
@@ -69,7 +69,7 @@ impl NativeAllocator {
     }
 }
 
-impl GpuAllocator for NativeAllocator {
+impl AllocatorCore for NativeAllocator {
     fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         if req.size == 0 {
             return Err(AllocError::ZeroSize);
@@ -122,6 +122,10 @@ impl GpuAllocator for NativeAllocator {
 
     fn name(&self) -> &'static str {
         "cuda-native"
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

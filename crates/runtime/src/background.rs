@@ -100,14 +100,14 @@ mod tests {
     use super::*;
     use crate::scheduler::DefragScheduler;
     use crate::service::DeviceId;
-    use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+    use gmlake_alloc_api::{mib, AllocRequest};
     use gmlake_caching::CachingAllocator;
     use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
 
     #[test]
     fn sweeps_reclaim_fragmented_pools_while_running() {
         let service = PoolService::with_scheduler(DefragScheduler::frag_threshold(0.5, 1));
-        let mut pool = service
+        let pool = service
             .register(
                 DeviceId(0),
                 Box::new(CachingAllocator::new(CudaDriver::new(

@@ -2,26 +2,31 @@
 //! a pluggable defragmentation scheduler.
 //!
 //! The allocator crates below this one (`gmlake-core`, `gmlake-caching`,
-//! `gmlake-gpu-sim`) are single-owner: every call takes `&mut self`. Real
-//! multi-GPU fine-tuning — the paper's Figure 11 scale-out evaluation —
-//! runs many ranks concurrently, each hammering its own device's pool. This
-//! crate provides that runtime layer:
+//! `gmlake-gpu-sim`) are single-owner backends: every call takes
+//! `&mut self` ([`AllocatorCore`]). Real multi-GPU fine-tuning — the
+//! paper's Figure 11 scale-out evaluation — runs many ranks concurrently,
+//! each hammering its own device's pool. This crate provides that runtime
+//! layer on top of the concurrent
+//! [`DeviceAllocator`](gmlake_alloc_api::DeviceAllocator) front-end:
 //!
-//! * [`PoolService`] — a registry mapping [`DeviceId`] → shared allocator.
-//!   Any [`GpuAllocator`] implementation can be registered; the service is
-//!   deliberately ignorant of which allocator (GMLake, caching baseline,
-//!   native) manages each device.
-//! * [`PoolHandle`] — a cheap, cloneable front end to one pool.
-//!   `PoolHandle` itself implements [`GpuAllocator`], so existing
-//!   trait-generic code (like `gmlake-workload`'s `Replayer`) drives a
-//!   shared pool unmodified, from as many threads as desired.
+//! * [`PoolService`] — a registry mapping [`DeviceId`] → pool. Any
+//!   [`AllocatorCore`] implementation can be registered (it is wrapped in a
+//!   `DeviceAllocator`); the service is deliberately ignorant of which
+//!   allocator (GMLake, caching baseline, native) manages each device.
+//! * [`PoolHandle`] — a cheap, cloneable front end to one pool, `&self` on
+//!   every call. Small allocations ride the front-end's sharded
+//!   per-size-class caches without touching the pool mutex; large/stitch
+//!   traffic falls back to the wrapped core. `PoolHandle` also implements
+//!   [`AllocatorCore`], so trait-generic code (like `gmlake-workload`'s
+//!   `Replayer`) drives a shared pool unmodified.
 //! * [`DefragScheduler`] — evaluates a [`DefragPolicy`] ([`PeriodicPolicy`],
 //!   [`FragThresholdPolicy`], [`OomPressurePolicy`], or your own) at every
 //!   pool's iteration boundaries, on explicit
 //!   [`PoolService::defrag_sweep`] calls, and on the allocation OOM path
-//!   (apply-and-retry-once). Proactive defrag calls the allocators' new
-//!   [`GpuAllocator::compact`] hook; the nuclear option is
-//!   [`GpuAllocator::release_cached`].
+//!   (apply-and-retry-once). Proactive defrag calls the allocators'
+//!   [`AllocatorCore::compact`] hook; the nuclear option is
+//!   [`AllocatorCore::release_cached`]. Either way the front-end's shard
+//!   caches are flushed first, so defrag always sees every cached byte.
 //! * [`BackgroundDefragger`] — a sweep thread for deployments with no
 //!   natural iteration boundary.
 //!
@@ -31,18 +36,19 @@
 //! use gmlake_runtime::{DeviceId, PoolService};
 //! use gmlake_caching::CachingAllocator;
 //! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//! use gmlake_alloc_api::{kib, AllocRequest};
 //!
 //! let service = PoolService::new();
 //! let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
 //! let pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
 //!
 //! std::thread::scope(|s| {
-//!     for _ in 0..4 {
-//!         let mut pool = pool.clone();
+//!     for t in 0..4u64 {
+//!         let pool = pool.clone();
 //!         s.spawn(move || {
 //!             for _ in 0..32 {
-//!                 let a = pool.allocate(AllocRequest::new(mib(2))).unwrap();
+//!                 // Small tensors: the sharded fast path, no pool mutex.
+//!                 let a = pool.allocate(AllocRequest::new(kib(64 + t))).unwrap();
 //!                 pool.deallocate(a.id).unwrap();
 //!             }
 //!         });
@@ -63,11 +69,11 @@
 //! use gmlake_runtime::{DefragScheduler, DeviceId, PoolService};
 //! use gmlake_caching::CachingAllocator;
 //! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//! use gmlake_alloc_api::{mib, AllocRequest};
 //!
 //! let service = PoolService::with_scheduler(DefragScheduler::periodic(1));
 //! let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
-//! let mut pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+//! let pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
 //!
 //! let a = pool.allocate(AllocRequest::new(mib(16)))?;
 //! pool.deallocate(a.id)?;
@@ -89,7 +95,7 @@
 //! use gmlake_runtime::{DeviceId, PoolService};
 //! use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 //! use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-//! use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+//! use gmlake_alloc_api::{mib, AllocRequest};
 //!
 //! let service = PoolService::new();
 //! for rank in 0..4 {
@@ -101,7 +107,7 @@
 //! }
 //! std::thread::scope(|s| {
 //!     for device in service.devices() {
-//!         let mut pool = service.handle(device).unwrap();
+//!         let pool = service.handle(device).unwrap();
 //!         s.spawn(move || {
 //!             let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
 //!             pool.deallocate(a.id).unwrap();
@@ -113,9 +119,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! [`GpuAllocator`]: gmlake_alloc_api::GpuAllocator
-//! [`GpuAllocator::compact`]: gmlake_alloc_api::GpuAllocator::compact
-//! [`GpuAllocator::release_cached`]: gmlake_alloc_api::GpuAllocator::release_cached
+//! [`AllocatorCore`]: gmlake_alloc_api::AllocatorCore
+//! [`AllocatorCore::compact`]: gmlake_alloc_api::AllocatorCore::compact
+//! [`AllocatorCore::release_cached`]: gmlake_alloc_api::AllocatorCore::release_cached
 
 mod background;
 mod error;

@@ -1,6 +1,6 @@
 //! The defragmentation scheduler: pluggable policies deciding *when* a pool
-//! should run its [`compact`](gmlake_alloc_api::GpuAllocator::compact) or
-//! [`release_cached`](gmlake_alloc_api::GpuAllocator::release_cached) hook.
+//! should run its [`compact`](gmlake_alloc_api::AllocatorCore::compact) or
+//! [`release_cached`](gmlake_alloc_api::AllocatorCore::release_cached) hook.
 //!
 //! The design mirrors the step-driven defrag managers of production training
 //! stacks (e.g. torchtitan's `MemoryDefragManager`): instead of waiting for
@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
-use gmlake_alloc_api::{GpuAllocator, MemStats};
+use gmlake_alloc_api::{DeviceAllocator, MemStats};
 
 use crate::service::DeviceId;
 
@@ -32,10 +32,10 @@ pub enum DefragAction {
     /// Leave the pool alone.
     None,
     /// Run the allocator's proactive defrag/GC pass
-    /// ([`GpuAllocator::compact`]).
+    /// ([`AllocatorCore::compact`]).
     Compact,
     /// Surrender every cached structure
-    /// ([`GpuAllocator::release_cached`]), like
+    /// ([`AllocatorCore::release_cached`]), like
     /// `torch.cuda.empty_cache()`.
     ReleaseCached,
 }
@@ -56,7 +56,7 @@ pub struct PoolObservation {
     /// The pool's memory counters.
     pub stats: MemStats,
     /// Instantaneous fragmentation ratio (`1 − active/reserved`), as
-    /// reported by [`GpuAllocator::fragmentation`].
+    /// reported by [`AllocatorCore::fragmentation`].
     pub fragmentation: f64,
 }
 
@@ -297,8 +297,10 @@ impl DefragScheduler {
     }
 }
 
-/// Applies an action to an allocator, returning the bytes reclaimed.
-pub(crate) fn apply_action(action: DefragAction, alloc: &mut dyn GpuAllocator) -> u64 {
+/// Applies an action to a pool's allocator front-end, returning the bytes
+/// reclaimed. Both actions flush the front-end's shard caches first, so a
+/// defrag pass always sees every cached byte.
+pub(crate) fn apply_action(action: DefragAction, alloc: &DeviceAllocator) -> u64 {
     match action {
         DefragAction::None => 0,
         DefragAction::Compact => alloc.compact(),

@@ -1,5 +1,6 @@
-//! The multi-device pool service: a registry of per-device allocators
-//! behind cheap, cloneable, thread-safe [`PoolHandle`]s.
+//! The multi-device pool service: a registry of per-device
+//! [`DeviceAllocator`] front-ends behind cheap, cloneable, thread-safe
+//! [`PoolHandle`]s.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -9,8 +10,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use gmlake_alloc_api::{
-    share, AllocError, AllocRequest, Allocation, AllocationId, GpuAllocator, MemStats,
-    SharedAllocator,
+    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, DeviceAllocator,
+    DeviceAllocatorConfig, MemStats,
 };
 
 use crate::error::RuntimeError;
@@ -34,9 +35,11 @@ impl fmt::Display for DeviceId {
 /// [`PoolObservation::pool_epoch`](crate::PoolObservation::pool_epoch)).
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
-/// One registered pool: the shared allocator plus per-pool telemetry.
+/// One registered pool: the concurrent allocator front-end plus per-pool
+/// telemetry.
+#[derive(Debug)]
 struct PoolEntry {
-    alloc: SharedAllocator,
+    alloc: DeviceAllocator,
     /// Training iterations completed through this pool's handles.
     iterations: AtomicU64,
     /// Process-unique id of this registration (see [`NEXT_EPOCH`]).
@@ -45,14 +48,6 @@ struct PoolEntry {
     /// registered with the same affinity so an OOM rescue on one can
     /// release the others' caches. `None` = the pool's device is its own.
     affinity: Option<u64>,
-}
-
-impl fmt::Debug for PoolEntry {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("PoolEntry")
-            .field("iterations", &self.iterations)
-            .finish_non_exhaustive()
-    }
 }
 
 /// What one [`PoolService::defrag_sweep`] pass did.
@@ -83,11 +78,11 @@ struct ServiceInner {
 /// use gmlake_runtime::{DeviceId, PoolService};
 /// use gmlake_caching::CachingAllocator;
 /// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
-/// use gmlake_alloc_api::{mib, AllocRequest, GpuAllocator};
+/// use gmlake_alloc_api::{mib, AllocRequest};
 ///
 /// let service = PoolService::new();
 /// let driver = CudaDriver::new(DeviceConfig::small_test());
-/// let mut pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+/// let pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
 ///
 /// let a = pool.allocate(AllocRequest::new(mib(4)))?;
 /// assert_eq!(service.stats(DeviceId(0))?.active_bytes, a.size);
@@ -131,7 +126,10 @@ impl PoolService {
         self.inner.scheduler.as_deref()
     }
 
-    /// Registers an allocator as the pool for `device` and returns a handle.
+    /// Registers an allocator core as the pool for `device` and returns a
+    /// handle. The core is wrapped in a [`DeviceAllocator`] front-end with
+    /// the default configuration; use [`PoolService::register_device`] to
+    /// supply a pre-configured front-end.
     ///
     /// # Errors
     ///
@@ -139,23 +137,56 @@ impl PoolService {
     pub fn register(
         &self,
         device: DeviceId,
-        alloc: Box<dyn GpuAllocator + Send>,
+        alloc: Box<dyn AllocatorCore + Send>,
     ) -> Result<PoolHandle, RuntimeError> {
-        self.register_shared(device, share(alloc))
+        self.register_device(
+            device,
+            DeviceAllocator::from_boxed(alloc, DeviceAllocatorConfig::default()),
+        )
     }
 
-    /// Registers an already-shared allocator (e.g. one also driven outside
-    /// the service) as the pool for `device`.
+    /// Registers an existing [`DeviceAllocator`] (e.g. one with a custom
+    /// shard configuration, or one also driven outside the service) as the
+    /// pool for `device`.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::DuplicateDevice`] if `device` already has a pool.
+    pub fn register_device(
+        &self,
+        device: DeviceId,
+        alloc: DeviceAllocator,
+    ) -> Result<PoolHandle, RuntimeError> {
+        self.insert_entry(device, alloc, None)
+    }
+
+    /// Registers a deprecated [`SharedAllocator`] shim as the pool for
+    /// `device`, preserving the old single-mutex semantics (the front-end
+    /// fast path is disabled, so clones of the shim driven outside the
+    /// service keep seeing every allocation).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::DuplicateDevice`] if `device` already has a pool.
+    ///
+    /// [`SharedAllocator`]: gmlake_alloc_api::SharedAllocator
+    #[deprecated(
+        since = "0.2.0",
+        note = "wrap the core in a `DeviceAllocator` and use `register_device` instead"
+    )]
+    #[allow(deprecated)]
     pub fn register_shared(
         &self,
         device: DeviceId,
-        alloc: SharedAllocator,
+        alloc: gmlake_alloc_api::SharedAllocator,
     ) -> Result<PoolHandle, RuntimeError> {
-        self.insert_entry(device, alloc, None)
+        self.register_device(
+            device,
+            DeviceAllocator::with_config(
+                alloc,
+                DeviceAllocatorConfig::default().with_small_threshold(0),
+            ),
+        )
     }
 
     /// Like [`PoolService::register`], additionally declaring which
@@ -171,16 +202,20 @@ impl PoolService {
     pub fn register_with_affinity(
         &self,
         device: DeviceId,
-        alloc: Box<dyn GpuAllocator + Send>,
+        alloc: Box<dyn AllocatorCore + Send>,
         affinity: u64,
     ) -> Result<PoolHandle, RuntimeError> {
-        self.insert_entry(device, share(alloc), Some(affinity))
+        self.insert_entry(
+            device,
+            DeviceAllocator::from_boxed(alloc, DeviceAllocatorConfig::default()),
+            Some(affinity),
+        )
     }
 
     fn insert_entry(
         &self,
         device: DeviceId,
-        alloc: SharedAllocator,
+        alloc: DeviceAllocator,
         affinity: Option<u64>,
     ) -> Result<PoolHandle, RuntimeError> {
         let mut pools = self.inner.pools.lock();
@@ -259,7 +294,7 @@ impl PoolService {
         let entries: Vec<Arc<PoolEntry>> = self.inner.pools.lock().values().cloned().collect();
         let mut total = MemStats::default();
         for entry in entries {
-            let s = entry.alloc.lock().stats();
+            let s = entry.alloc.stats();
             total.active_bytes += s.active_bytes;
             total.reserved_bytes += s.reserved_bytes;
             total.peak_active_bytes += s.peak_active_bytes;
@@ -295,7 +330,7 @@ impl PoolService {
             let obs = observe(device, &entry);
             let action = scheduler.decide_iteration(&obs);
             if action != DefragAction::None {
-                let bytes = apply_action(action, &mut *entry.alloc.lock());
+                let bytes = apply_action(action, &entry.alloc);
                 scheduler.record(action, bytes);
                 outcome.actions_applied += 1;
                 outcome.bytes_reclaimed += bytes;
@@ -313,33 +348,45 @@ impl PoolService {
     }
 }
 
-/// Captures a [`PoolObservation`] of one pool (takes and releases the pool
-/// lock).
+/// Instantaneous fragmentation of a stats snapshot (same formula as
+/// [`DeviceAllocator::fragmentation`], computed here so one observation
+/// aggregates the pool's shard counters once, not twice).
+fn fragmentation_of(stats: &MemStats) -> f64 {
+    if stats.reserved_bytes == 0 {
+        0.0
+    } else {
+        1.0 - stats.active_bytes as f64 / stats.reserved_bytes as f64
+    }
+}
+
+/// Captures a [`PoolObservation`] of one pool.
 fn observe(device: DeviceId, entry: &PoolEntry) -> PoolObservation {
-    let guard = entry.alloc.lock();
+    let stats = entry.alloc.stats();
     PoolObservation {
         device,
         pool_epoch: entry.epoch,
         iteration: entry.iterations.load(Ordering::Relaxed),
-        stats: guard.stats(),
-        fragmentation: guard.fragmentation(),
+        fragmentation: fragmentation_of(&stats),
+        stats,
     }
 }
 
-/// A cheap, cloneable, thread-safe front end to one registered pool.
+/// A cheap, cloneable, thread-safe front end to one registered pool: the
+/// pool's [`DeviceAllocator`] plus the [`DefragScheduler`] hooks.
 ///
-/// `PoolHandle` implements [`GpuAllocator`], so anything written against
-/// the trait — including the sequential
+/// Every allocation method takes `&self` — clone a handle into each worker
+/// thread and allocate away. Small requests ride the front-end's sharded
+/// fast path without ever touching the pool mutex; large/stitch traffic
+/// falls back to the wrapped core. `PoolHandle` also implements
+/// [`AllocatorCore`], so trait-generic code — including the sequential
 /// [`Replayer`](../gmlake_workload/struct.Replayer.html) — can drive a
-/// shared pool unmodified. Every trait call takes the pool's mutex for
-/// exactly its own duration.
+/// shared pool unmodified.
 ///
-/// Beyond plain delegation, the handle is where the
-/// [`DefragScheduler`] hooks in:
+/// Beyond delegation, the handle is where the [`DefragScheduler`] hooks in:
 ///
-/// * [`GpuAllocator::iteration_boundary`] advances the pool's iteration
+/// * [`PoolHandle::iteration_boundary`] advances the pool's iteration
 ///   counter and lets the policy trigger a proactive defrag pass;
-/// * [`GpuAllocator::allocate`] gives the policy a chance to rescue an
+/// * [`PoolHandle::allocate`] gives the policy a chance to rescue an
 ///   out-of-memory failure (apply an action, retry once) before the error
 ///   reaches the caller.
 #[derive(Debug, Clone)]
@@ -360,12 +407,18 @@ impl PoolHandle {
         self.entry.iterations.load(Ordering::Relaxed)
     }
 
-    /// Runs `f` with exclusive access to the underlying allocator — an
+    /// The pool's concurrent allocator front-end.
+    pub fn allocator(&self) -> &DeviceAllocator {
+        &self.entry.alloc
+    }
+
+    /// Runs `f` with exclusive access to the underlying allocator core — an
     /// escape hatch for implementation-specific calls (e.g.
     /// `GmLakeAllocator::state_counters`). Do not block inside `f`: every
-    /// other handle of this pool waits.
-    pub fn with_allocator<R>(&self, f: impl FnOnce(&mut dyn GpuAllocator) -> R) -> R {
-        f(&mut **self.entry.alloc.lock())
+    /// core-path caller of this pool waits. The front-end's shard caches
+    /// are not flushed first (see [`DeviceAllocator::flush`]).
+    pub fn with_allocator<R>(&self, f: impl FnOnce(&mut dyn AllocatorCore) -> R) -> R {
+        self.entry.alloc.with_core(f)
     }
 
     fn observation(&self) -> PoolObservation {
@@ -385,7 +438,7 @@ impl PoolHandle {
     /// caches could not relieve this device's pressure. Returns the bytes
     /// reclaimed across the touched pools.
     fn rescue_same_device(&self, action: DefragAction) -> u64 {
-        let mut bytes = apply_action(action, &mut **self.entry.alloc.lock());
+        let mut bytes = apply_action(action, &self.entry.alloc);
         if self.entry.affinity.is_none() {
             return bytes;
         }
@@ -398,21 +451,29 @@ impl PoolHandle {
             .cloned()
             .collect();
         for entry in cohabitants {
-            bytes += apply_action(action, &mut **entry.alloc.lock());
+            bytes += apply_action(action, &entry.alloc);
         }
         bytes
     }
-}
 
-impl GpuAllocator for PoolHandle {
-    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
-        let result = self.entry.alloc.lock().allocate(req);
+    /// Allocates memory for `req` through the pool's [`DeviceAllocator`].
+    ///
+    /// On out-of-memory — after the front-end's own flush-and-retry — the
+    /// service's defrag policy may rescue the allocation: apply an action
+    /// across the pools cohabiting this pool's physical device, then retry
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::allocate`].
+    pub fn allocate(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let result = self.entry.alloc.allocate(req);
         let Err(AllocError::OutOfMemory { .. }) = &result else {
             return result;
         };
-        // OOM-pressure path: let the policy rescue the allocation. The pool
-        // lock is *not* held while the policy deliberates, and the rescue
-        // spans the pools cohabiting this pool's physical device (same
+        // OOM-pressure path: let the policy rescue the allocation. No pool
+        // lock is held while the policy deliberates, and the rescue spans
+        // the pools cohabiting this pool's physical device (same
         // registration affinity) — their caches may hold the memory the
         // failing allocator's own fallback cannot release.
         let Some(scheduler) = self.scheduler() else {
@@ -425,55 +486,106 @@ impl GpuAllocator for PoolHandle {
         }
         let bytes = self.rescue_same_device(action);
         scheduler.record_oom_rescue(action, bytes);
-        self.entry.alloc.lock().allocate(req)
+        self.entry.alloc.allocate(req)
     }
 
-    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
-        self.entry.alloc.lock().deallocate(id)
+    /// Releases the allocation identified by `id`.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::deallocate`].
+    pub fn deallocate(&self, id: AllocationId) -> Result<(), AllocError> {
+        self.entry.alloc.deallocate(id)
     }
 
-    fn stats(&self) -> MemStats {
-        self.entry.alloc.lock().stats()
+    /// Memory statistics of the pool (see [`DeviceAllocator::stats`]).
+    pub fn stats(&self) -> MemStats {
+        self.entry.alloc.stats()
     }
 
-    fn name(&self) -> &'static str {
-        self.entry.alloc.lock().name()
+    /// Backend name (cached at construction; never takes a lock).
+    pub fn name(&self) -> &'static str {
+        self.entry.alloc.name()
     }
 
-    fn iteration_boundary(&mut self) {
-        let obs = {
-            let mut guard = self.entry.alloc.lock();
-            guard.iteration_boundary();
-            let iteration = self.entry.iterations.fetch_add(1, Ordering::Relaxed) + 1;
-            PoolObservation {
-                device: self.device,
-                pool_epoch: self.entry.epoch,
-                iteration,
-                stats: guard.stats(),
-                fragmentation: guard.fragmentation(),
-            }
-        };
+    /// Signals the end of one training iteration: forwards the hint to the
+    /// allocator, advances the pool's iteration counter, and gives the
+    /// defrag policy its per-iteration decision point.
+    pub fn iteration_boundary(&self) {
+        self.entry.alloc.iteration_boundary();
+        let iteration = self.entry.iterations.fetch_add(1, Ordering::Relaxed) + 1;
         let Some(scheduler) = self.scheduler() else {
             return;
         };
         let scheduler = Arc::clone(scheduler);
+        let stats = self.entry.alloc.stats();
+        let obs = PoolObservation {
+            device: self.device,
+            pool_epoch: self.entry.epoch,
+            iteration,
+            fragmentation: fragmentation_of(&stats),
+            stats,
+        };
         let action = scheduler.decide_iteration(&obs);
         if action != DefragAction::None {
-            let bytes = apply_action(action, &mut **self.entry.alloc.lock());
+            let bytes = apply_action(action, &self.entry.alloc);
             scheduler.record(action, bytes);
         }
     }
 
+    /// Releases the pool's cached memory (see
+    /// [`DeviceAllocator::release_cached`]).
+    pub fn release_cached(&self) -> u64 {
+        self.entry.alloc.release_cached()
+    }
+
+    /// Runs the pool's proactive defrag pass (see
+    /// [`DeviceAllocator::compact`]).
+    pub fn compact(&self) -> u64 {
+        self.entry.alloc.compact()
+    }
+
+    /// Instantaneous fragmentation ratio (see
+    /// [`DeviceAllocator::fragmentation`]).
+    pub fn fragmentation(&self) -> f64 {
+        self.entry.alloc.fragmentation()
+    }
+}
+
+/// Trait-compat layer: lets trait-generic code (the sequential replayer,
+/// ablation harnesses) drive a pool handle; every method delegates to the
+/// concurrent `&self` inherent API.
+impl AllocatorCore for PoolHandle {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        PoolHandle::allocate(self, req)
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        PoolHandle::deallocate(self, id)
+    }
+
+    fn stats(&self) -> MemStats {
+        PoolHandle::stats(self)
+    }
+
+    fn name(&self) -> &'static str {
+        PoolHandle::name(self)
+    }
+
+    fn iteration_boundary(&mut self) {
+        PoolHandle::iteration_boundary(self)
+    }
+
     fn release_cached(&mut self) -> u64 {
-        self.entry.alloc.lock().release_cached()
+        PoolHandle::release_cached(self)
     }
 
     fn compact(&mut self) -> u64 {
-        self.entry.alloc.lock().compact()
+        PoolHandle::compact(self)
     }
 
     fn fragmentation(&self) -> f64 {
-        self.entry.alloc.lock().fragmentation()
+        PoolHandle::fragmentation(self)
     }
 }
 
@@ -485,7 +597,7 @@ mod tests {
     use gmlake_core::{GmLakeAllocator, GmLakeConfig};
     use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
 
-    fn caching_pool() -> Box<dyn GpuAllocator + Send> {
+    fn caching_pool() -> Box<dyn AllocatorCore + Send> {
         Box::new(CachingAllocator::new(CudaDriver::new(
             DeviceConfig::small_test().with_backing(false),
         )))
@@ -524,13 +636,29 @@ mod tests {
     #[test]
     fn handles_share_one_pool() {
         let service = PoolService::new();
-        let mut a = service.register(DeviceId(0), caching_pool()).unwrap();
-        let mut b = service.handle(DeviceId(0)).unwrap();
+        let a = service.register(DeviceId(0), caching_pool()).unwrap();
+        let b = service.handle(DeviceId(0)).unwrap();
         let alloc = a.allocate(AllocRequest::new(mib(4))).unwrap();
         assert_eq!(b.stats().active_bytes, alloc.size);
         b.deallocate(alloc.id).unwrap();
         assert_eq!(a.stats().active_bytes, 0);
         assert_eq!(a.name(), "pytorch-caching");
+    }
+
+    #[test]
+    fn preconfigured_device_allocator_can_be_registered() {
+        let service = PoolService::new();
+        let front = DeviceAllocator::with_config(
+            CachingAllocator::new(CudaDriver::new(
+                DeviceConfig::small_test().with_backing(false),
+            )),
+            DeviceAllocatorConfig::default().with_shards(4),
+        );
+        let pool = service.register_device(DeviceId(0), front).unwrap();
+        let a = pool.allocate(AllocRequest::new(1024)).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(pool.allocator().cache_stats().shards, 4);
+        assert_eq!(pool.stats().active_bytes, 0);
     }
 
     #[test]
@@ -544,8 +672,8 @@ mod tests {
     #[test]
     fn aggregate_stats_sum_pools() {
         let service = PoolService::new();
-        let mut a = service.register(DeviceId(0), caching_pool()).unwrap();
-        let mut b = service.register(DeviceId(1), caching_pool()).unwrap();
+        let a = service.register(DeviceId(0), caching_pool()).unwrap();
+        let b = service.register(DeviceId(1), caching_pool()).unwrap();
         let x = a.allocate(AllocRequest::new(mib(2))).unwrap();
         let y = b.allocate(AllocRequest::new(mib(6))).unwrap();
         let total = service.aggregate_stats();
@@ -559,7 +687,7 @@ mod tests {
     fn iteration_boundary_counts_and_triggers_periodic_defrag() {
         let service = PoolService::with_scheduler(DefragScheduler::periodic(2));
         let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
-        let mut pool = service
+        let pool = service
             .register(DeviceId(0), Box::new(CachingAllocator::new(driver.clone())))
             .unwrap();
         // Populate the cache, then free: reserved stays high.
@@ -593,14 +721,14 @@ mod tests {
         // the service-level rescue can.
         let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
         let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
-        let mut hoarder = service
+        let hoarder = service
             .register_with_affinity(
                 DeviceId(0),
                 Box::new(CachingAllocator::new(driver.clone())),
                 0,
             )
             .unwrap();
-        let mut pool = service
+        let pool = service
             .register_with_affinity(
                 DeviceId(1),
                 Box::new(GmLakeAllocator::new(
@@ -636,13 +764,13 @@ mod tests {
         // the failing pool's pressure, so the rescue must not touch it.
         let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
         let other_driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
-        let mut hoarder = service
+        let hoarder = service
             .register(
                 DeviceId(0),
                 Box::new(CachingAllocator::new(other_driver.clone())),
             )
             .unwrap();
-        let mut pool = service.register(DeviceId(1), caching_pool()).unwrap();
+        let pool = service.register(DeviceId(1), caching_pool()).unwrap();
         let a = hoarder.allocate(AllocRequest::new(mib(40))).unwrap();
         hoarder.deallocate(a.id).unwrap();
         assert!(hoarder.stats().reserved_bytes >= mib(40), "cache warm");
@@ -658,7 +786,7 @@ mod tests {
     #[test]
     fn oom_still_surfaces_when_rescue_cannot_help() {
         let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
-        let mut pool = service.register(DeviceId(0), caching_pool()).unwrap();
+        let pool = service.register(DeviceId(0), caching_pool()).unwrap();
         let hold = pool.allocate(AllocRequest::new(mib(200))).unwrap();
         let err = pool.allocate(AllocRequest::new(mib(200))).unwrap_err();
         assert!(matches!(err, AllocError::OutOfMemory { .. }));
@@ -668,7 +796,7 @@ mod tests {
     #[test]
     fn defrag_sweep_covers_every_pool() {
         let service = PoolService::with_scheduler(DefragScheduler::frag_threshold(0.5, 1));
-        let mut handles: Vec<PoolHandle> = (0..3)
+        let handles: Vec<PoolHandle> = (0..3)
             .map(|i| service.register(DeviceId(i), caching_pool()).unwrap())
             .collect();
         // Fragment pools 0 and 2 (idle cache, zero active), keep pool 1 empty.
@@ -699,7 +827,7 @@ mod tests {
     fn gmlake_pool_through_handle_stitches() {
         let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
         let service = PoolService::new();
-        let mut pool = service
+        let pool = service
             .register(
                 DeviceId(0),
                 Box::new(GmLakeAllocator::new(
@@ -722,6 +850,43 @@ mod tests {
         });
         assert_eq!(stitches, 3);
         pool.deallocate(c.id).unwrap();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_allocator_still_registers() {
+        // Migration window: the SharedAllocator shim must keep working at
+        // the service boundary for one release, with its old single-mutex
+        // semantics (no front-end caching that outside clones cannot see).
+        let service = PoolService::new();
+        let shared = gmlake_alloc_api::share(CachingAllocator::new(CudaDriver::new(
+            DeviceConfig::small_test().with_backing(false),
+        )));
+        let mut outside = shared.clone();
+        let pool = service.register_shared(DeviceId(0), shared).unwrap();
+        let a = pool.allocate(AllocRequest::new(1024)).unwrap();
+        assert_eq!(
+            outside.stats().active_bytes,
+            a.size,
+            "outside clone sees the allocation (fast path disabled)"
+        );
+        outside.deallocate(a.id).unwrap();
+        assert_eq!(pool.stats().active_bytes, 0);
+        assert_eq!(pool.name(), "pytorch-caching");
+    }
+
+    #[test]
+    fn small_traffic_through_the_handle_rides_the_shards() {
+        let service = PoolService::new();
+        let pool = service.register(DeviceId(0), caching_pool()).unwrap();
+        let warm = pool.allocate(AllocRequest::new(1024)).unwrap();
+        pool.deallocate(warm.id).unwrap();
+        let before = pool.allocator().cache_stats();
+        let a = pool.allocate(AllocRequest::new(1024)).unwrap();
+        pool.deallocate(a.id).unwrap();
+        let after = pool.allocator().cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "served from the shard cache");
+        assert_eq!(after.misses, before.misses);
     }
 
     #[test]

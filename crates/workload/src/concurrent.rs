@@ -251,7 +251,7 @@ mod tests {
             .map(|rank| {
                 let driver = CudaDriver::new(DeviceConfig::a100_80g());
                 let device = DeviceId(rank);
-                let alloc: Box<dyn gmlake_alloc_api::GpuAllocator + Send> = if gmlake {
+                let alloc: Box<dyn gmlake_alloc_api::AllocatorCore + Send> = if gmlake {
                     Box::new(GmLakeAllocator::new(
                         driver.clone(),
                         GmLakeConfig::default(),

@@ -13,7 +13,7 @@
 //! * [`TraceGenerator`] — ZeRO-3 fine-tuning as a tensor-granularity trace
 //!   (persistent shards, gathers, activations, recompute bursts, offload
 //!   staging), with strategy-dependent irregularity;
-//! * [`Replayer`] — drives any [`GpuAllocator`](gmlake_alloc_api::GpuAllocator)
+//! * [`Replayer`] — drives any [`AllocatorCore`](gmlake_alloc_api::AllocatorCore)
 //!   and reports peak active/reserved memory, utilization, fragmentation,
 //!   throughput, OOM outcome and a memory-over-time series;
 //! * [`headline_suite`] — the 76-workload matrix behind the paper's headline

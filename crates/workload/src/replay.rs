@@ -1,10 +1,10 @@
-//! Trace replayer: drives any [`GpuAllocator`] with a [`Trace`] and collects
+//! Trace replayer: drives any [`AllocatorCore`] with a [`Trace`] and collects
 //! the metrics the paper reports — peak active/reserved memory, utilization
 //! and fragmentation ratios, throughput, time series, and OOM outcomes.
 
 use std::collections::HashMap;
 
-use gmlake_alloc_api::{AllocError, AllocRequest, AllocationId, GpuAllocator};
+use gmlake_alloc_api::{AllocError, AllocRequest, AllocationId, AllocatorCore};
 use gmlake_gpu_sim::CudaDriver;
 
 use crate::trace::{Trace, TraceEvent, TraceStats};
@@ -66,7 +66,7 @@ pub struct Sample {
 /// Everything measured during one replay.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
-    /// Allocator name (`GpuAllocator::name`).
+    /// Allocator name (`AllocatorCore::name`).
     pub allocator: &'static str,
     /// Trace label.
     pub label: String,
@@ -155,7 +155,7 @@ impl Replayer {
     /// count (`batch × gpus`) for throughput accounting.
     pub fn replay(
         &self,
-        alloc: &mut dyn GpuAllocator,
+        alloc: &mut dyn AllocatorCore,
         trace: &Trace,
         cfg: &crate::strategy::TrainConfig,
     ) -> ReplayReport {
@@ -166,7 +166,7 @@ impl Replayer {
     /// Like [`Replayer::replay`], with an explicit samples-per-iteration.
     pub fn replay_with_samples(
         &self,
-        alloc: &mut dyn GpuAllocator,
+        alloc: &mut dyn AllocatorCore,
         trace: &Trace,
         samples_per_iter: u64,
     ) -> ReplayReport {

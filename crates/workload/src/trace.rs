@@ -36,7 +36,7 @@ pub enum TraceEvent {
         index: u32,
     },
     /// A training iteration ended (the replayer forwards this to
-    /// `GpuAllocator::iteration_boundary`).
+    /// `AllocatorCore::iteration_boundary`).
     IterEnd {
         /// Iteration index, from 0.
         index: u32,

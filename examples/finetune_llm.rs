@@ -32,14 +32,18 @@ fn main() {
     }
     println!();
 
-    // Baseline: PyTorch caching allocator.
+    // Both allocators run behind the concurrent `DeviceAllocator` front-end
+    // (the type every shared pool is driven through); the sequential
+    // replayer accepts it via the `AllocatorCore` compat impl.
     let driver = CudaDriver::new(DeviceConfig::a100_80g());
-    let mut baseline = CachingAllocator::new(driver.clone());
+    let mut baseline = DeviceAllocator::new(CachingAllocator::new(driver.clone()));
     let r_base = Replayer::new(driver).replay(&mut baseline, &trace, &cfg);
 
-    // GMLake.
     let driver = CudaDriver::new(DeviceConfig::a100_80g());
-    let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+    let mut lake = DeviceAllocator::new(GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default(),
+    ));
     let r_lake = Replayer::new(driver).replay(&mut lake, &trace, &cfg);
 
     for r in [&r_base, &r_lake] {
@@ -58,11 +62,13 @@ fn main() {
         100.0 * r_base.peak_reserved.saturating_sub(r_lake.peak_reserved) as f64
             / r_base.peak_reserved as f64
     );
-    println!(
-        "gmlake convergence: non-exact transitions per iteration {:?}",
-        lake.non_exact_history()
-    );
-    let c = lake.state_counters();
+    // Typed telemetry behind the type-erased front-end.
+    let (history, c) = lake
+        .with_core_as::<GmLakeAllocator, _>(|l| {
+            (l.non_exact_history().to_vec(), l.state_counters())
+        })
+        .expect("the wrapped core is GMLake");
+    println!("gmlake convergence: non-exact transitions per iteration {history:?}");
     println!(
         "gmlake lifetime ops: {} stitches, {} splits, {} evictions",
         c.stitches, c.splits, c.evictions

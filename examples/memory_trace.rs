@@ -22,14 +22,16 @@ fn main() {
         stop_on_oom: true,
     };
 
+    // Both allocators run behind the concurrent `DeviceAllocator` front-end
+    // (the type every shared pool is driven through).
     let d1 = CudaDriver::new(DeviceConfig::a100_80g());
-    let mut pt = CachingAllocator::new(d1.clone());
+    let mut pt = DeviceAllocator::new(CachingAllocator::new(d1.clone()));
     let r_pt = Replayer::new(d1)
         .with_options(opts.clone())
         .replay(&mut pt, &trace, &cfg);
 
     let d2 = CudaDriver::new(DeviceConfig::a100_80g());
-    let mut gml = GmLakeAllocator::new(d2.clone(), GmLakeConfig::default());
+    let mut gml = DeviceAllocator::new(GmLakeAllocator::new(d2.clone(), GmLakeConfig::default()));
     let r_gml = Replayer::new(d2)
         .with_options(opts)
         .replay(&mut gml, &trace, &cfg);

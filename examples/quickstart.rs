@@ -4,7 +4,9 @@
 //! caching allocator dies on a request its total free memory could satisfy,
 //! while GMLake stitches the non-contiguous free blocks behind one virtual
 //! address range and serves it — then proves the stitched range behaves like
-//! flat memory by writing across the physical boundary.
+//! flat memory by writing across the physical boundary. Part 3 shares one
+//! GMLake pool between threads through the concurrent `DeviceAllocator`
+//! front-end.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -80,5 +82,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     lake.deallocate(big.id)?;
     lake.deallocate(b.id)?;
     lake.deallocate(d.id)?;
+
+    // ---------------------------------------------------------------
+    // 3. Many threads, one pool: the concurrent DeviceAllocator front-end.
+    //    Small tensors ride per-size-class shard caches (no pool mutex);
+    //    large/stitch traffic falls back to the wrapped GMLake core.
+    // ---------------------------------------------------------------
+    let pool = DeviceAllocator::new(lake);
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                for _ in 0..256 {
+                    let a = pool
+                        .allocate(AllocRequest::new(kib(64 + 16 * t)))
+                        .expect("small tensors always fit here");
+                    pool.deallocate(a.id).expect("live");
+                }
+            });
+        }
+    });
+    let stats = pool.stats();
+    let cache = pool.cache_stats();
+    println!(
+        "\ndevice-allocator: 4 threads x 256 small alloc/free — {} allocs, {} frees, \
+         {} shard hits / {} misses, {} blocks cached",
+        stats.alloc_count, stats.free_count, cache.hits, cache.misses, cache.cached_blocks
+    );
+    // Typed telemetry still works behind the type-erased front-end.
+    let stitches = pool
+        .with_core_as::<GmLakeAllocator, _>(|l| l.state_counters().stitches)
+        .expect("the wrapped core is GMLake");
+    println!("device-allocator: wrapped gmlake core reports {stitches} lifetime stitches");
+    assert_eq!(stats.active_bytes, 0);
     Ok(())
 }

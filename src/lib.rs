@@ -23,8 +23,8 @@ pub use gmlake_workload as workload;
 /// Commonly used items, importable with a single `use gmlake::prelude::*`.
 pub mod prelude {
     pub use gmlake_alloc_api::{
-        gib, kib, mib, AllocError, AllocRequest, AllocTag, Allocation, AllocationId, GpuAllocator,
-        MemStats, VirtAddr,
+        gib, kib, mib, AllocError, AllocRequest, AllocTag, Allocation, AllocationId, AllocatorCore,
+        DeviceAllocator, MemStats, VirtAddr,
     };
     pub use gmlake_caching::CachingAllocator;
     pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};

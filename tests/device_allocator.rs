@@ -1,0 +1,241 @@
+//! Cross-crate tests of the sharded `DeviceAllocator` fast path: N-thread
+//! stress with exact accounting, cross-thread frees, cross-thread
+//! double-free detection, and teardown hygiene on a real simulated device.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+
+use gmlake::prelude::*;
+use gmlake_alloc_api::DeviceAllocatorConfig;
+use gmlake_core::GmLakeConfig;
+
+fn caching_front() -> (DeviceAllocator, CudaDriver) {
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    (
+        DeviceAllocator::new(CachingAllocator::new(driver.clone())),
+        driver,
+    )
+}
+
+/// ≥8 threads hammer one front-end with a size mix straddling the
+/// small/large threshold: every successful allocation is freed exactly
+/// once, nothing is lost or leaked across the shards, and the wrapped
+/// core's own invariants survive.
+#[test]
+fn stress_eight_threads_no_allocation_lost_across_shards() {
+    const THREADS: u64 = 8;
+    const OPS: u64 = 400;
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let pool = DeviceAllocator::new(GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    ));
+
+    let total_allocs = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = pool.clone();
+            let total_allocs = &total_allocs;
+            s.spawn(move || {
+                let mut live: Vec<AllocationId> = Vec::new();
+                let mut x = 0x9e3779b97f4a7c15u64.wrapping_mul(t + 1);
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    // Sizes from 512 B to ~4 MiB: both the sharded fast
+                    // path and the core fallback run, on many size classes.
+                    let size = 512 + x % mib(4);
+                    match pool.allocate(AllocRequest::new(size)) {
+                        Ok(a) => {
+                            assert!(a.size >= size, "undersized block");
+                            total_allocs.fetch_add(1, Ordering::Relaxed);
+                            live.push(a.id);
+                        }
+                        Err(AllocError::OutOfMemory { .. }) => {}
+                        Err(e) => panic!("unexpected allocator error: {e}"),
+                    }
+                    if live.len() > 4 {
+                        let id = live.swap_remove((x % live.len() as u64) as usize);
+                        pool.deallocate(id).unwrap();
+                    }
+                }
+                for id in live {
+                    pool.deallocate(id).unwrap();
+                }
+            });
+        }
+    });
+
+    let stats = pool.stats();
+    assert_eq!(
+        stats.alloc_count,
+        total_allocs.load(Ordering::Relaxed),
+        "every successful allocation was counted exactly once"
+    );
+    assert_eq!(stats.alloc_count, stats.free_count, "no allocation lost");
+    assert_eq!(stats.active_bytes, 0);
+    // Returning the shard caches to the core reconciles it exactly.
+    pool.flush();
+    pool.with_core(|core| {
+        assert_eq!(core.stats().active_bytes, 0, "core agrees after flush");
+    });
+    // Dropping the front-end (and with it the core) returns every byte,
+    // reservation, and mapping to the device: nothing leaked in a shard.
+    drop(pool);
+    assert!(driver.snapshot().is_quiescent(), "device fully torn down");
+}
+
+/// A block allocated on one thread and freed on another stays correctly
+/// accounted, and the migrated block is reusable from the cache.
+#[test]
+fn alloc_on_one_thread_free_on_another() {
+    let (pool, _driver) = caching_front();
+    let (tx, rx) = mpsc::channel::<AllocationId>();
+    std::thread::scope(|s| {
+        let producer = pool.clone();
+        s.spawn(move || {
+            for _ in 0..200 {
+                let a = producer.allocate(AllocRequest::new(kib(64))).unwrap();
+                tx.send(a.id).unwrap();
+            }
+        });
+        let consumer = pool.clone();
+        s.spawn(move || {
+            for id in rx {
+                consumer.deallocate(id).unwrap();
+            }
+        });
+    });
+    let stats = pool.stats();
+    assert_eq!(stats.alloc_count, 200);
+    assert_eq!(stats.free_count, 200);
+    assert_eq!(stats.active_bytes, 0);
+    // The migrated blocks are sitting in the shard caches, ready for reuse.
+    let before = pool.cache_stats();
+    assert!(before.cached_blocks > 0, "frees landed in the cache");
+    let a = pool.allocate(AllocRequest::new(kib(64))).unwrap();
+    assert_eq!(pool.cache_stats().hits, before.hits + 1);
+    pool.deallocate(a.id).unwrap();
+}
+
+/// Two threads race to free the same allocation: exactly one wins, the
+/// other gets `UnknownAllocation`, and the accounting stays exact.
+#[test]
+fn cross_thread_double_free_is_detected_exactly_once() {
+    let (pool, _driver) = caching_front();
+    for round in 0..50 {
+        let a = pool.allocate(AllocRequest::new(kib(8))).unwrap();
+        let outcomes: Vec<Result<(), AllocError>> = std::thread::scope(|s| {
+            let h1 = pool.clone();
+            let h2 = pool.clone();
+            let t1 = s.spawn(move || h1.deallocate(a.id));
+            let t2 = s.spawn(move || h2.deallocate(a.id));
+            vec![t1.join().unwrap(), t2.join().unwrap()]
+        });
+        let oks = outcomes.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(oks, 1, "round {round}: exactly one free wins: {outcomes:?}");
+        assert!(
+            outcomes
+                .iter()
+                .any(|r| r == &Err(AllocError::UnknownAllocation(a.id))),
+            "round {round}: the loser sees UnknownAllocation"
+        );
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.alloc_count, 50);
+    assert_eq!(stats.free_count, 50, "double frees never double-counted");
+    assert_eq!(stats.active_bytes, 0);
+}
+
+/// Double-free detection also holds for large (core-path) allocations and
+/// for stale front-end ids whose block has since been reused.
+#[test]
+fn double_free_after_reuse_is_still_rejected() {
+    let (pool, _driver) = caching_front();
+    let a = pool.allocate(AllocRequest::new(kib(32))).unwrap();
+    pool.deallocate(a.id).unwrap();
+    // The same cached block comes back under a FRESH id; the stale id must
+    // stay dead even though the block is live again.
+    let b = pool.allocate(AllocRequest::new(kib(32))).unwrap();
+    assert_eq!(b.va, a.va, "block was reused");
+    assert_ne!(b.id, a.id);
+    assert_eq!(
+        pool.deallocate(a.id).unwrap_err(),
+        AllocError::UnknownAllocation(a.id)
+    );
+    pool.deallocate(b.id).unwrap();
+
+    let big = pool.allocate(AllocRequest::new(mib(16))).unwrap();
+    pool.deallocate(big.id).unwrap();
+    assert_eq!(
+        pool.deallocate(big.id).unwrap_err(),
+        AllocError::UnknownAllocation(big.id),
+        "core-path double-free surfaces through the front-end"
+    );
+}
+
+/// The front-end's OOM fallback reaches blocks parked in other threads'
+/// shard caches: a large request that only fits once the caches are
+/// flushed must succeed instead of erroring.
+#[test]
+fn oom_retry_reclaims_blocks_parked_by_other_threads() {
+    // 256 MiB device; four threads each hold 32 × 1 MiB live before
+    // freeing, so at least 32 distinct blocks end up parked in the caches
+    // (threads that run later reuse earlier threads' blocks). A 240 MiB
+    // request cannot fit while ≥ 32 MiB sits in the shards.
+    let (pool, driver) = caching_front();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let ids: Vec<_> = (0..32)
+                    .map(|_| pool.allocate(AllocRequest::new(mib(1))).unwrap().id)
+                    .collect();
+                for id in ids {
+                    pool.deallocate(id).unwrap();
+                }
+            });
+        }
+    });
+    assert!(pool.cache_stats().cached_bytes >= mib(32), "caches warm");
+    assert!(driver.phys_in_use() >= mib(32));
+    let big = pool.allocate(AllocRequest::new(mib(240))).unwrap();
+    assert_eq!(big.size, mib(240), "flush-and-retry rescued the request");
+    assert_eq!(pool.cache_stats().cached_bytes, 0, "shards were flushed");
+    pool.deallocate(big.id).unwrap();
+}
+
+/// Sequential trait-generic code (the replayer path) drives the front-end
+/// through `AllocatorCore` unmodified.
+#[test]
+fn front_end_is_a_core_for_trait_generic_callers() {
+    fn run<A: gmlake_alloc_api::AllocatorCore>(mut a: A) {
+        let x = a.allocate(AllocRequest::new(kib(4))).unwrap();
+        a.deallocate(x.id).unwrap();
+        a.iteration_boundary();
+        assert_eq!(a.stats().active_bytes, 0);
+    }
+    let (pool, _driver) = caching_front();
+    run(pool.clone());
+    assert_eq!(pool.stats().alloc_count, 1);
+}
+
+/// Shard configuration is honored and observable.
+#[test]
+fn custom_shard_config_round_trips() {
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let pool = DeviceAllocator::with_config(
+        CachingAllocator::new(driver),
+        DeviceAllocatorConfig::default()
+            .with_shards(5) // rounded up to 8
+            .with_max_cached_per_class(1),
+    );
+    let a = pool.allocate(AllocRequest::new(kib(16))).unwrap();
+    let b = pool.allocate(AllocRequest::new(kib(16))).unwrap();
+    pool.deallocate(a.id).unwrap();
+    pool.deallocate(b.id).unwrap();
+    let cache = pool.cache_stats();
+    assert_eq!(cache.shards, 8);
+    assert_eq!(cache.cached_blocks, 1, "per-class cap enforced");
+}

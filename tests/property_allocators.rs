@@ -27,7 +27,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 /// Drives a program against an allocator; returns the surviving ids.
-fn run_program<A: GpuAllocator>(
+fn run_program<A: AllocatorCore>(
     alloc: &mut A,
     ops: &[Op],
     mut check: impl FnMut(&mut A),
@@ -130,7 +130,7 @@ proptest! {
         };
         let mut bfc = CachingAllocator::new(roomy());
         let mut lake = GmLakeAllocator::new(roomy(), GmLakeConfig::default());
-        for alloc in [&mut bfc as &mut dyn GpuAllocator, &mut lake as &mut dyn GpuAllocator] {
+        for alloc in [&mut bfc as &mut dyn AllocatorCore, &mut lake as &mut dyn AllocatorCore] {
             let ids: Vec<_> = sizes
                 .iter()
                 .map(|s| alloc.allocate(AllocRequest::new(*s)).unwrap().id)

@@ -35,7 +35,7 @@ fn stress_many_threads_one_pool() {
     let total_allocs = AtomicU64::new(0);
     std::thread::scope(|s| {
         for t in 0..THREADS {
-            let mut pool = service.handle(DeviceId(0)).unwrap();
+            let pool = service.handle(DeviceId(0)).unwrap();
             let total_allocs = &total_allocs;
             s.spawn(move || {
                 // Deterministic per-thread op mix; sizes straddle the
