@@ -20,9 +20,37 @@
 //! * **Large / stitch traffic** and shard misses fall back to the wrapped
 //!   core behind a single mutex, exactly as before.
 //!
+//! # Stream-aware routing
+//!
+//! On top of the size-class sharding, the front-end partitions its cache by
+//! **logical GPU stream** ([`StreamId`]): the shard array is organized as
+//! one *bank* of size-class shards per configured stream
+//! ([`DeviceAllocatorConfig::streams`], default 1), and
+//! [`DeviceAllocator::alloc_on_stream`] routes a request to its stream's
+//! bank. Warm allocations on different streams therefore never touch the
+//! same lock — not even for identical sizes — which is what keeps
+//! independent GPU streams from serializing at the allocator.
+//!
+//! Reuse follows PyTorch's event-guarded rule, conservatively:
+//!
+//! * a free issued on the **same stream** the block was allocated on parks
+//!   the block in that stream's free list for immediate reuse (stream order
+//!   already guarantees the previous user finished);
+//! * a **cross-stream** free ([`DeviceAllocator::free_on_stream`] with a
+//!   different stream than the allocating one) never lands in a free list:
+//!   the block is returned to the core, so it can only come back to *any*
+//!   stream through the core mutex — a full synchronization point standing
+//!   in for the CUDA event PyTorch would record.
+//!
+//! [`DeviceAllocator::allocate`] / [`DeviceAllocator::deallocate`] are the
+//! stream-oblivious entry points: they run on [`StreamId::DEFAULT`], so
+//! single-stream callers see exactly the pre-stream behaviour (and pay no
+//! extra cost — one bank is the PR 3 layout).
+//!
 //! Front-end ids encode their shard in the low bits (and live in the upper
 //! half of the id space, disjoint from every core's sequential ids), so a
-//! deallocation routes back to the owning shard without any shared lookup.
+//! deallocation routes back to the owning shard — and thereby the owning
+//! stream's bank — without any shared lookup.
 //!
 //! The cache is transparent: blocks parked in a shard remain "live" from
 //! the core's perspective and are returned to it by [`DeviceAllocator::flush`]
@@ -83,7 +111,7 @@ use crate::error::AllocError;
 use crate::request::{AllocRequest, Allocation};
 use crate::stats::MemStats;
 use crate::traits::AllocatorCore;
-use crate::types::{mib, AllocationId, VirtAddr};
+use crate::types::{mib, AllocationId, StreamId, VirtAddr};
 
 /// Front-end allocation ids live in the top half of the id space so they can
 /// never collide with a core's sequential ids.
@@ -130,11 +158,25 @@ pub struct DeviceAllocatorConfig {
     /// entirely, degenerating to the single-mutex behaviour of the old
     /// `SharedAllocator`; benches use this as the contention baseline.
     pub small_threshold: u64,
-    /// Number of cache shards (rounded up to a power of two, default 16).
+    /// Number of cache shards *per stream bank* (rounded up to a power of
+    /// two, default 16).
     pub shards: usize,
     /// Maximum cached blocks per size class; overflowing frees go straight
     /// back to the core (default 64).
     pub max_cached_per_class: usize,
+    /// Number of logical GPU streams to partition the cache for (rounded up
+    /// to a power of two, default 1). Each stream gets its own bank of
+    /// `shards` size-class shards, so warm allocations on different streams
+    /// never share a lock. Stream ids at or above the configured count fold
+    /// onto the existing banks (placement only — the cross-stream reuse
+    /// guard always compares exact [`StreamId`]s).
+    ///
+    /// Must be at least 1 (stream 0 is the default stream):
+    /// [`DeviceAllocatorConfig::validate`] rejects 0, and the fallible
+    /// constructors ([`DeviceAllocator::try_with_config`],
+    /// [`DeviceAllocator::try_from_boxed`]) surface that as
+    /// [`AllocError::InvalidConfig`] instead of panicking.
+    pub streams: usize,
 }
 
 impl Default for DeviceAllocatorConfig {
@@ -143,6 +185,7 @@ impl Default for DeviceAllocatorConfig {
             small_threshold: mib(2),
             shards: 16,
             max_cached_per_class: 64,
+            streams: 1,
         }
     }
 }
@@ -168,6 +211,47 @@ impl DeviceAllocatorConfig {
         self.max_cached_per_class = max;
         self
     }
+
+    /// Sets the stream count (rounded up to a power of two at construction;
+    /// see [`DeviceAllocatorConfig::streams`]). `0` is invalid and is
+    /// reported by [`DeviceAllocatorConfig::validate`] / the `try_*`
+    /// constructors as [`AllocError::InvalidConfig`] — never a panic.
+    #[must_use]
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams;
+        self
+    }
+
+    /// Checks the configuration for values no allocator can be built from.
+    ///
+    /// Every check here must have a repair in
+    /// [`DeviceAllocatorConfig::normalized`] — the two functions are the
+    /// strict and the forgiving face of the same rules, and the infallible
+    /// constructors rely on `normalized()` output always validating.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidConfig`] if `streams == 0` (there is always at
+    /// least the default stream).
+    pub fn validate(&self) -> Result<(), AllocError> {
+        if self.streams == 0 {
+            return Err(AllocError::InvalidConfig(
+                "streams must be >= 1 (stream 0 is the default stream)".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Repairs every value [`DeviceAllocatorConfig::validate`] would
+    /// reject (currently: `streams == 0` becomes 1), so the result always
+    /// validates. This is what the infallible constructors
+    /// ([`DeviceAllocator::with_config`] / [`DeviceAllocator::from_boxed`])
+    /// apply instead of erroring.
+    #[must_use]
+    pub fn normalized(mut self) -> Self {
+        self.streams = self.streams.max(1);
+        self
+    }
 }
 
 /// A core allocation parked in (or in flight between) the shard caches.
@@ -186,6 +270,10 @@ struct LiveSmall {
     /// Size class of the original request — the free-list key the block
     /// returns to on deallocation.
     class: u64,
+    /// The stream the block was allocated on. A free issued on the same
+    /// stream may recycle the block in place; a free from any other stream
+    /// must route it through the core (the cross-stream reuse guard).
+    stream: StreamId,
 }
 
 /// Counters reconciling one shard's fast-path activity with the core's
@@ -204,10 +292,14 @@ struct ShardStats {
     misses: u64,
     /// Frees absorbed by the fast path (the core saw nothing — yet).
     fast_frees: u64,
-    /// Core-side deallocations performed for cache maintenance (flush and
-    /// per-class overflow); each undoes the core-visible half of a free
-    /// already counted in `fast_frees`.
+    /// Core-side deallocations performed for cache maintenance (flush,
+    /// per-class overflow, and cross-stream returns); each undoes the
+    /// core-visible half of a free already counted in `fast_frees`.
     cache_returns: u64,
+    /// Frees issued from a different stream than the allocating one and
+    /// therefore returned to the core instead of a free list (a subset of
+    /// `cache_returns`).
+    cross_stream_returns: u64,
     /// Bytes requested by cache hits (the core never saw the requests).
     requested: u64,
     /// Bytes of size-class rounding the core recorded as "requested" on
@@ -254,8 +346,14 @@ pub struct DeviceCacheStats {
     pub cached_bytes: u64,
     /// Blocks currently parked in the shard caches.
     pub cached_blocks: u64,
-    /// Number of cache shards.
+    /// Frees that arrived on a different stream than the allocating one and
+    /// were conservatively returned to the core (the cross-stream reuse
+    /// guard) instead of being parked for reuse.
+    pub cross_stream_returns: u64,
+    /// Number of cache shards (across all stream banks).
     pub shards: usize,
+    /// Number of per-stream shard banks.
+    pub streams: usize,
 }
 
 struct Inner {
@@ -264,6 +362,15 @@ struct Inner {
     name: &'static str,
     small_threshold: u64,
     max_cached_per_class: usize,
+    /// Number of per-stream shard banks (power of two).
+    stream_banks: usize,
+    /// Size-class shards per bank (power of two); the `shards` slice holds
+    /// `stream_banks * class_shards` entries, bank-major.
+    class_shards: usize,
+    /// Mask of the class-shard index within one bank (`class_shards - 1`).
+    class_mask: u64,
+    /// Mask of the *global* shard index — the low bits of a front-end id
+    /// (`stream_banks * class_shards - 1`).
     shard_mask: u64,
     shard_bits: u32,
     shards: Box<[Mutex<Shard>]>,
@@ -314,7 +421,9 @@ impl DeviceAllocator {
         Self::with_config(core, DeviceAllocatorConfig::default())
     }
 
-    /// Wraps `core` with an explicit configuration.
+    /// Wraps `core` with an explicit configuration. Invalid stream counts
+    /// are normalized (`streams == 0` becomes 1); use
+    /// [`DeviceAllocator::try_with_config`] for strict validation.
     pub fn with_config<A: AllocatorCore + Send + 'static>(
         core: A,
         config: DeviceAllocatorConfig,
@@ -322,21 +431,66 @@ impl DeviceAllocator {
         Self::from_boxed(Box::new(core), config)
     }
 
+    /// Like [`DeviceAllocator::with_config`], but rejects an invalid
+    /// configuration instead of normalizing it.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidConfig`] — see [`DeviceAllocatorConfig::validate`].
+    pub fn try_with_config<A: AllocatorCore + Send + 'static>(
+        core: A,
+        config: DeviceAllocatorConfig,
+    ) -> Result<Self, AllocError> {
+        Self::try_from_boxed(Box::new(core), config)
+    }
+
     /// Wraps an already-boxed core (the registry path of `gmlake-runtime`).
+    /// Invalid values are repaired via [`DeviceAllocatorConfig::normalized`]
+    /// (`streams == 0` becomes 1); use [`DeviceAllocator::try_from_boxed`]
+    /// for strict validation.
     pub fn from_boxed(core: Box<dyn AllocatorCore + Send>, config: DeviceAllocatorConfig) -> Self {
-        let shards = config.shards.max(1).next_power_of_two();
+        Self::try_from_boxed(core, config.normalized())
+            .expect("normalized() repairs everything validate() rejects")
+    }
+
+    /// Like [`DeviceAllocator::from_boxed`], but rejects an invalid
+    /// configuration instead of normalizing it.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidConfig`] — see [`DeviceAllocatorConfig::validate`].
+    pub fn try_from_boxed(
+        core: Box<dyn AllocatorCore + Send>,
+        config: DeviceAllocatorConfig,
+    ) -> Result<Self, AllocError> {
+        config.validate()?;
+        let class_shards = config.shards.max(1).next_power_of_two();
+        let stream_banks = config.streams.next_power_of_two();
+        let total = stream_banks * class_shards;
         let name = core.name();
-        DeviceAllocator {
+        Ok(DeviceAllocator {
             inner: Arc::new(Inner {
                 core: Mutex::new(core),
                 name,
                 small_threshold: config.small_threshold,
                 max_cached_per_class: config.max_cached_per_class,
-                shard_mask: shards as u64 - 1,
-                shard_bits: shards.trailing_zeros(),
-                shards: (0..shards).map(|_| Mutex::default()).collect(),
+                stream_banks,
+                class_shards,
+                class_mask: class_shards as u64 - 1,
+                shard_mask: total as u64 - 1,
+                shard_bits: total.trailing_zeros(),
+                shards: (0..total).map(|_| Mutex::default()).collect(),
             }),
-        }
+        })
+    }
+
+    /// Global shard index of `(stream, class)`: the stream's bank (stream
+    /// ids beyond the configured banks fold modulo — placement only), then
+    /// the class hash within the bank.
+    #[inline]
+    fn shard_index(&self, stream: StreamId, class: u64) -> usize {
+        let bank = stream.as_u32() as usize & (self.inner.stream_banks - 1);
+        bank * self.inner.class_shards + class_shard_index(class, self.inner.class_mask)
     }
 
     /// Allocates through the core mutex; on out-of-memory, returns the shard
@@ -358,9 +512,13 @@ impl DeviceAllocator {
         self.inner.core.lock().allocate(req)
     }
 
-    fn allocate_small(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+    fn allocate_small(
+        &self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
         let class = size_class(req.size);
-        let index = class_shard_index(class, self.inner.shard_mask);
+        let index = self.shard_index(stream, class);
         let shard = &self.inner.shards[index];
         {
             let mut guard = shard.lock();
@@ -371,7 +529,14 @@ impl DeviceAllocator {
                 g.stats.hits += 1;
                 g.stats.requested += req.size;
                 let id = g.mint(index, self.inner.shard_bits);
-                g.live.insert(id, LiveSmall { block, class });
+                g.live.insert(
+                    id,
+                    LiveSmall {
+                        block,
+                        class,
+                        stream,
+                    },
+                );
                 return Ok(Allocation {
                     id: AllocationId::new(id),
                     va: block.va,
@@ -395,7 +560,14 @@ impl DeviceAllocator {
         let g = &mut *guard;
         g.stats.requested_inflation += class - req.size;
         let id = g.mint(index, self.inner.shard_bits);
-        g.live.insert(id, LiveSmall { block, class });
+        g.live.insert(
+            id,
+            LiveSmall {
+                block,
+                class,
+                stream,
+            },
+        );
         Ok(Allocation {
             id: AllocationId::new(id),
             va: block.va,
@@ -405,23 +577,62 @@ impl DeviceAllocator {
     }
 
     /// Allocates memory for `req` (see [`AllocatorCore::allocate`] for the
-    /// contract). Small requests take the sharded fast path; everything else
-    /// goes to the wrapped core.
+    /// contract) on the default stream. Small requests take the sharded
+    /// fast path; everything else goes to the wrapped core.
     pub fn allocate(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        self.alloc_on_stream(req, StreamId::DEFAULT)
+    }
+
+    /// Allocates memory for `req` on behalf of `stream`: small requests are
+    /// served from the stream's own bank of size-class shards, so warm
+    /// allocations on different streams never contend on a lock. Large
+    /// requests go to the core mutex regardless of stream (the core is a
+    /// full synchronization point).
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::allocate`].
+    pub fn alloc_on_stream(
+        &self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
         if req.size == 0 {
             return Err(AllocError::ZeroSize);
         }
         if req.size < self.inner.small_threshold {
-            self.allocate_small(req)
+            self.allocate_small(req, stream)
         } else {
             self.core_allocate(req)
         }
     }
 
     /// Releases the allocation identified by `id` (see
-    /// [`AllocatorCore::deallocate`]). Small allocations are parked in their
-    /// size class's shard for reuse instead of being returned to the core.
+    /// [`AllocatorCore::deallocate`]) from the default stream. Small
+    /// allocations made on the default stream are parked in their size
+    /// class's shard for reuse instead of being returned to the core.
     pub fn deallocate(&self, id: AllocationId) -> Result<(), AllocError> {
+        self.free_on_stream(id, StreamId::DEFAULT)
+    }
+
+    /// Releases the allocation identified by `id`, where the free is issued
+    /// from `stream`.
+    ///
+    /// The block always routes back to the shard that minted its id (its
+    /// allocating stream's bank — the id's low bits name it, no shared
+    /// lookup). What happens there depends on the freeing stream:
+    ///
+    /// * **same stream** as the allocation: the block is parked in the
+    ///   stream's free list for immediate reuse;
+    /// * **different stream**: the block is returned to the core instead —
+    ///   it can only be handed out again through the core mutex, never
+    ///   directly to another stream's cache. This is the conservative form
+    ///   of PyTorch's event-guarded cross-stream reuse rule.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::deallocate`].
+    pub fn free_on_stream(&self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
         let raw = id.as_u64();
         if raw < FRONT_ID_BASE {
             // Large allocation (or an unknown id): the core owns it. Core
@@ -433,26 +644,34 @@ impl DeviceAllocator {
         // The minting shard rides in the id's low bits; its lock covers the
         // live entry, the class free list, and the stats in one acquisition.
         let shard = &self.inner.shards[(raw & self.inner.shard_mask) as usize];
-        let overflow = {
+        let to_core = {
             let mut guard = shard.lock();
             let g = &mut *guard;
             let Some(entry) = g.live.remove(&raw) else {
                 return Err(AllocError::UnknownAllocation(id));
             };
             g.stats.fast_frees += 1;
-            let cap = self.inner.max_cached_per_class;
-            let stack = g.free.entry(entry.class).or_default();
-            if stack.len() < cap {
-                stack.push(entry.block);
-                g.stats.cached_bytes += entry.block.size;
-                g.stats.cached_blocks += 1;
-                None
-            } else {
+            if entry.stream != stream {
+                // Cross-stream free: never park — the block must pass
+                // through the core before any stream can see it again.
+                g.stats.cross_stream_returns += 1;
                 g.stats.cache_returns += 1;
                 Some(entry.block)
+            } else {
+                let cap = self.inner.max_cached_per_class;
+                let stack = g.free.entry(entry.class).or_default();
+                if stack.len() < cap {
+                    stack.push(entry.block);
+                    g.stats.cached_bytes += entry.block.size;
+                    g.stats.cached_blocks += 1;
+                    None
+                } else {
+                    g.stats.cache_returns += 1;
+                    Some(entry.block)
+                }
             }
         };
-        if let Some(block) = overflow {
+        if let Some(block) = to_core {
             self.inner
                 .core
                 .lock()
@@ -462,13 +681,11 @@ impl DeviceAllocator {
         Ok(())
     }
 
-    /// Returns every block parked in the shard caches to the wrapped core
-    /// and reports the bytes handed back. The core decides what happens
-    /// next (pool them, release them); flushing itself frees no physical
-    /// memory.
-    pub fn flush(&self) -> u64 {
+    /// Drains the free lists of `shards` and hands the blocks to the core;
+    /// returns the bytes handed back.
+    fn drain_to_core(&self, shards: &[Mutex<Shard>]) -> u64 {
         let mut blocks: Vec<CachedBlock> = Vec::new();
-        for shard in self.inner.shards.iter() {
+        for shard in shards {
             let mut guard = shard.lock();
             let g = &mut *guard;
             for stack in g.free.values_mut() {
@@ -493,21 +710,54 @@ impl DeviceAllocator {
         bytes
     }
 
-    /// Sums the per-shard reconciliation counters.
-    fn shard_totals(&self) -> ShardStats {
+    /// Returns every block parked in the shard caches — across **every**
+    /// stream bank — to the wrapped core and reports the bytes handed back.
+    /// The core decides what happens next (pool them, release them);
+    /// flushing itself frees no physical memory.
+    ///
+    /// This is the flush the defrag/OOM paths run: defragmentation must see
+    /// every cached byte, so it can never be scoped to one stream.
+    pub fn flush(&self) -> u64 {
+        self.drain_to_core(&self.inner.shards)
+    }
+
+    /// Returns the blocks parked in `stream`'s bank (only) to the wrapped
+    /// core and reports the bytes handed back — the targeted variant of
+    /// [`DeviceAllocator::flush`] for callers that want to retire one idle
+    /// stream without disturbing the others' warm caches.
+    pub fn flush_stream(&self, stream: StreamId) -> u64 {
+        self.drain_to_core(self.bank(stream))
+    }
+
+    /// The slice of shards forming `stream`'s bank.
+    #[inline]
+    fn bank(&self, stream: StreamId) -> &[Mutex<Shard>] {
+        let bank = stream.as_u32() as usize & (self.inner.stream_banks - 1);
+        let n = self.inner.class_shards;
+        &self.inner.shards[bank * n..(bank + 1) * n]
+    }
+
+    /// Sums the reconciliation counters of a slice of shards.
+    fn sum_shards(shards: &[Mutex<Shard>]) -> ShardStats {
         let mut total = ShardStats::default();
-        for shard in self.inner.shards.iter() {
+        for shard in shards {
             let s = shard.lock().stats;
             total.hits += s.hits;
             total.misses += s.misses;
             total.fast_frees += s.fast_frees;
             total.cache_returns += s.cache_returns;
+            total.cross_stream_returns += s.cross_stream_returns;
             total.requested += s.requested;
             total.requested_inflation += s.requested_inflation;
             total.cached_bytes += s.cached_bytes;
             total.cached_blocks += s.cached_blocks;
         }
         total
+    }
+
+    /// Sums the per-shard reconciliation counters across every stream bank.
+    fn shard_totals(&self) -> ShardStats {
+        Self::sum_shards(&self.inner.shards)
     }
 
     /// Memory statistics of the pool: the wrapped core's counters
@@ -527,16 +777,36 @@ impl DeviceAllocator {
         s
     }
 
-    /// Cache-shard telemetry.
-    pub fn cache_stats(&self) -> DeviceCacheStats {
-        let fast = self.shard_totals();
+    /// Projects summed shard counters into the public telemetry shape.
+    fn cache_stats_of(fast: ShardStats, shards: usize, streams: usize) -> DeviceCacheStats {
         DeviceCacheStats {
             hits: fast.hits,
             misses: fast.misses,
             cached_bytes: fast.cached_bytes,
             cached_blocks: fast.cached_blocks,
-            shards: self.inner.shards.len(),
+            cross_stream_returns: fast.cross_stream_returns,
+            shards,
+            streams,
         }
+    }
+
+    /// Cache-shard telemetry, aggregated across every stream bank.
+    pub fn cache_stats(&self) -> DeviceCacheStats {
+        Self::cache_stats_of(
+            self.shard_totals(),
+            self.inner.shards.len(),
+            self.inner.stream_banks,
+        )
+    }
+
+    /// Cache telemetry of one stream's bank only (`shards` reports the
+    /// bank's shard count, `streams` is 1).
+    pub fn stream_cache_stats(&self, stream: StreamId) -> DeviceCacheStats {
+        Self::cache_stats_of(
+            Self::sum_shards(self.bank(stream)),
+            self.inner.class_shards,
+            1,
+        )
     }
 
     /// Backend name, cached at construction (never takes a lock).
@@ -610,6 +880,18 @@ impl AllocatorCore for DeviceAllocator {
 
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
         DeviceAllocator::deallocate(self, id)
+    }
+
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        DeviceAllocator::alloc_on_stream(self, req, stream)
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        DeviceAllocator::free_on_stream(self, id, stream)
     }
 
     fn stats(&self) -> MemStats {
@@ -893,6 +1175,190 @@ mod tests {
     fn front_end_is_send_sync_clone() {
         fn assert_traits<T: Send + Sync + Clone>() {}
         assert_traits::<DeviceAllocator>();
+    }
+
+    #[test]
+    fn zero_streams_is_an_error_not_a_panic() {
+        let cfg = DeviceAllocatorConfig::default().with_streams(0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(AllocError::InvalidConfig(msg)) if msg.contains("streams")
+        ));
+        let err = DeviceAllocator::try_with_config(TestCore::default(), cfg.clone()).unwrap_err();
+        assert!(matches!(err, AllocError::InvalidConfig(_)));
+        let err = DeviceAllocator::try_from_boxed(Box::new(TestCore::default()), cfg.clone())
+            .unwrap_err();
+        assert!(matches!(err, AllocError::InvalidConfig(_)));
+        // The infallible constructors normalize instead of panicking.
+        let pool = DeviceAllocator::with_config(TestCore::default(), cfg);
+        assert_eq!(pool.cache_stats().streams, 1);
+    }
+
+    #[test]
+    fn normalized_output_always_validates() {
+        // The contract from_boxed relies on: whatever validate() rejects,
+        // normalized() repairs.
+        let cfg = DeviceAllocatorConfig::default().with_streams(0);
+        assert!(cfg.validate().is_err());
+        let repaired = cfg.normalized();
+        assert!(repaired.validate().is_ok());
+        assert_eq!(repaired.streams, 1);
+    }
+
+    #[test]
+    fn stream_count_rounds_to_a_power_of_two_banks() {
+        let pool = DeviceAllocator::try_with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default()
+                .with_streams(3)
+                .with_shards(4),
+        )
+        .unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.streams, 4, "3 streams round up to 4 banks");
+        assert_eq!(c.shards, 16, "4 banks x 4 class shards");
+        assert_eq!(pool.stream_cache_stats(StreamId(1)).shards, 4);
+    }
+
+    #[test]
+    fn same_class_different_streams_use_disjoint_shards() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(4),
+        );
+        // Same size class on two streams: each bank minted its own id and
+        // caches its own block.
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_ne!(
+            a.id.as_u64() & pool.inner.shard_mask,
+            b.id.as_u64() & pool.inner.shard_mask,
+            "the id's low bits name different shards"
+        );
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        assert_eq!(pool.stream_cache_stats(StreamId(0)).cached_blocks, 1);
+        assert_eq!(pool.stream_cache_stats(StreamId(1)).cached_blocks, 1);
+        // Each stream reuses only its own cached block.
+        let a2 = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        assert_eq!(a2.va, a.va, "stream 0 got stream 0's block back");
+        pool.free_on_stream(a2.id, StreamId(0)).unwrap();
+    }
+
+    #[test]
+    fn cross_stream_free_routes_through_the_core() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        // Freed from stream 0: the block must NOT be parked for reuse.
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.cached_blocks, 0, "cross-stream free never parks");
+        assert_eq!(c.cross_stream_returns, 1);
+        assert_eq!(
+            pool.with_core(|core| core.stats().live_allocations()),
+            0,
+            "the block went back to the core"
+        );
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (1, 1, 0));
+        // A fresh allocation on either stream misses (nothing was cached).
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        assert_eq!(pool.cache_stats().hits, 0);
+        pool.free_on_stream(b.id, StreamId(0)).unwrap();
+    }
+
+    #[test]
+    fn same_stream_free_on_a_nondefault_stream_parks_for_reuse() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(2048), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(1)).unwrap();
+        assert_eq!(pool.stream_cache_stats(StreamId(1)).cached_blocks, 1);
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(2048), StreamId(1))
+            .unwrap();
+        assert_eq!(b.va, a.va, "same-stream reuse hit the cache");
+        assert_eq!(pool.cache_stats().hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+    }
+
+    #[test]
+    fn flush_and_flush_stream_cover_the_right_banks() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        for s in [StreamId(0), StreamId(1)] {
+            let a = pool.alloc_on_stream(AllocRequest::new(1000), s).unwrap();
+            pool.free_on_stream(a.id, s).unwrap();
+        }
+        assert_eq!(pool.cache_stats().cached_bytes, 2048);
+        // Targeted flush: only stream 1's bank drains.
+        assert_eq!(pool.flush_stream(StreamId(1)), 1024);
+        assert_eq!(pool.stream_cache_stats(StreamId(1)).cached_bytes, 0);
+        assert_eq!(pool.stream_cache_stats(StreamId(0)).cached_bytes, 1024);
+        // Full flush reaches every remaining bank.
+        assert_eq!(pool.flush(), 1024);
+        assert_eq!(pool.cache_stats().cached_bytes, 0);
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (2, 2, 0));
+    }
+
+    #[test]
+    fn oom_retry_flushes_every_streams_cache() {
+        // Capacity fits exactly two 1 KiB class blocks; both end up parked,
+        // one per stream. A 2 KiB-class allocation can only succeed if the
+        // OOM retry flushes BOTH banks, not just the allocating stream's.
+        let pool = DeviceAllocator::with_config(
+            TestCore::bounded(2048),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        for s in [StreamId(0), StreamId(1)] {
+            let a = pool.alloc_on_stream(AllocRequest::new(1024), s).unwrap();
+            pool.free_on_stream(a.id, s).unwrap();
+        }
+        assert_eq!(pool.cache_stats().cached_bytes, 2048);
+        let big = pool
+            .alloc_on_stream(AllocRequest::new(2048), StreamId(0))
+            .unwrap();
+        assert_eq!(big.size, 2048, "flush-across-streams rescued the request");
+        assert_eq!(pool.cache_stats().cached_bytes, 0);
+        pool.free_on_stream(big.id, StreamId(0)).unwrap();
+    }
+
+    #[test]
+    fn streams_beyond_the_configured_banks_fold_but_stay_guarded() {
+        // Placement folds stream 5 onto bank 1 (2 banks), but the reuse
+        // guard compares exact StreamIds: stream 1 freeing stream 5's block
+        // is cross-stream even though they share a bank.
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(1)).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.cross_stream_returns, 1);
+        assert_eq!(c.cached_blocks, 0);
     }
 
     #[test]

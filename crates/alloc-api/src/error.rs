@@ -26,6 +26,10 @@ pub enum AllocError {
     ZeroSize,
     /// `deallocate` was called with an identifier that is not live.
     UnknownAllocation(AllocationId),
+    /// An allocator was constructed from an invalid configuration (e.g. a
+    /// [`DeviceAllocatorConfig`](crate::DeviceAllocatorConfig) with zero
+    /// streams). Carries a human-readable description of the offending knob.
+    InvalidConfig(String),
     /// The underlying driver rejected an operation; carries the driver's
     /// rendered message. This indicates a bug in the allocator, not a
     /// recoverable condition.
@@ -48,6 +52,7 @@ impl fmt::Display for AllocError {
             AllocError::UnknownAllocation(id) => {
                 write!(f, "unknown or already-freed allocation {id}")
             }
+            AllocError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AllocError::Driver(msg) => write!(f, "driver error: {msg}"),
         }
     }
@@ -82,6 +87,13 @@ mod tests {
     fn unknown_allocation_names_the_id() {
         let e = AllocError::UnknownAllocation(AllocationId::new(9));
         assert!(e.to_string().contains("alloc#9"));
+    }
+
+    #[test]
+    fn invalid_config_carries_the_description() {
+        let e = AllocError::InvalidConfig("streams must be >= 1".to_owned());
+        assert!(e.to_string().contains("invalid configuration"));
+        assert!(e.to_string().contains("streams"));
     }
 
     #[test]

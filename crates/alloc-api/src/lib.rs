@@ -11,8 +11,10 @@
 //! * [`DeviceAllocator`] — the cloneable, `Send + Sync`, `&self`
 //!   *front-end* that wraps any core and is the only type concurrent
 //!   callers (the runtime's pool service, replayers, benches) speak to. It
-//!   shards small allocation traffic into per-size-class free-list caches
-//!   so threads never contend with each other or with stitch work.
+//!   shards small allocation traffic into per-size-class free-list caches —
+//!   partitioned per logical GPU stream ([`StreamId`]), with PyTorch's
+//!   cross-stream reuse rule enforced conservatively — so threads and
+//!   streams never contend with each other or with stitch work.
 //!
 //! The trait mirrors the narrow interface a deep-learning framework exposes to
 //! its tensor layer: `allocate`, `deallocate`, plus the cache-management hooks
@@ -43,5 +45,6 @@ pub use traits::AllocatorCore;
 #[allow(deprecated)]
 pub use traits::{share, GpuAllocator, SharedAllocator};
 pub use types::{
-    gib, kib, mib, AllocTag, AllocationId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB, BYTES_PER_MIB,
+    gib, kib, mib, AllocTag, AllocationId, StreamId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB,
+    BYTES_PER_MIB,
 };

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 use crate::error::AllocError;
 use crate::request::{AllocRequest, Allocation};
 use crate::stats::MemStats;
-use crate::types::AllocationId;
+use crate::types::{AllocationId, StreamId};
 
 /// A GPU memory allocator *backend* as seen by the tensor layer of a DL
 /// framework: single-owner, `&mut self` on every mutating call.
@@ -58,6 +58,43 @@ pub trait AllocatorCore {
     ///
     /// [`AllocError::UnknownAllocation`] if `id` is not live.
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError>;
+
+    /// Allocates memory for `req` on behalf of logical GPU stream `stream`.
+    ///
+    /// Backend cores are *stream-oblivious*: every call is serialized behind
+    /// the owner (or the front-end's core mutex), which is itself a full
+    /// synchronization point, so the default implementation simply ignores
+    /// the stream and delegates to [`AllocatorCore::allocate`]. Stream-aware
+    /// front-ends ([`DeviceAllocator`](crate::DeviceAllocator), the
+    /// runtime's `PoolHandle`) override this to route the request to the
+    /// stream's own cache partition — trait-generic callers (the trace
+    /// replayer) can therefore always pass the stream and let each layer do
+    /// the right thing.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllocatorCore::allocate`].
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        _stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        self.allocate(req)
+    }
+
+    /// Releases the allocation identified by `id` on behalf of `stream`
+    /// (the stream the *free* is issued from, which need not be the stream
+    /// the block was allocated on). Stream-oblivious cores ignore the
+    /// stream; stream-aware front-ends use it to decide whether the block
+    /// may be recycled on its owning stream's free list or must pass
+    /// through the core (the cross-stream reuse guard).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllocatorCore::deallocate`].
+    fn free_on_stream(&mut self, id: AllocationId, _stream: StreamId) -> Result<(), AllocError> {
+        self.deallocate(id)
+    }
 
     /// Returns a snapshot of the allocator's memory statistics.
     fn stats(&self) -> MemStats;
@@ -127,6 +164,20 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for &mut A {
         (**self).deallocate(id)
     }
 
+    // Stream routing must forward explicitly: the provided default would
+    // silently drop a wrapped front-end's override.
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        (**self).alloc_on_stream(req, stream)
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        (**self).free_on_stream(id, stream)
+    }
+
     fn stats(&self) -> MemStats {
         (**self).stats()
     }
@@ -166,6 +217,18 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for Box<A> {
 
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
         (**self).deallocate(id)
+    }
+
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        (**self).alloc_on_stream(req, stream)
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        (**self).free_on_stream(id, stream)
     }
 
     fn stats(&self) -> MemStats {
@@ -268,6 +331,18 @@ impl AllocatorCore for SharedAllocator {
 
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
         self.inner.lock().deallocate(id)
+    }
+
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        self.inner.lock().alloc_on_stream(req, stream)
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        self.inner.lock().free_on_stream(id, stream)
     }
 
     fn stats(&self) -> MemStats {
@@ -381,6 +456,25 @@ mod tests {
             b.deallocate(alloc.id).unwrap_err(),
             AllocError::UnknownAllocation(alloc.id)
         );
+    }
+
+    #[test]
+    fn stream_defaults_delegate_to_the_stream_oblivious_path() {
+        // A core ignores the stream: alloc/free on any stream behave exactly
+        // like allocate/deallocate, including through &mut and Box wrappers.
+        let mut b = Bump::default();
+        let a = b
+            .alloc_on_stream(AllocRequest::new(64), StreamId::new(3))
+            .unwrap();
+        assert_eq!(b.stats().active_bytes, 64);
+        b.free_on_stream(a.id, StreamId::new(5)).unwrap();
+        assert_eq!(b.stats().active_bytes, 0);
+        let mut boxed: Box<dyn AllocatorCore + Send> = Box::new(Bump::default());
+        let a = boxed
+            .alloc_on_stream(AllocRequest::new(8), StreamId::DEFAULT)
+            .unwrap();
+        boxed.free_on_stream(a.id, StreamId::new(1)).unwrap();
+        assert_eq!(boxed.stats().free_count, 1);
     }
 
     #[test]

@@ -128,6 +128,65 @@ impl fmt::Display for AllocationId {
     }
 }
 
+/// Identifies one logical GPU stream (execution queue) within a device.
+///
+/// Streams order the kernels that *use* memory: a block freed and
+/// reallocated on the same stream is safe to reuse immediately (stream
+/// order guarantees the old user finished before the new one starts), while
+/// handing a block to a *different* stream requires synchronization.
+/// PyTorch's caching allocator encodes this as per-stream pools with
+/// event-guarded cross-stream reuse; the
+/// [`DeviceAllocator`](crate::DeviceAllocator) front-end mirrors the rule
+/// with per-stream cache partitions and a conservative
+/// free-through-the-core path for cross-stream frees.
+///
+/// `StreamId(0)` is the default stream; every stream-oblivious entry point
+/// (`allocate` / `deallocate`) runs on it.
+///
+/// ```
+/// use gmlake_alloc_api::StreamId;
+/// assert_eq!(StreamId::DEFAULT, StreamId(0));
+/// assert_eq!(format!("{}", StreamId(3)), "stream3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream, used by every stream-oblivious call.
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// Creates a stream identifier from a raw index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        StreamId(raw)
+    }
+
+    /// Returns the raw stream index.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// `true` for the default stream.
+    #[inline]
+    pub const fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+impl From<u32> for StreamId {
+    fn from(raw: u32) -> Self {
+        StreamId(raw)
+    }
+}
+
 /// Semantic label of an allocation, used by the workload generator so that
 /// traces stay interpretable and by tests to assert per-category accounting.
 ///
@@ -237,5 +296,15 @@ mod tests {
     #[test]
     fn tag_default_is_unspecified() {
         assert_eq!(AllocTag::default(), AllocTag::Unspecified);
+    }
+
+    #[test]
+    fn stream_id_default_and_display() {
+        assert_eq!(StreamId::default(), StreamId::DEFAULT);
+        assert!(StreamId::DEFAULT.is_default());
+        assert!(!StreamId::new(2).is_default());
+        assert_eq!(StreamId::from(7u32).as_u32(), 7);
+        assert_eq!(format!("{}", StreamId(1)), "stream1");
+        assert!(StreamId(1) < StreamId(2));
     }
 }

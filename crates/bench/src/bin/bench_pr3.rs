@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use gmlake_alloc_api::{AllocRequest, DeviceAllocator};
-use gmlake_bench::perf::{contention_pool, contention_thread_size, sample_pool};
+use gmlake_bench::perf::{contention_pool, contention_thread_size, extract_field, sample_pool};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_THREAD: usize = 20_000;
@@ -129,19 +129,6 @@ fn render_json(sweep: &[SweepPoint], probe_indexed_ns: f64, alloc_free_ns: f64) 
          classification on a converged pool\"\n}\n",
     );
     json
-}
-
-/// Minimal field extractor for the committed snapshot: finds the first
-/// `"name": <number>` occurrence. The snapshot is machine-written by this
-/// binary, so no general JSON parsing is needed.
-fn extract_field(json: &str, name: &str) -> Option<f64> {
-    let key = format!("\"{name}\":");
-    let at = json.find(&key)? + key.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 /// Compares a freshly measured sweep against the committed snapshot.

@@ -100,6 +100,46 @@ pub fn contention_thread_size(t: usize) -> u64 {
     kib(8) << t
 }
 
+// ---------------------------------------------------------------------
+// Stream-sweep harness (PR 4), shared by the `bench_pr4` snapshot/CI-gate
+// binary.
+// ---------------------------------------------------------------------
+
+/// Size every thread of the stream sweep allocates: ONE shared class, the
+/// worst case for pure size-class sharding (all threads hash to the same
+/// shard) and precisely the case per-stream banks exist to fix — identical
+/// tensor shapes issued concurrently on independent streams.
+pub const STREAM_SWEEP_SIZE: u64 = kib(64);
+
+/// Builds the stream sweep's shared pool: a caching core on a zero-cost
+/// device behind a front-end with `streams` cache banks (1 = the PR 3
+/// single-pool layout, the sweep's baseline).
+pub fn stream_pool(streams: usize) -> DeviceAllocator {
+    let driver = CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    );
+    DeviceAllocator::with_config(
+        CachingAllocator::new(driver),
+        DeviceAllocatorConfig::default().with_streams(streams),
+    )
+}
+
+/// Minimal field extractor for the committed `BENCH_PR<n>.json` snapshots
+/// used by the `--check` CI gates: finds the first `"name": <number>`
+/// occurrence. The snapshots are machine-written by the bench binaries
+/// themselves, so no general JSON parsing is needed.
+pub fn extract_field(json: &str, name: &str) -> Option<f64> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Times `op` with a two-point read of the monotonic clock around a single
 /// block of iterations (sized by a one-call estimate against
 /// `budget_ms`), returning ns per call. Mirrors the criterion shim's
@@ -182,6 +222,19 @@ mod tests {
             lake.probe_bestfit_reference(STITCH_PROBE_BYTES, &flat)
         );
         assert_eq!(lake.probe_bestfit_indexed(STITCH_PROBE_BYTES), 3);
+    }
+
+    #[test]
+    fn stream_pool_partitions_by_stream() {
+        use gmlake_alloc_api::StreamId;
+        let pool = stream_pool(8);
+        assert_eq!(pool.cache_stats().streams, 8);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(STREAM_SWEEP_SIZE), StreamId(3))
+            .expect("capacity");
+        pool.free_on_stream(a.id, StreamId(3)).expect("live");
+        assert_eq!(pool.stream_cache_stats(StreamId(3)).cached_blocks, 1);
+        assert_eq!(pool.stream_cache_stats(StreamId(0)).cached_blocks, 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 
 use gmlake_alloc_api::{
     AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, DeviceAllocator,
-    DeviceAllocatorConfig, MemStats,
+    DeviceAllocatorConfig, MemStats, StreamId,
 };
 
 use crate::error::RuntimeError;
@@ -456,18 +456,35 @@ impl PoolHandle {
         bytes
     }
 
-    /// Allocates memory for `req` through the pool's [`DeviceAllocator`].
-    ///
-    /// On out-of-memory — after the front-end's own flush-and-retry — the
-    /// service's defrag policy may rescue the allocation: apply an action
-    /// across the pools cohabiting this pool's physical device, then retry
-    /// once.
+    /// Allocates memory for `req` through the pool's [`DeviceAllocator`] on
+    /// the default stream (see [`PoolHandle::alloc_on_stream`]).
     ///
     /// # Errors
     ///
     /// See [`AllocatorCore::allocate`].
     pub fn allocate(&self, req: AllocRequest) -> Result<Allocation, AllocError> {
-        let result = self.entry.alloc.allocate(req);
+        self.alloc_on_stream(req, StreamId::DEFAULT)
+    }
+
+    /// Allocates memory for `req` on behalf of logical GPU stream `stream`:
+    /// small requests ride the stream's own cache bank in the pool's
+    /// [`DeviceAllocator`], so ranks driving different streams never
+    /// serialize on a lock.
+    ///
+    /// On out-of-memory — after the front-end's own flush-and-retry, which
+    /// drains **every** stream's cache — the service's defrag policy may
+    /// rescue the allocation: apply an action across the pools cohabiting
+    /// this pool's physical device, then retry once.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::allocate`].
+    pub fn alloc_on_stream(
+        &self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        let result = self.entry.alloc.alloc_on_stream(req, stream);
         let Err(AllocError::OutOfMemory { .. }) = &result else {
             return result;
         };
@@ -486,16 +503,27 @@ impl PoolHandle {
         }
         let bytes = self.rescue_same_device(action);
         scheduler.record_oom_rescue(action, bytes);
-        self.entry.alloc.allocate(req)
+        self.entry.alloc.alloc_on_stream(req, stream)
     }
 
-    /// Releases the allocation identified by `id`.
+    /// Releases the allocation identified by `id` from the default stream.
     ///
     /// # Errors
     ///
     /// See [`AllocatorCore::deallocate`].
     pub fn deallocate(&self, id: AllocationId) -> Result<(), AllocError> {
         self.entry.alloc.deallocate(id)
+    }
+
+    /// Releases the allocation identified by `id`, where the free is issued
+    /// from `stream` (see [`DeviceAllocator::free_on_stream`] for the
+    /// cross-stream reuse rule).
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocatorCore::deallocate`].
+    pub fn free_on_stream(&self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        self.entry.alloc.free_on_stream(id, stream)
     }
 
     /// Memory statistics of the pool (see [`DeviceAllocator::stats`]).
@@ -562,6 +590,18 @@ impl AllocatorCore for PoolHandle {
 
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
         PoolHandle::deallocate(self, id)
+    }
+
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        PoolHandle::alloc_on_stream(self, req, stream)
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        PoolHandle::free_on_stream(self, id, stream)
     }
 
     fn stats(&self) -> MemStats {
@@ -887,6 +927,83 @@ mod tests {
         let after = pool.allocator().cache_stats();
         assert_eq!(after.hits, before.hits + 1, "served from the shard cache");
         assert_eq!(after.misses, before.misses);
+    }
+
+    #[test]
+    fn stream_routing_through_the_handle_uses_per_stream_banks() {
+        use gmlake_alloc_api::StreamId;
+        let service = PoolService::new();
+        let front = DeviceAllocator::with_config(
+            CachingAllocator::new(CudaDriver::new(
+                DeviceConfig::small_test().with_backing(false),
+            )),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        let pool = service.register_device(DeviceId(0), front).unwrap();
+        assert_eq!(pool.allocator().cache_stats().streams, 2);
+        // Warm the same size class on both streams: two distinct blocks,
+        // each parked in its own stream's bank.
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_ne!(a.va, b.va);
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        let alloc = pool.allocator();
+        assert_eq!(alloc.stream_cache_stats(StreamId(0)).cached_blocks, 1);
+        assert_eq!(alloc.stream_cache_stats(StreamId(1)).cached_blocks, 1);
+        // Warm reuse stays within the stream.
+        let a2 = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        assert_eq!(a2.va, a.va);
+        // Cross-stream free through the handle takes the conservative path.
+        pool.free_on_stream(a2.id, StreamId(1)).unwrap();
+        assert_eq!(alloc.cache_stats().cross_stream_returns, 1);
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 3);
+        assert_eq!(s.free_count, 3);
+        assert_eq!(s.active_bytes, 0);
+    }
+
+    #[test]
+    fn oom_rescue_covers_the_stream_alloc_path() {
+        // Same sibling-hoarder setup as the default-stream rescue test, but
+        // the failing allocation arrives via alloc_on_stream: the policy
+        // rescue must kick in on that path too.
+        use gmlake_alloc_api::StreamId;
+        let service = PoolService::with_scheduler(DefragScheduler::oom_pressure());
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let hoarder = service
+            .register_with_affinity(
+                DeviceId(0),
+                Box::new(CachingAllocator::new(driver.clone())),
+                0,
+            )
+            .unwrap();
+        let pool = service
+            .register_with_affinity(
+                DeviceId(1),
+                Box::new(CachingAllocator::new(driver.clone())),
+                0,
+            )
+            .unwrap();
+        let ids: Vec<_> = (0..4)
+            .map(|_| hoarder.allocate(AllocRequest::new(mib(40))).unwrap().id)
+            .collect();
+        for id in ids {
+            hoarder.deallocate(id).unwrap();
+        }
+        assert!(driver.phys_in_use() >= mib(160), "sibling cache retained");
+        let big = pool
+            .alloc_on_stream(AllocRequest::new(mib(200)), StreamId(1))
+            .unwrap();
+        assert_eq!(big.size, mib(200));
+        assert_eq!(service.scheduler().unwrap().stats().oom_rescues, 1);
+        pool.free_on_stream(big.id, StreamId(1)).unwrap();
     }
 
     #[test]

@@ -298,6 +298,52 @@ mod tests {
     }
 
     #[test]
+    fn multi_stream_ranks_replay_through_per_stream_pools() {
+        use gmlake_alloc_api::{DeviceAllocator, DeviceAllocatorConfig, StreamId};
+        // Two ranks, each replaying a 2-stream trace (offload staging on the
+        // side stream) against a stream-configured front-end: the replay
+        // must route per-stream, keep the accounting exact, and mirror
+        // across ranks exactly as the single-stream fleet does.
+        let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::RO)
+            .with_seq_len(256)
+            .with_batch(2)
+            .with_iterations(2)
+            .with_streams(2);
+        let service = PoolService::new();
+        let ranks: Vec<RankSpec> = (0..2)
+            .map(|rank| {
+                let driver = CudaDriver::new(DeviceConfig::a100_80g());
+                let device = DeviceId(rank);
+                let front = DeviceAllocator::with_config(
+                    CachingAllocator::new(driver.clone()),
+                    DeviceAllocatorConfig::default()
+                        .with_streams(2)
+                        .with_small_threshold(gmlake_alloc_api::mib(512)),
+                );
+                service.register_device(device, front).unwrap();
+                RankSpec::new(device, driver, cfg.clone())
+            })
+            .collect();
+        let report = ConcurrentReplayer::new(service.clone())
+            .replay_ranks(ranks)
+            .unwrap();
+        assert!(report.all_completed());
+        for w in report.ranks.windows(2) {
+            assert_eq!(w[0].report.peak_reserved, w[1].report.peak_reserved);
+        }
+        for device in service.devices() {
+            let handle = service.handle(device).unwrap();
+            assert_eq!(handle.stats().active_bytes, 0);
+            let side = handle.allocator().stream_cache_stats(StreamId(1));
+            assert!(
+                side.hits + side.misses > 0,
+                "{device}: side-stream traffic rode stream 1's bank"
+            );
+            assert_eq!(handle.allocator().cache_stats().cross_stream_returns, 0);
+        }
+    }
+
+    #[test]
     fn unknown_device_fails_before_spawning() {
         let service = PoolService::new();
         let cfg = small_cfg();

@@ -23,7 +23,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use gmlake_alloc_api::AllocTag;
+use gmlake_alloc_api::{AllocTag, StreamId};
 
 use crate::strategy::TrainConfig;
 use crate::timing::{layer_timing, optimizer_ns, pcie_ns};
@@ -54,17 +54,27 @@ impl GenState {
         debug_assert!(size > 0);
         self.next_key += 1;
         let key = self.next_key;
-        self.events.push(TraceEvent::Alloc { key, size, tag });
+        // Streams are assigned in a post-pass (`assign_streams`), so the
+        // phase builders stay stream-agnostic.
+        self.events.push(TraceEvent::Alloc {
+            key,
+            size,
+            tag,
+            stream: StreamId::DEFAULT,
+        });
         key
     }
 
     fn free(&mut self, key: u64) {
-        self.events.push(TraceEvent::Free { key });
+        self.events.push(TraceEvent::Free {
+            key,
+            stream: StreamId::DEFAULT,
+        });
     }
 
     fn free_all(&mut self, keys: &mut Vec<u64>) {
         for key in keys.drain(..) {
-            self.events.push(TraceEvent::Free { key });
+            self.free(key);
         }
     }
 
@@ -151,8 +161,48 @@ impl TraceGenerator {
         st.free_all(&mut persistent);
 
         trace.events = st.events;
+        Self::assign_streams(&mut trace.events, cfg.streams);
         debug_assert_eq!(trace.validate(), Ok(()));
         trace
+    }
+
+    /// Distributes the trace across `streams` logical GPU streams.
+    ///
+    /// Communication (gather / reduce-scatter) and offload-staging tensors
+    /// move to side streams — real ZeRO/offload runs issue them on separate
+    /// CUDA streams precisely so they overlap compute — with a deterministic
+    /// per-tensor spread over the available side streams. Compute tensors
+    /// stay on the default stream, and every tensor is freed on the stream
+    /// it was allocated on (the same-stream reuse rule; the concurrent
+    /// harnesses inject cross-stream frees separately).
+    fn assign_streams(events: &mut [TraceEvent], streams: u32) {
+        if streams <= 1 {
+            return;
+        }
+        let side = streams as u64 - 1;
+        let mut owner: std::collections::HashMap<u64, StreamId> = std::collections::HashMap::new();
+        for ev in events {
+            match ev {
+                TraceEvent::Alloc {
+                    key, tag, stream, ..
+                } => {
+                    let s = match tag {
+                        AllocTag::Communication | AllocTag::Staging => {
+                            StreamId(1 + (*key % side) as u32)
+                        }
+                        _ => StreamId::DEFAULT,
+                    };
+                    *stream = s;
+                    owner.insert(*key, s);
+                }
+                TraceEvent::Free { key, stream } => {
+                    if let Some(s) = owner.get(key) {
+                        *stream = *s;
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Allocates the persistent shards; returns their keys.
@@ -540,6 +590,46 @@ mod tests {
             sizes
         };
         assert_eq!(sizes_of_iter(1), sizes_of_iter(2));
+    }
+
+    #[test]
+    fn multi_stream_traces_route_comm_and_staging_off_the_default_stream() {
+        // RO enables offload: communication AND staging traffic exist.
+        let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::RO)
+            .with_iterations(2)
+            .with_streams(3);
+        let t = TraceGenerator::new(cfg).generate();
+        t.validate().unwrap();
+        assert_eq!(t.stats().streams, 3, "default + 2 side streams in use");
+        let mut owner: std::collections::HashMap<u64, StreamId> = std::collections::HashMap::new();
+        let mut side_allocs = 0u64;
+        for ev in &t.events {
+            match *ev {
+                TraceEvent::Alloc {
+                    key, tag, stream, ..
+                } => {
+                    match tag {
+                        AllocTag::Communication | AllocTag::Staging => {
+                            assert!(!stream.is_default(), "{tag}: overlap traffic is off-stream");
+                            side_allocs += 1;
+                        }
+                        _ => assert!(stream.is_default(), "{tag}: compute stays on stream 0"),
+                    }
+                    owner.insert(key, stream);
+                }
+                TraceEvent::Free { key, stream } => {
+                    assert_eq!(owner[&key], stream, "tensors are freed on their stream");
+                }
+                _ => {}
+            }
+        }
+        assert!(side_allocs > 0);
+    }
+
+    #[test]
+    fn single_stream_config_keeps_everything_on_the_default_stream() {
+        let t = quick(StrategySet::LRO);
+        assert_eq!(t.stats().streams, 1);
     }
 
     #[test]

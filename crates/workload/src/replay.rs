@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use gmlake_alloc_api::{AllocError, AllocRequest, AllocationId, AllocatorCore};
+use gmlake_alloc_api::{AllocError, AllocRequest, AllocationId, AllocatorCore, StreamId};
 use gmlake_gpu_sim::CudaDriver;
 
 use crate::trace::{Trace, TraceEvent, TraceStats};
@@ -172,7 +172,9 @@ impl Replayer {
     ) -> ReplayReport {
         let t_start = self.driver.now_ns();
         let drv_before = self.driver.stats().allocator_time_ns();
-        let mut ids: HashMap<u64, AllocationId> = HashMap::new();
+        // key -> (allocator id, allocating stream): surviving tensors are
+        // released on their own stream so the cleanup stays on the warm path.
+        let mut ids: HashMap<u64, (AllocationId, StreamId)> = HashMap::new();
         let mut outcome = ReplayOutcome::Completed;
         let mut iterations_completed = 0u32;
         let mut current_iter = 0u32;
@@ -184,10 +186,18 @@ impl Replayer {
 
         'events: for (i, ev) in trace.events.iter().enumerate() {
             match *ev {
-                TraceEvent::Alloc { key, size, tag } => {
-                    match alloc.allocate(AllocRequest::new(size).with_tag(tag)) {
+                TraceEvent::Alloc {
+                    key,
+                    size,
+                    tag,
+                    stream,
+                } => {
+                    // Stream-aware front-ends route to the stream's cache
+                    // bank; stream-oblivious cores ignore the stream (the
+                    // AllocatorCore default delegates to `allocate`).
+                    match alloc.alloc_on_stream(AllocRequest::new(size).with_tag(tag), stream) {
                         Ok(a) => {
-                            ids.insert(key, a.id);
+                            ids.insert(key, (a.id, stream));
                         }
                         Err(AllocError::OutOfMemory { .. }) => {
                             if self.options.stop_on_oom {
@@ -202,10 +212,10 @@ impl Replayer {
                         Err(e) => panic!("replay hit a non-OOM allocator error: {e}"),
                     }
                 }
-                TraceEvent::Free { key } => {
-                    if let Some(id) = ids.remove(&key) {
+                TraceEvent::Free { key, stream } => {
+                    if let Some((id, _)) = ids.remove(&key) {
                         alloc
-                            .deallocate(id)
+                            .free_on_stream(id, stream)
                             .expect("replayer frees only live allocations");
                     }
                 }
@@ -240,8 +250,8 @@ impl Replayer {
 
         // Release surviving allocations so the allocator can be reused (the
         // trace itself frees everything unless it was cut short by OOM).
-        for (_, id) in ids.drain() {
-            let _ = alloc.deallocate(id);
+        for (_, (id, stream)) in ids.drain() {
+            let _ = alloc.free_on_stream(id, stream);
         }
 
         let stats = alloc.stats();
@@ -404,6 +414,44 @@ mod tests {
             r_caching.throughput,
             r_native.throughput
         );
+    }
+
+    #[test]
+    fn multi_stream_trace_routes_into_per_stream_banks() {
+        use gmlake_alloc_api::{DeviceAllocator, DeviceAllocatorConfig};
+        // Offload (RO) generates communication + staging tensors, which the
+        // generator moves to side streams; replaying through a stream-aware
+        // front-end must land that traffic in the side-stream cache banks.
+        let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::RO)
+            .with_iterations(2)
+            .with_seq_len(256)
+            .with_batch(2)
+            .with_streams(2);
+        let trace = TraceGenerator::new(cfg.clone()).generate();
+        assert_eq!(trace.stats().streams, 2);
+        let driver = a100();
+        // Comm/staging tensors run tens-to-hundreds of MiB; raise the
+        // fast-path threshold so the side-stream traffic is visible in the
+        // stream banks instead of falling through to the core.
+        let mut pool = DeviceAllocator::with_config(
+            CachingAllocator::new(driver.clone()),
+            DeviceAllocatorConfig::default()
+                .with_streams(2)
+                .with_small_threshold(gmlake_alloc_api::mib(512)),
+        );
+        let report = Replayer::new(driver).replay(&mut pool, &trace, &cfg);
+        assert!(report.outcome.is_completed());
+        let side = pool.stream_cache_stats(StreamId(1));
+        assert!(
+            side.hits + side.misses > 0,
+            "side-stream traffic reached stream 1's bank"
+        );
+        assert_eq!(
+            pool.cache_stats().cross_stream_returns,
+            0,
+            "the generator frees every tensor on its own stream"
+        );
+        assert_eq!(AllocatorCore::stats(&pool).active_bytes, 0);
     }
 
     #[test]

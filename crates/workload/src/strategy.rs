@@ -153,6 +153,12 @@ pub struct TrainConfig {
     pub iterations: u32,
     /// RNG seed for the jitter model.
     pub seed: u64,
+    /// Logical GPU streams the trace is issued on (default 1). With more
+    /// than one stream, communication and offload-staging tensors move to
+    /// side streams — the overlap real ZeRO/offload runs rely on — while
+    /// compute tensors stay on the default stream. Every tensor is freed on
+    /// its allocating stream.
+    pub streams: u32,
 }
 
 impl TrainConfig {
@@ -170,6 +176,7 @@ impl TrainConfig {
             lora_rank: 64,
             iterations: 8,
             seed: 0x6d6c616b65, // "mlake"
+            streams: 1,
         }
     }
 
@@ -212,6 +219,14 @@ impl TrainConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the logical stream count (see [`TrainConfig::streams`]). Values
+    /// below 1 are treated as 1 by the generator.
+    #[must_use]
+    pub fn with_streams(mut self, streams: u32) -> Self {
+        self.streams = streams;
         self
     }
 

@@ -2,7 +2,7 @@
 //! run issues to the allocator, plus the statistics the paper reports about
 //! such streams (Figure 5).
 
-use gmlake_alloc_api::AllocTag;
+use gmlake_alloc_api::{AllocTag, StreamId};
 
 /// One event in a memory trace. `key` identifies a logical tensor within the
 /// trace (the replayer maps it to whatever `AllocationId` the allocator
@@ -18,11 +18,20 @@ pub enum TraceEvent {
         size: u64,
         /// Telemetry tag.
         tag: AllocTag,
+        /// Logical GPU stream the allocation is issued on (communication /
+        /// offload traffic overlaps compute on side streams; everything
+        /// else runs on [`StreamId::DEFAULT`]).
+        stream: StreamId,
     },
     /// Free tensor `key`.
     Free {
         /// Logical tensor id.
         key: u64,
+        /// Stream the free is issued from. The generator frees every
+        /// tensor on its allocating stream; a replayed cross-stream free
+        /// (different stream than the tensor's `Alloc`) exercises the
+        /// allocator's conservative reuse guard.
+        stream: StreamId,
     },
     /// Computation (kernel execution / communication / PCIe transfer) taking
     /// `ns` simulated nanoseconds.
@@ -100,6 +109,9 @@ pub struct TraceStats {
     pub iterations: u32,
     /// Total `Compute` nanoseconds.
     pub compute_ns: u64,
+    /// Number of distinct streams allocations are issued on (1 for a
+    /// single-stream trace).
+    pub streams: u32,
 }
 
 impl Trace {
@@ -121,7 +133,7 @@ impl Trace {
         let mut out = TagBreakdown::default();
         for ev in &self.events {
             match *ev {
-                TraceEvent::Alloc { key, size, tag } => {
+                TraceEvent::Alloc { key, size, tag, .. } => {
                     live.insert(key, (tag, size));
                     let cur = live_by_tag.entry(tag).or_insert(0);
                     *cur += size;
@@ -130,7 +142,7 @@ impl Trace {
                         *peak = *cur;
                     }
                 }
-                TraceEvent::Free { key } => {
+                TraceEvent::Free { key, .. } => {
                     if let Some((tag, size)) = live.remove(&key) {
                         *live_by_tag.entry(tag).or_insert(0) -= size;
                     }
@@ -145,10 +157,14 @@ impl Trace {
     pub fn stats(&self) -> TraceStats {
         let mut s = TraceStats::default();
         let mut live: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut streams: std::collections::HashSet<StreamId> = std::collections::HashSet::new();
         let mut live_bytes = 0u64;
         for ev in &self.events {
             match *ev {
-                TraceEvent::Alloc { key, size, .. } => {
+                TraceEvent::Alloc {
+                    key, size, stream, ..
+                } => {
+                    streams.insert(stream);
                     s.allocs += 1;
                     s.alloc_bytes += size;
                     if size < 2 * 1024 * 1024 {
@@ -160,7 +176,7 @@ impl Trace {
                         s.peak_live_bytes = live_bytes;
                     }
                 }
-                TraceEvent::Free { key } => {
+                TraceEvent::Free { key, .. } => {
                     s.frees += 1;
                     if let Some(size) = live.remove(&key) {
                         live_bytes -= size;
@@ -172,6 +188,7 @@ impl Trace {
             }
         }
         s.mean_alloc = s.alloc_bytes.checked_div(s.allocs).unwrap_or(0);
+        s.streams = streams.len() as u32;
         s
     }
 
@@ -194,7 +211,7 @@ impl Trace {
                         return Err(format!("event {i}: key {key} allocated while live"));
                     }
                 }
-                TraceEvent::Free { key } => {
+                TraceEvent::Free { key, .. } => {
                     if !live.remove(&key) {
                         return Err(format!("event {i}: free of unknown key {key}"));
                     }
@@ -234,6 +251,7 @@ mod tests {
             key,
             size,
             tag: AllocTag::Unspecified,
+            stream: StreamId::DEFAULT,
         }
     }
 
@@ -244,11 +262,20 @@ mod tests {
             TraceEvent::IterBegin { index: 0 },
             ev_alloc(1, mib(10)),
             ev_alloc(2, mib(20)),
-            TraceEvent::Free { key: 1 },
+            TraceEvent::Free {
+                key: 1,
+                stream: StreamId::DEFAULT,
+            },
             ev_alloc(3, mib(5)),
             TraceEvent::Compute { ns: 42 },
-            TraceEvent::Free { key: 2 },
-            TraceEvent::Free { key: 3 },
+            TraceEvent::Free {
+                key: 2,
+                stream: StreamId::DEFAULT,
+            },
+            TraceEvent::Free {
+                key: 3,
+                stream: StreamId::DEFAULT,
+            },
             TraceEvent::IterEnd { index: 0 },
         ];
         t.validate().unwrap();
@@ -260,6 +287,31 @@ mod tests {
         assert_eq!(s.iterations, 1);
         assert_eq!(s.compute_ns, 42);
         assert_eq!(s.small_allocs, 0);
+        assert_eq!(s.streams, 1, "all allocations on the default stream");
+    }
+
+    #[test]
+    fn stats_count_distinct_streams() {
+        let mut t = Trace::new("streams");
+        t.events = vec![
+            ev_alloc(1, 100),
+            TraceEvent::Alloc {
+                key: 2,
+                size: 100,
+                tag: AllocTag::Communication,
+                stream: StreamId(1),
+            },
+            TraceEvent::Free {
+                key: 2,
+                stream: StreamId(1),
+            },
+            TraceEvent::Free {
+                key: 1,
+                stream: StreamId::DEFAULT,
+            },
+        ];
+        t.validate().unwrap();
+        assert_eq!(t.stats().streams, 2);
     }
 
     #[test]
@@ -272,7 +324,10 @@ mod tests {
     #[test]
     fn validate_rejects_unknown_free() {
         let mut t = Trace::new("bad");
-        t.events = vec![TraceEvent::Free { key: 9 }];
+        t.events = vec![TraceEvent::Free {
+            key: 9,
+            stream: StreamId::DEFAULT,
+        }];
         assert!(t.validate().is_err());
     }
 
@@ -301,26 +356,42 @@ mod tests {
                 key: 1,
                 size: 100,
                 tag: AllocTag::Weight,
+                stream: StreamId::DEFAULT,
             },
             TraceEvent::Alloc {
                 key: 2,
                 size: 50,
                 tag: AllocTag::Activation,
+                stream: StreamId::DEFAULT,
             },
             TraceEvent::Alloc {
                 key: 3,
                 size: 70,
                 tag: AllocTag::Activation,
+                stream: StreamId::DEFAULT,
             },
-            TraceEvent::Free { key: 2 },
+            TraceEvent::Free {
+                key: 2,
+                stream: StreamId::DEFAULT,
+            },
             TraceEvent::Alloc {
                 key: 4,
                 size: 40,
                 tag: AllocTag::Activation,
+                stream: StreamId::DEFAULT,
             },
-            TraceEvent::Free { key: 3 },
-            TraceEvent::Free { key: 4 },
-            TraceEvent::Free { key: 1 },
+            TraceEvent::Free {
+                key: 3,
+                stream: StreamId::DEFAULT,
+            },
+            TraceEvent::Free {
+                key: 4,
+                stream: StreamId::DEFAULT,
+            },
+            TraceEvent::Free {
+                key: 1,
+                stream: StreamId::DEFAULT,
+            },
         ];
         t.validate().unwrap();
         let b = t.tag_breakdown();
@@ -338,8 +409,14 @@ mod tests {
         t.events = vec![
             ev_alloc(1, 4096),
             ev_alloc(2, mib(4)),
-            TraceEvent::Free { key: 1 },
-            TraceEvent::Free { key: 2 },
+            TraceEvent::Free {
+                key: 1,
+                stream: StreamId::DEFAULT,
+            },
+            TraceEvent::Free {
+                key: 2,
+                stream: StreamId::DEFAULT,
+            },
         ];
         assert_eq!(t.stats().small_allocs, 1);
     }

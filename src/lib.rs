@@ -24,7 +24,7 @@ pub use gmlake_workload as workload;
 pub mod prelude {
     pub use gmlake_alloc_api::{
         gib, kib, mib, AllocError, AllocRequest, AllocTag, Allocation, AllocationId, AllocatorCore,
-        DeviceAllocator, MemStats, VirtAddr,
+        DeviceAllocator, DeviceAllocatorConfig, MemStats, StreamId, VirtAddr,
     };
     pub use gmlake_caching::CachingAllocator;
     pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};

@@ -221,6 +221,121 @@ fn front_end_is_a_core_for_trait_generic_callers() {
     assert_eq!(pool.stats().alloc_count, 1);
 }
 
+/// Flush-before-defrag across streams: an OOM retry must reclaim **every**
+/// stream's cache, not just the allocating stream's. The reclaimed-byte
+/// count is pinned exactly so a future "flush only my bank" optimization
+/// cannot silently regress the rescue.
+#[test]
+fn oom_retry_flushes_every_streams_cache_with_pinned_byte_count() {
+    let driver = CudaDriver::new(
+        DeviceConfig::small_test()
+            .with_capacity(mib(300))
+            .with_backing(false),
+    );
+    let pool = DeviceAllocator::with_config(
+        CachingAllocator::new(driver.clone()),
+        DeviceAllocatorConfig::default()
+            .with_streams(4)
+            .with_small_threshold(mib(16)),
+    );
+    let warm_all_streams = |pool: &DeviceAllocator| {
+        for s in 0..4u32 {
+            let a = pool
+                .alloc_on_stream(AllocRequest::new(mib(10)), StreamId(s))
+                .unwrap();
+            pool.free_on_stream(a.id, StreamId(s)).unwrap();
+        }
+    };
+    // Phase 1 — pin the reclaimed-byte count: one 10 MiB-class block parked
+    // per stream, and a full flush hands back exactly all four.
+    warm_all_streams(&pool);
+    for s in 0..4u32 {
+        assert_eq!(
+            pool.stream_cache_stats(StreamId(s)).cached_bytes,
+            mib(16),
+            "stream {s}: one 16 MiB-class block parked in its own bank"
+        );
+    }
+    assert_eq!(pool.flush(), 4 * mib(16), "flush reclaims every stream");
+    assert_eq!(pool.cache_stats().cached_bytes, 0);
+
+    // Phase 2 — the OOM retry does that flush implicitly: with 4 x 16 MiB
+    // parked (64 MiB), a 290 MiB request on a 300 MiB device only fits if
+    // every bank drains; flushing the allocating stream's bank alone
+    // (16 MiB) would leave at most 252 MiB allocatable.
+    warm_all_streams(&pool);
+    assert_eq!(pool.cache_stats().cached_bytes, 4 * mib(16));
+    let big = pool
+        .alloc_on_stream(AllocRequest::new(mib(290)), StreamId(0))
+        .unwrap();
+    assert_eq!(big.size, mib(290), "cross-stream flush rescued the request");
+    assert_eq!(pool.cache_stats().cached_bytes, 0, "all four banks drained");
+    pool.free_on_stream(big.id, StreamId(0)).unwrap();
+    drop(pool);
+    assert!(driver.snapshot().is_quiescent());
+}
+
+/// Stream configuration is honored end to end, and invalid stream counts
+/// surface as errors — never panics.
+#[test]
+fn stream_config_round_trips_and_zero_streams_errors() {
+    let make = |streams| {
+        DeviceAllocator::try_with_config(
+            CachingAllocator::new(CudaDriver::new(
+                DeviceConfig::small_test().with_backing(false),
+            )),
+            DeviceAllocatorConfig::default().with_streams(streams),
+        )
+    };
+    let err = make(0).unwrap_err();
+    assert!(matches!(err, AllocError::InvalidConfig(_)), "{err}");
+    let pool = make(3).unwrap();
+    let c = pool.cache_stats();
+    assert_eq!(c.streams, 4, "3 streams round up to 4 banks");
+    assert_eq!(c.shards, 4 * 16, "16 class shards per bank");
+}
+
+/// Cross-thread AND cross-stream: a block allocated on stream 1 by one
+/// thread and freed from stream 0 by another is routed through the core,
+/// never parked, and stays exactly accounted.
+#[test]
+fn cross_thread_cross_stream_free_takes_the_conservative_path() {
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let pool = DeviceAllocator::with_config(
+        CachingAllocator::new(driver),
+        DeviceAllocatorConfig::default().with_streams(2),
+    );
+    let (tx, rx) = mpsc::channel::<AllocationId>();
+    std::thread::scope(|s| {
+        let producer = pool.clone();
+        s.spawn(move || {
+            for _ in 0..100 {
+                let a = producer
+                    .alloc_on_stream(AllocRequest::new(kib(32)), StreamId(1))
+                    .unwrap();
+                tx.send(a.id).unwrap();
+            }
+        });
+        let consumer = pool.clone();
+        s.spawn(move || {
+            for id in rx {
+                consumer.free_on_stream(id, StreamId(0)).unwrap();
+            }
+        });
+    });
+    let stats = pool.stats();
+    assert_eq!(stats.alloc_count, 100);
+    assert_eq!(stats.free_count, 100);
+    assert_eq!(stats.active_bytes, 0);
+    let cache = pool.cache_stats();
+    assert_eq!(
+        cache.cross_stream_returns, 100,
+        "every free crossed streams and returned to the core"
+    );
+    assert_eq!(cache.cached_blocks, 0, "nothing was parked for reuse");
+    pool.with_core(|core| assert_eq!(core.stats().active_bytes, 0));
+}
+
 /// Shard configuration is honored and observable.
 #[test]
 fn custom_shard_config_round_trips() {

@@ -16,6 +16,11 @@ fn figure1_trace(final_request: u64) -> Trace {
         key,
         size,
         tag: AllocTag::Unspecified,
+        stream: gmlake_alloc_api::StreamId::DEFAULT,
+    };
+    let free = |key| TraceEvent::Free {
+        key,
+        stream: gmlake_alloc_api::StreamId::DEFAULT,
     };
     t.events = vec![
         TraceEvent::IterBegin { index: 0 },
@@ -23,12 +28,12 @@ fn figure1_trace(final_request: u64) -> Trace {
         alloc(2, mib(6)),
         alloc(3, mib(8)),
         alloc(4, mib(6)),
-        TraceEvent::Free { key: 1 },
-        TraceEvent::Free { key: 3 },
+        free(1),
+        free(3),
         alloc(5, final_request),
-        TraceEvent::Free { key: 5 },
-        TraceEvent::Free { key: 2 },
-        TraceEvent::Free { key: 4 },
+        free(5),
+        free(2),
+        free(4),
         TraceEvent::IterEnd { index: 0 },
     ];
     t.validate().unwrap();

@@ -1,0 +1,251 @@
+//! Differential-oracle property tests for the stream-aware `DeviceAllocator`
+//! front-end: random multi-stream alloc/free programs are replayed through
+//! the sharded, stream-partitioned front-end AND through a single-mutex
+//! `AllocatorCore` oracle, and the two must agree
+//!
+//! * on the outcome (success / `OutOfMemory`) of **every** allocation — the
+//!   front-end's caches, stream banks, and flush-and-retry must be invisible
+//!   to feasibility (the transparency GMLake promises);
+//! * on `stats()` at quiescence — after the program ends and the caches are
+//!   flushed, the reconciled counters must be bit-identical to the oracle's.
+//!
+//! Program sizes are powers of two, so the front-end's size-class rounding
+//! is the identity and any divergence is a real routing/accounting bug, not
+//! a rounding artifact.
+
+use proptest::prelude::*;
+
+use gmlake::prelude::*;
+use gmlake_alloc_api::DeviceAllocatorConfig;
+
+/// Number of logical streams the random programs run over.
+const STREAMS: u32 = 4;
+
+/// One step of a random multi-stream allocator program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate `1 << size_log2` bytes on stream `stream % STREAMS`.
+    Alloc { size_log2: u32, stream: u32 },
+    /// Free the n-th (mod live count) live allocation from stream
+    /// `stream % STREAMS` — when that is not the allocating stream, this is
+    /// a cross-stream free exercising the conservative reuse guard.
+    Free { nth: usize, stream: u32 },
+    /// Return every cached block to the core (front-end only; the oracle
+    /// caches nothing, so this must be caller-invisible).
+    Flush,
+    /// Flush one stream's bank only (front-end only, same invisibility).
+    FlushStream { stream: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => ((9u32..20), (0u32..STREAMS)).prop_map(|(size_log2, stream)| Op::Alloc {
+            size_log2,
+            stream,
+        }),
+        7 => (any::<usize>(), (0u32..STREAMS)).prop_map(|(nth, stream)| Op::Free { nth, stream }),
+        1 => Just(Op::Flush),
+        1 => (0u32..STREAMS).prop_map(|stream| Op::FlushStream { stream }),
+    ]
+}
+
+/// The single-mutex oracle's core: strict accounting against a byte budget,
+/// no caching, no rounding — deterministic feasibility (`active + size <=
+/// capacity`) and exact counters. Both sides of the differential run wrap
+/// the same type, so any disagreement is introduced by the front-end.
+#[derive(Default)]
+struct MirrorCore {
+    next: u64,
+    live: std::collections::HashMap<AllocationId, u64>,
+    stats: MemStats,
+    capacity: u64,
+}
+
+impl MirrorCore {
+    fn bounded(capacity: u64) -> Self {
+        MirrorCore {
+            capacity,
+            ..MirrorCore::default()
+        }
+    }
+}
+
+impl AllocatorCore for MirrorCore {
+    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        if req.size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        if self.capacity > 0 && self.stats.active_bytes + req.size > self.capacity {
+            return Err(AllocError::OutOfMemory {
+                requested: req.size,
+                reserved: self.stats.reserved_bytes,
+                capacity: self.capacity,
+            });
+        }
+        self.next += 1;
+        let id = AllocationId::new(self.next);
+        self.live.insert(id, req.size);
+        self.stats.on_alloc(req.size, req.size);
+        let active = self.stats.active_bytes;
+        self.stats
+            .set_reserved(active.max(self.stats.reserved_bytes));
+        Ok(Allocation {
+            id,
+            va: VirtAddr::new(self.next << 24),
+            size: req.size,
+            requested: req.size,
+        })
+    }
+
+    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
+        let size = self
+            .live
+            .remove(&id)
+            .ok_or(AllocError::UnknownAllocation(id))?;
+        self.stats.on_free(size);
+        Ok(())
+    }
+
+    fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "mirror-core"
+    }
+
+    fn release_cached(&mut self) -> u64 {
+        let releasable = self.stats.reserved_bytes - self.stats.active_bytes;
+        let active = self.stats.active_bytes;
+        self.stats.reserved_bytes = active;
+        releasable
+    }
+}
+
+/// The single-mutex oracle: the pre-PR 3 `SharedAllocator` shape — every
+/// call funnels through one lock, no cache, no streams. `free_on_stream`
+/// falls back to plain `deallocate` via the trait default, which is exactly
+/// the stream-oblivious semantics the front-end must be equivalent to.
+struct MutexOracle(std::sync::Mutex<MirrorCore>);
+
+impl MutexOracle {
+    fn alloc(&self, size: u64) -> Result<Allocation, AllocError> {
+        self.0.lock().unwrap().allocate(AllocRequest::new(size))
+    }
+
+    fn free(&self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        self.0.lock().unwrap().free_on_stream(id, stream)
+    }
+
+    fn stats(&self) -> MemStats {
+        self.0.lock().unwrap().stats()
+    }
+}
+
+/// Replays `ops` through both allocators, asserting outcome agreement after
+/// every step and stats agreement at quiescence. `capacity == 0` means
+/// unbounded (no OOM arm).
+fn run_differential(ops: &[Op], capacity: u64) {
+    let pool = DeviceAllocator::try_with_config(
+        MirrorCore::bounded(capacity),
+        DeviceAllocatorConfig::default()
+            .with_streams(STREAMS as usize)
+            .with_max_cached_per_class(4), // small cap: exercise overflow returns
+    )
+    .unwrap();
+    let oracle = MutexOracle(std::sync::Mutex::new(MirrorCore::bounded(capacity)));
+
+    // (front id, oracle id, allocating stream) per live tensor.
+    let mut live: Vec<(AllocationId, AllocationId, StreamId)> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Alloc { size_log2, stream } => {
+                let size = 1u64 << size_log2;
+                let stream = StreamId(stream % STREAMS);
+                let front = pool.alloc_on_stream(AllocRequest::new(size), stream);
+                let orac = oracle.alloc(size);
+                match (front, orac) {
+                    (Ok(f), Ok(o)) => {
+                        prop_assert!(f.size >= size);
+                        live.push((f.id, o.id, stream));
+                    }
+                    (Err(AllocError::OutOfMemory { requested, .. }), Err(AllocError::OutOfMemory { requested: oreq, .. })) => {
+                        prop_assert_eq!(requested, oreq, "op {}: same failing request", i);
+                    }
+                    (f, o) => panic!(
+                        "op {i}: outcome divergence on {size}B/{stream}: front {f:?} vs oracle {o:?}"
+                    ),
+                }
+            }
+            Op::Free { nth, stream } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (fid, oid, _alloc_stream) = live.swap_remove(nth % live.len());
+                let stream = StreamId(stream % STREAMS);
+                pool.free_on_stream(fid, stream).unwrap();
+                oracle.free(oid, stream).unwrap();
+            }
+            Op::Flush => {
+                pool.flush();
+            }
+            Op::FlushStream { stream } => {
+                pool.flush_stream(StreamId(stream % STREAMS));
+            }
+        }
+        // Mid-program the caller-visible counters already agree: active
+        // bytes exclude parked blocks, and every alloc/free is counted once.
+        let f = pool.stats();
+        let o = oracle.stats();
+        prop_assert_eq!(f.active_bytes, o.active_bytes, "op {}: active", i);
+        prop_assert_eq!(f.alloc_count, o.alloc_count, "op {}: allocs", i);
+        prop_assert_eq!(f.free_count, o.free_count, "op {}: frees", i);
+        prop_assert_eq!(
+            f.requested_bytes_total,
+            o.requested_bytes_total,
+            "op {}: requested",
+            i
+        );
+    }
+
+    // Quiescence: free the survivors on their own streams, flush, compare
+    // everything (including reserved, once both sides dropped their slack).
+    for (fid, oid, stream) in live.drain(..) {
+        pool.free_on_stream(fid, stream).unwrap();
+        oracle.free(oid, stream).unwrap();
+    }
+    pool.flush();
+    pool.release_cached();
+    oracle.0.lock().unwrap().release_cached();
+    let f = pool.stats();
+    let o = oracle.stats();
+    prop_assert_eq!(f.active_bytes, 0);
+    prop_assert_eq!(f.alloc_count, o.alloc_count);
+    prop_assert_eq!(f.free_count, o.free_count);
+    prop_assert_eq!(f.requested_bytes_total, o.requested_bytes_total);
+    prop_assert_eq!(f.reserved_bytes, o.reserved_bytes);
+    prop_assert_eq!(pool.cache_stats().cached_blocks, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Bounded device: the OOM arm fires regularly, and every outcome must
+    /// match the oracle's (the flush-and-retry makes the caches transparent
+    /// to feasibility).
+    #[test]
+    fn stream_front_end_matches_single_mutex_oracle_with_oom(
+        ops in prop::collection::vec(op_strategy(), 1..80)
+    ) {
+        // ~16 x 512 KiB ceiling: programs regularly cross it.
+        run_differential(&ops, 8 << 20);
+    }
+
+    /// Unbounded device: longer programs, pure routing/accounting agreement.
+    #[test]
+    fn stream_front_end_matches_single_mutex_oracle_unbounded(
+        ops in prop::collection::vec(op_strategy(), 1..120)
+    ) {
+        run_differential(&ops, 0);
+    }
+}
