@@ -42,6 +42,12 @@
 //!   stream through the core mutex — a full synchronization point standing
 //!   in for the CUDA event PyTorch would record.
 //!
+//! Both halves of the rule compare **exact** [`StreamId`]s: every parked
+//! block carries the stream that parked it, so even when distinct stream
+//! ids fold onto the same bank (ids at or above the configured stream
+//! count), an allocation only reuses a block its own stream parked —
+//! another stream's block in the shared free list is simply skipped.
+//!
 //! [`DeviceAllocator::allocate`] / [`DeviceAllocator::deallocate`] are the
 //! stream-oblivious entry points: they run on [`StreamId::DEFAULT`], so
 //! single-stream callers see exactly the pre-stream behaviour (and pay no
@@ -120,6 +126,16 @@ const FRONT_ID_BASE: u64 = 1 << 63;
 /// Smallest size class (bytes): requests below this round up to it.
 const MIN_CLASS: u64 = 512;
 
+/// Upper bound on [`DeviceAllocatorConfig::streams`] (1024). A power of two,
+/// so any accepted value rounds up to at most the bound itself — the
+/// power-of-two round-up at construction can never overflow.
+pub const MAX_STREAMS: usize = 1 << 10;
+
+/// Upper bound on [`DeviceAllocatorConfig::shards`] per bank (1024). With
+/// [`MAX_STREAMS`] this caps the shard array at 2^20 entries, keeping the
+/// `banks * shards` product far from overflow.
+pub const MAX_SHARDS: usize = 1 << 10;
+
 /// Multiply-shift hasher for the shard maps: every key is a `u64` (size
 /// class or front-end id), so a single multiply + xor-shift beats the
 /// default SipHash by a wide margin on the hot path.
@@ -160,6 +176,11 @@ pub struct DeviceAllocatorConfig {
     pub small_threshold: u64,
     /// Number of cache shards *per stream bank* (rounded up to a power of
     /// two, default 16).
+    ///
+    /// Must be in `1..=MAX_SHARDS`: [`DeviceAllocatorConfig::validate`]
+    /// rejects values outside the range (surfaced by the `try_*`
+    /// constructors as [`AllocError::InvalidConfig`]); the infallible
+    /// constructors clamp via [`DeviceAllocatorConfig::normalized`].
     pub shards: usize,
     /// Maximum cached blocks per size class; overflowing frees go straight
     /// back to the core (default 64).
@@ -168,14 +189,19 @@ pub struct DeviceAllocatorConfig {
     /// to a power of two, default 1). Each stream gets its own bank of
     /// `shards` size-class shards, so warm allocations on different streams
     /// never share a lock. Stream ids at or above the configured count fold
-    /// onto the existing banks (placement only — the cross-stream reuse
-    /// guard always compares exact [`StreamId`]s).
+    /// onto the existing banks (placement only: folded streams share locks
+    /// and free lists, but every parked block is tagged with the exact
+    /// [`StreamId`] that parked it, and both reuse and the cross-stream
+    /// free guard compare exact ids — a folded stream never receives
+    /// another stream's block except through the core mutex).
     ///
-    /// Must be at least 1 (stream 0 is the default stream):
-    /// [`DeviceAllocatorConfig::validate`] rejects 0, and the fallible
-    /// constructors ([`DeviceAllocator::try_with_config`],
+    /// Must be in `1..=MAX_STREAMS` (stream 0 is the default stream):
+    /// [`DeviceAllocatorConfig::validate`] rejects values outside the
+    /// range, and the fallible constructors
+    /// ([`DeviceAllocator::try_with_config`],
     /// [`DeviceAllocator::try_from_boxed`]) surface that as
-    /// [`AllocError::InvalidConfig`] instead of panicking.
+    /// [`AllocError::InvalidConfig`] instead of panicking; the infallible
+    /// constructors clamp via [`DeviceAllocatorConfig::normalized`].
     pub streams: usize,
 }
 
@@ -198,7 +224,11 @@ impl DeviceAllocatorConfig {
         self
     }
 
-    /// Sets the shard count (rounded up to a power of two).
+    /// Sets the shard count (rounded up to a power of two at construction;
+    /// see [`DeviceAllocatorConfig::shards`]). Values outside
+    /// `1..=MAX_SHARDS` are invalid and are reported by
+    /// [`DeviceAllocatorConfig::validate`] / the `try_*` constructors as
+    /// [`AllocError::InvalidConfig`] — never a panic.
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
@@ -213,9 +243,10 @@ impl DeviceAllocatorConfig {
     }
 
     /// Sets the stream count (rounded up to a power of two at construction;
-    /// see [`DeviceAllocatorConfig::streams`]). `0` is invalid and is
-    /// reported by [`DeviceAllocatorConfig::validate`] / the `try_*`
-    /// constructors as [`AllocError::InvalidConfig`] — never a panic.
+    /// see [`DeviceAllocatorConfig::streams`]). Values outside
+    /// `1..=MAX_STREAMS` are invalid and are reported by
+    /// [`DeviceAllocatorConfig::validate`] / the `try_*` constructors as
+    /// [`AllocError::InvalidConfig`] — never a panic.
     #[must_use]
     pub fn with_streams(mut self, streams: usize) -> Self {
         self.streams = streams;
@@ -231,25 +262,48 @@ impl DeviceAllocatorConfig {
     ///
     /// # Errors
     ///
-    /// [`AllocError::InvalidConfig`] if `streams == 0` (there is always at
-    /// least the default stream).
+    /// [`AllocError::InvalidConfig`] if `streams` is 0 (there is always at
+    /// least the default stream) or above [`MAX_STREAMS`], or if `shards`
+    /// is 0 (every bank needs a shard) or above [`MAX_SHARDS`]. The upper
+    /// bounds keep the power-of-two round-up and the `banks * shards`
+    /// product at construction from overflowing — out-of-range values are
+    /// an error here, never a panic.
     pub fn validate(&self) -> Result<(), AllocError> {
         if self.streams == 0 {
             return Err(AllocError::InvalidConfig(
                 "streams must be >= 1 (stream 0 is the default stream)".to_owned(),
             ));
         }
+        if self.streams > MAX_STREAMS {
+            return Err(AllocError::InvalidConfig(format!(
+                "streams must be <= {MAX_STREAMS} (got {})",
+                self.streams
+            )));
+        }
+        if self.shards == 0 {
+            return Err(AllocError::InvalidConfig(
+                "shards must be >= 1 (every stream bank needs a shard)".to_owned(),
+            ));
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(AllocError::InvalidConfig(format!(
+                "shards must be <= {MAX_SHARDS} (got {})",
+                self.shards
+            )));
+        }
         Ok(())
     }
 
     /// Repairs every value [`DeviceAllocatorConfig::validate`] would
-    /// reject (currently: `streams == 0` becomes 1), so the result always
+    /// reject (currently: `streams` and `shards` are clamped into
+    /// `1..=MAX_STREAMS` / `1..=MAX_SHARDS`), so the result always
     /// validates. This is what the infallible constructors
     /// ([`DeviceAllocator::with_config`] / [`DeviceAllocator::from_boxed`])
     /// apply instead of erroring.
     #[must_use]
     pub fn normalized(mut self) -> Self {
-        self.streams = self.streams.max(1);
+        self.streams = self.streams.clamp(1, MAX_STREAMS);
+        self.shards = self.shards.clamp(1, MAX_SHARDS);
         self
     }
 }
@@ -261,6 +315,13 @@ struct CachedBlock {
     core_id: AllocationId,
     va: VirtAddr,
     size: u64,
+    /// The stream the block was allocated on — carried through the free
+    /// lists so reuse can compare exact [`StreamId`]s. A free issued on the
+    /// same stream may recycle the block in place, and a parked block is
+    /// only ever handed back to that same stream; any other stream (even
+    /// one folded onto the same bank) must receive it through the core
+    /// mutex (the cross-stream reuse guard).
+    stream: StreamId,
 }
 
 /// A live small allocation handed out under a front-end id.
@@ -270,10 +331,6 @@ struct LiveSmall {
     /// Size class of the original request — the free-list key the block
     /// returns to on deallocation.
     class: u64,
-    /// The stream the block was allocated on. A free issued on the same
-    /// stream may recycle the block in place; a free from any other stream
-    /// must route it through the core (the cross-stream reuse guard).
-    stream: StreamId,
 }
 
 /// Counters reconciling one shard's fast-path activity with the core's
@@ -421,8 +478,9 @@ impl DeviceAllocator {
         Self::with_config(core, DeviceAllocatorConfig::default())
     }
 
-    /// Wraps `core` with an explicit configuration. Invalid stream counts
-    /// are normalized (`streams == 0` becomes 1); use
+    /// Wraps `core` with an explicit configuration. Invalid values are
+    /// repaired via [`DeviceAllocatorConfig::normalized`] (`streams` and
+    /// `shards` are clamped into `1..=MAX_STREAMS` / `1..=MAX_SHARDS`); use
     /// [`DeviceAllocator::try_with_config`] for strict validation.
     pub fn with_config<A: AllocatorCore + Send + 'static>(
         core: A,
@@ -446,8 +504,9 @@ impl DeviceAllocator {
 
     /// Wraps an already-boxed core (the registry path of `gmlake-runtime`).
     /// Invalid values are repaired via [`DeviceAllocatorConfig::normalized`]
-    /// (`streams == 0` becomes 1); use [`DeviceAllocator::try_from_boxed`]
-    /// for strict validation.
+    /// (`streams` and `shards` are clamped into `1..=MAX_STREAMS` /
+    /// `1..=MAX_SHARDS`); use [`DeviceAllocator::try_from_boxed`] for
+    /// strict validation.
     pub fn from_boxed(core: Box<dyn AllocatorCore + Send>, config: DeviceAllocatorConfig) -> Self {
         Self::try_from_boxed(core, config.normalized())
             .expect("normalized() repairs everything validate() rejects")
@@ -464,7 +523,7 @@ impl DeviceAllocator {
         config: DeviceAllocatorConfig,
     ) -> Result<Self, AllocError> {
         config.validate()?;
-        let class_shards = config.shards.max(1).next_power_of_two();
+        let class_shards = config.shards.next_power_of_two();
         let stream_banks = config.streams.next_power_of_two();
         let total = stream_banks * class_shards;
         let name = core.name();
@@ -485,8 +544,9 @@ impl DeviceAllocator {
     }
 
     /// Global shard index of `(stream, class)`: the stream's bank (stream
-    /// ids beyond the configured banks fold modulo — placement only), then
-    /// the class hash within the bank.
+    /// ids beyond the configured banks fold modulo — placement only; reuse
+    /// still compares the exact [`StreamId`] tag on each parked block),
+    /// then the class hash within the bank.
     #[inline]
     fn shard_index(&self, stream: StreamId, class: u64) -> usize {
         let bank = stream.as_u32() as usize & (self.inner.stream_banks - 1);
@@ -523,20 +583,23 @@ impl DeviceAllocator {
         {
             let mut guard = shard.lock();
             let g = &mut *guard;
-            if let Some(block) = g.free.get_mut(&class).and_then(Vec::pop) {
+            // Only a block parked by this exact stream is a hit: distinct
+            // StreamIds folded onto the same bank share the free lists for
+            // placement, but a block must never move between streams without
+            // passing through the core. Scanning from the back keeps the
+            // common case (every entry is this stream's) at plain-pop cost;
+            // mixed stacks only exist when ids fold onto one bank.
+            let hit = g.free.get_mut(&class).and_then(|stack| {
+                let pos = stack.iter().rposition(|b| b.stream == stream)?;
+                Some(stack.swap_remove(pos))
+            });
+            if let Some(block) = hit {
                 g.stats.cached_bytes -= block.size;
                 g.stats.cached_blocks -= 1;
                 g.stats.hits += 1;
                 g.stats.requested += req.size;
                 let id = g.mint(index, self.inner.shard_bits);
-                g.live.insert(
-                    id,
-                    LiveSmall {
-                        block,
-                        class,
-                        stream,
-                    },
-                );
+                g.live.insert(id, LiveSmall { block, class });
                 return Ok(Allocation {
                     id: AllocationId::new(id),
                     va: block.va,
@@ -555,19 +618,13 @@ impl DeviceAllocator {
             core_id: core_alloc.id,
             va: core_alloc.va,
             size: core_alloc.size,
+            stream,
         };
         let mut guard = shard.lock();
         let g = &mut *guard;
         g.stats.requested_inflation += class - req.size;
         let id = g.mint(index, self.inner.shard_bits);
-        g.live.insert(
-            id,
-            LiveSmall {
-                block,
-                class,
-                stream,
-            },
-        );
+        g.live.insert(id, LiveSmall { block, class });
         Ok(Allocation {
             id: AllocationId::new(id),
             va: block.va,
@@ -651,7 +708,7 @@ impl DeviceAllocator {
                 return Err(AllocError::UnknownAllocation(id));
             };
             g.stats.fast_frees += 1;
-            if entry.stream != stream {
+            if entry.block.stream != stream {
                 // Cross-stream free: never park — the block must pass
                 // through the core before any stream can see it again.
                 g.stats.cross_stream_returns += 1;
@@ -665,6 +722,17 @@ impl DeviceAllocator {
                     g.stats.cached_bytes += entry.block.size;
                     g.stats.cached_blocks += 1;
                     None
+                } else if let Some(pos) = stack.iter().position(|b| b.stream != stream) {
+                    // Cap reached, but a folded stream's block holds a slot
+                    // this stream can never reuse: evict it to the core and
+                    // park ours, so an idle foreign stream cannot wedge the
+                    // warm path of every stream sharing the shard.
+                    let evicted = stack.swap_remove(pos);
+                    stack.push(entry.block);
+                    g.stats.cached_bytes += entry.block.size;
+                    g.stats.cached_bytes -= evicted.size;
+                    g.stats.cache_returns += 1;
+                    Some(evicted)
                 } else {
                     g.stats.cache_returns += 1;
                     Some(entry.block)
@@ -725,6 +793,13 @@ impl DeviceAllocator {
     /// core and reports the bytes handed back — the targeted variant of
     /// [`DeviceAllocator::flush`] for callers that want to retire one idle
     /// stream without disturbing the others' warm caches.
+    ///
+    /// **Folding caveat:** a stream id at or above the configured
+    /// [`DeviceAllocatorConfig::streams`] count folds onto an existing bank
+    /// (see the config docs), so this drains that *shared* bank — e.g.
+    /// `flush_stream(StreamId(8))` on an 8-bank pool drains stream 0's
+    /// warm cache too. Pass only configured stream ids when you want the
+    /// flush to stay targeted.
     pub fn flush_stream(&self, stream: StreamId) -> u64 {
         self.drain_to_core(self.bank(stream))
     }
@@ -801,6 +876,11 @@ impl DeviceAllocator {
 
     /// Cache telemetry of one stream's bank only (`shards` reports the
     /// bank's shard count, `streams` is 1).
+    ///
+    /// **Folding caveat:** a stream id at or above the configured
+    /// [`DeviceAllocatorConfig::streams`] count folds onto an existing bank
+    /// (see the config docs), so the counters reported here are the shared
+    /// bank's — they include activity from every stream folded onto it.
     pub fn stream_cache_stats(&self, stream: StreamId) -> DeviceCacheStats {
         Self::cache_stats_of(
             Self::sum_shards(self.bank(stream)),
@@ -1195,14 +1275,72 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_is_an_error_not_a_panic() {
+        let cfg = DeviceAllocatorConfig::default().with_shards(0);
+        assert!(matches!(
+            cfg.validate(),
+            Err(AllocError::InvalidConfig(msg)) if msg.contains("shards")
+        ));
+        let err = DeviceAllocator::try_with_config(TestCore::default(), cfg.clone()).unwrap_err();
+        assert!(matches!(err, AllocError::InvalidConfig(_)));
+        // The infallible constructors normalize instead of panicking.
+        let pool = DeviceAllocator::with_config(TestCore::default(), cfg);
+        assert_eq!(pool.cache_stats().shards, 1);
+    }
+
+    #[test]
+    fn oversized_streams_or_shards_are_an_error_not_a_panic() {
+        // usize::MAX would overflow next_power_of_two() (and the
+        // banks * shards product) at construction — the bounds check must
+        // catch it in validate(), upholding the "never a panic" contract.
+        for cfg in [
+            DeviceAllocatorConfig::default().with_streams(usize::MAX),
+            DeviceAllocatorConfig::default().with_streams(MAX_STREAMS + 1),
+            DeviceAllocatorConfig::default().with_shards(usize::MAX),
+            DeviceAllocatorConfig::default().with_shards(MAX_SHARDS + 1),
+        ] {
+            assert!(matches!(cfg.validate(), Err(AllocError::InvalidConfig(_))));
+            let err =
+                DeviceAllocator::try_with_config(TestCore::default(), cfg.clone()).unwrap_err();
+            assert!(matches!(err, AllocError::InvalidConfig(_)));
+            // The infallible constructors clamp instead of panicking.
+            let pool = DeviceAllocator::with_config(TestCore::default(), cfg);
+            let c = pool.cache_stats();
+            assert!(c.streams <= MAX_STREAMS && c.shards <= MAX_STREAMS * MAX_SHARDS);
+        }
+        // The bounds themselves are accepted.
+        assert!(DeviceAllocatorConfig::default()
+            .with_streams(MAX_STREAMS)
+            .with_shards(MAX_SHARDS)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
     fn normalized_output_always_validates() {
         // The contract from_boxed relies on: whatever validate() rejects,
         // normalized() repairs.
-        let cfg = DeviceAllocatorConfig::default().with_streams(0);
-        assert!(cfg.validate().is_err());
-        let repaired = cfg.normalized();
-        assert!(repaired.validate().is_ok());
-        assert_eq!(repaired.streams, 1);
+        for cfg in [
+            DeviceAllocatorConfig::default()
+                .with_streams(0)
+                .with_shards(0),
+            DeviceAllocatorConfig::default()
+                .with_streams(usize::MAX)
+                .with_shards(usize::MAX),
+        ] {
+            assert!(cfg.validate().is_err());
+            assert!(cfg.normalized().validate().is_ok());
+        }
+        let repaired = DeviceAllocatorConfig::default()
+            .with_streams(0)
+            .with_shards(0)
+            .normalized();
+        assert_eq!((repaired.streams, repaired.shards), (1, 1));
+        let clamped = DeviceAllocatorConfig::default()
+            .with_streams(usize::MAX)
+            .with_shards(usize::MAX)
+            .normalized();
+        assert_eq!((clamped.streams, clamped.shards), (MAX_STREAMS, MAX_SHARDS));
     }
 
     #[test]
@@ -1359,6 +1497,88 @@ mod tests {
         let c = pool.cache_stats();
         assert_eq!(c.cross_stream_returns, 1);
         assert_eq!(c.cached_blocks, 0);
+    }
+
+    #[test]
+    fn folded_streams_never_reuse_each_others_parked_blocks() {
+        // Stream 5 folds onto bank 1 (2 banks) and parks a block there via a
+        // same-stream free. Stream 1 shares that bank's free lists, but an
+        // allocation on stream 1 must NOT be handed stream 5's block — a
+        // block only moves between streams through the core mutex.
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(5)).unwrap();
+        assert_eq!(pool.cache_stats().cached_blocks, 1, "parked in bank 1");
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_ne!(b.va, a.va, "stream 1 must not get stream 5's block");
+        let c = pool.cache_stats();
+        assert_eq!(c.hits, 0, "the mismatched block is a miss, not a hit");
+        assert_eq!(c.cached_blocks, 1, "stream 5's block stays parked");
+        // Stream 5 itself still reuses its own block.
+        let a2 = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+            .unwrap();
+        assert_eq!(a2.va, a.va, "stream 5 got its own block back");
+        assert_eq!(pool.cache_stats().hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        pool.free_on_stream(a2.id, StreamId(5)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (3, 3, 0));
+    }
+
+    #[test]
+    fn foreign_blocks_at_cap_are_evicted_not_wedged() {
+        // Stream 5 folds onto bank 1 (2 banks) and fills the class cache to
+        // its cap, then goes idle. Stream 1 shares that shard: its frees
+        // must evict the foreign blocks (to the core) rather than overflow
+        // forever, so the warm path recovers instead of staying wedged.
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default()
+                .with_streams(2)
+                .with_max_cached_per_class(2),
+        );
+        let foreign: Vec<_> = (0..2)
+            .map(|_| {
+                pool.alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+                    .unwrap()
+                    .id
+            })
+            .collect();
+        for id in foreign {
+            pool.free_on_stream(id, StreamId(5)).unwrap();
+        }
+        assert_eq!(
+            pool.cache_stats().cached_blocks,
+            2,
+            "cap filled by stream 5"
+        );
+        // Stream 1's free at cap evicts one of stream 5's blocks and parks
+        // its own.
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(1)).unwrap();
+        assert_eq!(pool.cache_stats().cached_blocks, 2, "still at cap");
+        // The warm path works for stream 1 now: its own block is parked.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_eq!(b.va, a.va, "stream 1 reuses the block it parked");
+        assert_eq!(pool.cache_stats().hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (4, 4, 0));
+        // Full accounting survives a flush.
+        pool.flush();
+        assert_eq!(pool.with_core(|c| c.stats().live_allocations()), 0);
     }
 
     #[test]

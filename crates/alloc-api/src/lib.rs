@@ -37,7 +37,9 @@ mod stats;
 mod traits;
 mod types;
 
-pub use device::{DeviceAllocator, DeviceAllocatorConfig, DeviceCacheStats};
+pub use device::{
+    DeviceAllocator, DeviceAllocatorConfig, DeviceCacheStats, MAX_SHARDS, MAX_STREAMS,
+};
 pub use error::AllocError;
 pub use request::{AllocRequest, Allocation};
 pub use stats::{MemStats, StatsDelta};
