@@ -31,16 +31,24 @@
 //! same lock — not even for identical sizes — which is what keeps
 //! independent GPU streams from serializing at the allocator.
 //!
-//! Reuse follows PyTorch's event-guarded rule, conservatively:
+//! Reuse follows PyTorch's event-guarded rule:
 //!
 //! * a free issued on the **same stream** the block was allocated on parks
 //!   the block in that stream's free list for immediate reuse (stream order
 //!   already guarantees the previous user finished);
 //! * a **cross-stream** free ([`DeviceAllocator::free_on_stream`] with a
-//!   different stream than the allocating one) never lands in a free list:
-//!   the block is returned to the core, so it can only come back to *any*
-//!   stream through the core mutex — a full synchronization point standing
-//!   in for the CUDA event PyTorch would record.
+//!   different stream than the allocating one) never lands in a free list
+//!   directly. When the front-end was built with an [`EventSource`]
+//!   (see [`DeviceAllocator::with_config_and_events`]), the free **records
+//!   an event on the freeing stream** and parks the block in the owning
+//!   shard's *pending ring*; the allocation path and
+//!   [`DeviceAllocator::process_events`] promote blocks whose events have
+//!   completed back into the owning stream's free list — so a completed
+//!   cross-stream block is reusable with one shard-lock acquisition instead
+//!   of a core-mutex round trip. Without an event source (the default), the
+//!   block is returned to the core, the conservative pre-event rule: it can
+//!   only come back to *any* stream through the core mutex, a full
+//!   synchronization point standing in for the event.
 //!
 //! Both halves of the rule compare **exact** [`StreamId`]s: every parked
 //! block carries the stream that parked it, so even when distinct stream
@@ -107,17 +115,18 @@
 //! assert_eq!(stats.active_bytes, 0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::error::AllocError;
+use crate::events::EventSource;
 use crate::request::{AllocRequest, Allocation};
 use crate::stats::MemStats;
 use crate::traits::AllocatorCore;
-use crate::types::{mib, AllocationId, StreamId, VirtAddr};
+use crate::types::{mib, AllocationId, EventId, StreamId, VirtAddr};
 
 /// Front-end allocation ids live in the top half of the id space so they can
 /// never collide with a core's sequential ids.
@@ -185,6 +194,15 @@ pub struct DeviceAllocatorConfig {
     /// Maximum cached blocks per size class; overflowing frees go straight
     /// back to the core (default 64).
     pub max_cached_per_class: usize,
+    /// Capacity of each shard's pending event ring (default 64) — the
+    /// cross-stream-freed blocks that may wait on event completion per
+    /// shard, **across all of the shard's size classes** (a coarser
+    /// granularity than `max_cached_per_class`, which is per class).
+    /// A full ring sends further cross-stream frees through the core
+    /// fallback; `0` disables event parking entirely, restoring the
+    /// conservative pre-event rule even when an
+    /// [`EventSource`](crate::EventSource) is configured.
+    pub pending_ring_cap: usize,
     /// Number of logical GPU streams to partition the cache for (rounded up
     /// to a power of two, default 1). Each stream gets its own bank of
     /// `shards` size-class shards, so warm allocations on different streams
@@ -211,6 +229,7 @@ impl Default for DeviceAllocatorConfig {
             small_threshold: mib(2),
             shards: 16,
             max_cached_per_class: 64,
+            pending_ring_cap: 64,
             streams: 1,
         }
     }
@@ -239,6 +258,14 @@ impl DeviceAllocatorConfig {
     #[must_use]
     pub fn with_max_cached_per_class(mut self, max: usize) -> Self {
         self.max_cached_per_class = max;
+        self
+    }
+
+    /// Sets the per-shard pending event ring capacity (`0` disables event
+    /// parking; see [`DeviceAllocatorConfig::pending_ring_cap`]).
+    #[must_use]
+    pub fn with_pending_ring_cap(mut self, cap: usize) -> Self {
+        self.pending_ring_cap = cap;
         self
     }
 
@@ -333,6 +360,24 @@ struct LiveSmall {
     class: u64,
 }
 
+/// A cross-stream-freed block waiting in a shard's pending ring for its
+/// event to complete before it may re-enter the owning stream's free list.
+#[derive(Debug, Clone, Copy)]
+struct PendingBlock {
+    /// The parked block; `block.stream` is still the *owning* (allocating)
+    /// stream — the only stream allowed to reuse it after promotion.
+    block: CachedBlock,
+    /// Free-list key the block is promoted under.
+    class: u64,
+    /// Event recorded on the *freeing* stream at free time: once it
+    /// completes, that stream's in-flight work is done with the block.
+    event: EventId,
+    /// The freeing stream the event was recorded on. Events of one stream
+    /// complete FIFO, so the promotion sweep queries at most one
+    /// incomplete event per distinct freeing stream.
+    freed_from: StreamId,
+}
+
 /// Counters reconciling one shard's fast-path activity with the core's
 /// `MemStats`. Guarded by the shard lock, so the hot path pays no atomic
 /// read-modify-writes; [`DeviceAllocator::stats`] aggregates across shards.
@@ -350,23 +395,35 @@ struct ShardStats {
     /// Frees absorbed by the fast path (the core saw nothing — yet).
     fast_frees: u64,
     /// Core-side deallocations performed for cache maintenance (flush,
-    /// per-class overflow, and cross-stream returns); each undoes the
+    /// per-class overflow, and cross-stream fallbacks); each undoes the
     /// core-visible half of a free already counted in `fast_frees`.
     cache_returns: u64,
-    /// Frees issued from a different stream than the allocating one and
-    /// therefore returned to the core instead of a free list (a subset of
+    /// Cross-stream frees that recorded an event and parked the block in
+    /// the pending ring (the event-guarded fast path — no core traffic).
+    cross_stream_parked: u64,
+    /// Cross-stream frees returned to the core instead: no event source is
+    /// configured, or the pending ring was full (a subset of
     /// `cache_returns`).
-    cross_stream_returns: u64,
+    cross_stream_fallback: u64,
+    /// Pending-ring blocks promoted into a free list after their event
+    /// completed.
+    event_promotions: u64,
     /// Bytes requested by cache hits (the core never saw the requests).
     requested: u64,
     /// Bytes of size-class rounding the core recorded as "requested" on
     /// fast-path misses, subtracted back out of the aggregate.
     requested_inflation: u64,
-    /// Bytes currently parked in this shard (active from the core's
-    /// perspective, free from the caller's).
+    /// Bytes currently parked in this shard's free lists (active from the
+    /// core's perspective, free from the caller's).
     cached_bytes: u64,
-    /// Blocks currently parked in this shard.
+    /// Blocks currently parked in this shard's free lists.
     cached_blocks: u64,
+    /// Bytes currently waiting in this shard's pending ring (also active
+    /// from the core's perspective, freed from the caller's — but not yet
+    /// reusable).
+    pending_bytes: u64,
+    /// Blocks currently waiting in this shard's pending ring.
+    pending_blocks: u64,
 }
 
 /// One shard: the free lists of the size classes that hash here, the live
@@ -377,6 +434,9 @@ struct ShardStats {
 struct Shard {
     free: U64Map<Vec<CachedBlock>>,
     live: U64Map<LiveSmall>,
+    /// Cross-stream-freed blocks waiting for their event to complete (in
+    /// record order — within one freeing stream, completion is FIFO).
+    pending: VecDeque<PendingBlock>,
     next_seq: u64,
     stats: ShardStats,
 }
@@ -390,6 +450,50 @@ impl Shard {
         self.next_seq += 1;
         FRONT_ID_BASE | (self.next_seq << shard_bits) | index as u64
     }
+
+    /// Moves every pending block whose event has completed into its class
+    /// free list; returns how many were promoted. Called under the shard
+    /// lock; `events` is a lock-order leaf (see the [`EventSource`]
+    /// ordering contract), so querying while holding the lock is safe.
+    ///
+    /// Events recorded from one freeing stream complete in FIFO order (the
+    /// [`EventSource`] monotonicity rule), so once one entry of a stream
+    /// reports incomplete, later entries of the same stream are skipped
+    /// without querying — a sweep costs at most one query per *distinct*
+    /// freeing stream with work in flight, not one per ring entry.
+    ///
+    /// Promotion may transiently push a class list past
+    /// `max_cached_per_class`; the overshoot is bounded by the ring's own
+    /// cap and drains as the owner allocates (or at the next flush), so no
+    /// class can hoard unboundedly.
+    fn promote_completed(&mut self, events: &dyn EventSource) -> u64 {
+        let mut promoted = 0;
+        // Freeing streams already seen incomplete this sweep (ring-bounded,
+        // so a linear scan beats any set).
+        let mut stalled: Vec<StreamId> = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            if stalled.contains(&p.freed_from) {
+                i += 1;
+                continue;
+            }
+            if events.query(p.event) {
+                let p = self.pending.remove(i).expect("index checked");
+                self.stats.pending_bytes -= p.block.size;
+                self.stats.pending_blocks -= 1;
+                self.stats.cached_bytes += p.block.size;
+                self.stats.cached_blocks += 1;
+                self.stats.event_promotions += 1;
+                self.free.entry(p.class).or_default().push(p.block);
+                promoted += 1;
+            } else {
+                stalled.push(p.freed_from);
+                i += 1;
+            }
+        }
+        promoted
+    }
 }
 
 /// Point-in-time cache telemetry (see [`DeviceAllocator::cache_stats`]).
@@ -399,14 +503,28 @@ pub struct DeviceCacheStats {
     pub hits: u64,
     /// Fast-path allocations that fell through to the core.
     pub misses: u64,
-    /// Bytes currently parked in the shard caches.
+    /// Bytes currently parked in the shard free lists.
     pub cached_bytes: u64,
-    /// Blocks currently parked in the shard caches.
+    /// Blocks currently parked in the shard free lists.
     pub cached_blocks: u64,
-    /// Frees that arrived on a different stream than the allocating one and
-    /// were conservatively returned to the core (the cross-stream reuse
-    /// guard) instead of being parked for reuse.
-    pub cross_stream_returns: u64,
+    /// Cross-stream frees that recorded an event and parked the block in a
+    /// pending ring — the event-guarded fast path, which touched no core
+    /// state (requires an [`EventSource`]; see
+    /// [`DeviceAllocator::with_config_and_events`]).
+    pub cross_stream_parked: u64,
+    /// Cross-stream frees conservatively returned to the core: no event
+    /// source is configured, or the owning shard's pending ring was full.
+    /// (Before the event subsystem, *every* cross-stream free took this
+    /// path — the counter formerly named `cross_stream_returns`.)
+    pub cross_stream_fallback: u64,
+    /// Bytes currently waiting in the pending rings (freed by their
+    /// cross-stream callers, not yet reusable).
+    pub pending_bytes: u64,
+    /// Blocks currently waiting in the pending rings.
+    pub pending_blocks: u64,
+    /// Pending blocks promoted to a free list after their event completed
+    /// (cumulative).
+    pub event_promotions: u64,
     /// Number of cache shards (across all stream banks).
     pub shards: usize,
     /// Number of per-stream shard banks.
@@ -419,6 +537,8 @@ struct Inner {
     name: &'static str,
     small_threshold: u64,
     max_cached_per_class: usize,
+    /// Per-shard pending event ring capacity (0 = event parking disabled).
+    pending_ring_cap: usize,
     /// Number of per-stream shard banks (power of two).
     stream_banks: usize,
     /// Size-class shards per bank (power of two); the `shards` slice holds
@@ -431,10 +551,14 @@ struct Inner {
     shard_mask: u64,
     shard_bits: u32,
     shards: Box<[Mutex<Shard>]>,
+    /// Stream-completion event source backing the cross-stream reuse fast
+    /// path; `None` keeps the conservative free-through-the-core rule.
+    events: Option<Arc<dyn EventSource>>,
 }
 
 /// The concurrent allocator front-end: cloneable, `Send + Sync`, `&self` on
-/// every call. See the [module docs](self) for the routing design.
+/// every call. See the source module docs in `device.rs` and the
+/// repository's `docs/streams-and-events.md` for the routing design.
 ///
 /// This is the only type the runtime, the workload replayers, the examples,
 /// and the benches speak to when a pool is shared between threads; the
@@ -502,6 +626,31 @@ impl DeviceAllocator {
         Self::try_from_boxed(Box::new(core), config)
     }
 
+    /// Wraps `core` with an explicit configuration **and** a
+    /// stream-completion [`EventSource`], enabling the event-guarded
+    /// cross-stream reuse fast path: a cross-stream free records an event
+    /// and parks the block in a pending ring instead of round-tripping
+    /// through the core mutex (see `docs/streams-and-events.md` and
+    /// [`DeviceAllocator::process_events`]).
+    ///
+    /// The source must uphold the [`EventSource`] ordering contract — in
+    /// particular it must never call back into this allocator. When the
+    /// wrapped core sits on a simulated device, pass a clone of the same
+    /// `CudaDriver` so event completion rides the device's clock and
+    /// per-stream frontiers.
+    ///
+    /// Invalid configuration values are repaired via
+    /// [`DeviceAllocatorConfig::normalized`], as in
+    /// [`DeviceAllocator::with_config`].
+    pub fn with_config_and_events<A: AllocatorCore + Send + 'static>(
+        core: A,
+        config: DeviceAllocatorConfig,
+        events: Arc<dyn EventSource>,
+    ) -> Self {
+        Self::try_from_boxed_with_events(Box::new(core), config.normalized(), Some(events))
+            .expect("normalized() repairs everything validate() rejects")
+    }
+
     /// Wraps an already-boxed core (the registry path of `gmlake-runtime`).
     /// Invalid values are repaired via [`DeviceAllocatorConfig::normalized`]
     /// (`streams` and `shards` are clamped into `1..=MAX_STREAMS` /
@@ -522,6 +671,23 @@ impl DeviceAllocator {
         core: Box<dyn AllocatorCore + Send>,
         config: DeviceAllocatorConfig,
     ) -> Result<Self, AllocError> {
+        Self::try_from_boxed_with_events(core, config, None)
+    }
+
+    /// The most general constructor: an already-boxed core, a strict
+    /// configuration, and an optional [`EventSource`] enabling the
+    /// event-guarded cross-stream reuse path (see
+    /// [`DeviceAllocator::with_config_and_events`]; `None` keeps the
+    /// conservative free-through-the-core rule).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidConfig`] — see [`DeviceAllocatorConfig::validate`].
+    pub fn try_from_boxed_with_events(
+        core: Box<dyn AllocatorCore + Send>,
+        config: DeviceAllocatorConfig,
+        events: Option<Arc<dyn EventSource>>,
+    ) -> Result<Self, AllocError> {
         config.validate()?;
         let class_shards = config.shards.next_power_of_two();
         let stream_banks = config.streams.next_power_of_two();
@@ -533,12 +699,14 @@ impl DeviceAllocator {
                 name,
                 small_threshold: config.small_threshold,
                 max_cached_per_class: config.max_cached_per_class,
+                pending_ring_cap: config.pending_ring_cap,
                 stream_banks,
                 class_shards,
                 class_mask: class_shards as u64 - 1,
                 shard_mask: total as u64 - 1,
                 shard_bits: total.trailing_zeros(),
                 shards: (0..total).map(|_| Mutex::default()).collect(),
+                events,
             }),
         })
     }
@@ -589,10 +757,23 @@ impl DeviceAllocator {
             // passing through the core. Scanning from the back keeps the
             // common case (every entry is this stream's) at plain-pop cost;
             // mixed stacks only exist when ids fold onto one bank.
-            let hit = g.free.get_mut(&class).and_then(|stack| {
-                let pos = stack.iter().rposition(|b| b.stream == stream)?;
-                Some(stack.swap_remove(pos))
-            });
+            let take = |g: &mut Shard| {
+                g.free.get_mut(&class).and_then(|stack| {
+                    let pos = stack.iter().rposition(|b| b.stream == stream)?;
+                    Some(stack.swap_remove(pos))
+                })
+            };
+            let mut hit = take(g);
+            if hit.is_none() && !g.pending.is_empty() {
+                // The free list came up empty, but a cross-stream-freed
+                // block may be waiting on a completed event: promote and
+                // rescan — still one shard-lock acquisition, no core mutex.
+                if let Some(events) = &self.inner.events {
+                    if g.promote_completed(&**events) > 0 {
+                        hit = take(g);
+                    }
+                }
+            }
             if let Some(block) = hit {
                 g.stats.cached_bytes -= block.size;
                 g.stats.cached_blocks -= 1;
@@ -681,10 +862,20 @@ impl DeviceAllocator {
     ///
     /// * **same stream** as the allocation: the block is parked in the
     ///   stream's free list for immediate reuse;
-    /// * **different stream**: the block is returned to the core instead —
-    ///   it can only be handed out again through the core mutex, never
-    ///   directly to another stream's cache. This is the conservative form
-    ///   of PyTorch's event-guarded cross-stream reuse rule.
+    /// * **different stream**, with an [`EventSource`] configured: an event
+    ///   is recorded on the freeing stream and the block waits in the
+    ///   shard's pending ring; once the event completes it is promoted back
+    ///   into the *owning* stream's free list (by the allocation path or
+    ///   [`DeviceAllocator::process_events`]) — PyTorch's event-guarded
+    ///   cross-stream reuse rule, with no core-mutex round trip. When the
+    ///   freeing stream is already caught up
+    ///   ([`EventSource::try_record`] reports the event complete), the
+    ///   park + promote pair collapses into one step: the block re-pools
+    ///   into the owner's free list immediately;
+    /// * **different stream**, without an event source (or with the ring
+    ///   full): the block is returned to the core instead — it can only be
+    ///   handed out again through the core mutex, a full synchronization
+    ///   point standing in for the event.
     ///
     /// # Errors
     ///
@@ -701,6 +892,10 @@ impl DeviceAllocator {
         // The minting shard rides in the id's low bits; its lock covers the
         // live entry, the class free list, and the stats in one acquisition.
         let shard = &self.inner.shards[(raw & self.inner.shard_mask) as usize];
+        // A cross-stream fallback with an event source must synchronize the
+        // freeing stream before the core may re-serve the block (same rule
+        // as `drain_to_core`); carried out of the lock scope.
+        let mut sync_before_core = None;
         let to_core = {
             let mut guard = shard.lock();
             let g = &mut *guard;
@@ -709,9 +904,63 @@ impl DeviceAllocator {
             };
             g.stats.fast_frees += 1;
             if entry.block.stream != stream {
-                // Cross-stream free: never park — the block must pass
-                // through the core before any stream can see it again.
-                g.stats.cross_stream_returns += 1;
+                // Cross-stream free: the block must not be reusable until
+                // the freeing stream's in-flight work is done with it. With
+                // an event source, record an event on the freeing stream
+                // and park the block in the pending ring (promotion hands
+                // it back to the OWNING stream once the event completes);
+                // without one — or when the ring is full — fall back to the
+                // return-through-the-core rule.
+                if let Some(events) = &self.inner.events {
+                    if g.pending.len() < self.inner.pending_ring_cap {
+                        match events.try_record(stream) {
+                            Some(event) => {
+                                g.stats.cross_stream_parked += 1;
+                                g.stats.pending_bytes += entry.block.size;
+                                g.stats.pending_blocks += 1;
+                                g.pending.push_back(PendingBlock {
+                                    block: entry.block,
+                                    class: entry.class,
+                                    event,
+                                    freed_from: stream,
+                                });
+                                return Ok(());
+                            }
+                            None => {
+                                // The event is already complete at record
+                                // time (the freeing stream has nothing in
+                                // flight): skip the ring and park straight
+                                // into the OWNER's free list — the
+                                // park+promote pair collapsed into one
+                                // step, one event-source call total.
+                                let stack = g.free.entry(entry.class).or_default();
+                                if stack.len() < self.inner.max_cached_per_class {
+                                    g.stats.cross_stream_parked += 1;
+                                    g.stats.event_promotions += 1;
+                                    g.stats.cached_bytes += entry.block.size;
+                                    g.stats.cached_blocks += 1;
+                                    stack.push(entry.block);
+                                    return Ok(());
+                                }
+                                // Free list at cap: overflow to the core.
+                                // No synchronization owed — the stream is
+                                // caught up.
+                            }
+                        }
+                    } else {
+                        // Ring full: the block goes to the core, but the
+                        // model still owes the freeing stream a
+                        // synchronization — record the event now (under
+                        // the shard lock, the source is a lock-order
+                        // leaf) and wait it out after the lock drops,
+                        // before the core can re-serve the block.
+                        sync_before_core = Some(events.record(stream));
+                    }
+                }
+                // Without an event source the core round trip itself is
+                // the stand-in for the event: the core mutex is a full
+                // synchronization point (the PR 4 conservative rule).
+                g.stats.cross_stream_fallback += 1;
                 g.stats.cache_returns += 1;
                 Some(entry.block)
             } else {
@@ -740,6 +989,9 @@ impl DeviceAllocator {
             }
         };
         if let Some(block) = to_core {
+            if let (Some(event), Some(events)) = (sync_before_core, &self.inner.events) {
+                events.synchronize(event);
+            }
             self.inner
                 .core
                 .lock()
@@ -749,10 +1001,20 @@ impl DeviceAllocator {
         Ok(())
     }
 
-    /// Drains the free lists of `shards` and hands the blocks to the core;
-    /// returns the bytes handed back.
+    /// Drains the free lists **and pending rings** of `shards` and hands
+    /// the blocks to the core; returns the bytes handed back.
+    ///
+    /// Pending blocks are drained even when their event has not completed:
+    /// handing a block to the core is a full synchronization point (the
+    /// core mutex serializes against every stream), so the event is
+    /// [`synchronize`](EventSource::synchronize)d — after the shard locks
+    /// are released, before the core sees the block — exactly as PyTorch
+    /// synchronizes outstanding events when `empty_cache` reclaims
+    /// cross-stream blocks. Defrag and OOM rescue therefore always see
+    /// every cached byte, including not-yet-completed cross-stream blocks.
     fn drain_to_core(&self, shards: &[Mutex<Shard>]) -> u64 {
         let mut blocks: Vec<CachedBlock> = Vec::new();
+        let mut pending_events: Vec<EventId> = Vec::new();
         for shard in shards {
             let mut guard = shard.lock();
             let g = &mut *guard;
@@ -764,9 +1026,21 @@ impl DeviceAllocator {
                 }
                 blocks.append(stack);
             }
+            while let Some(p) = g.pending.pop_front() {
+                g.stats.cache_returns += 1;
+                g.stats.pending_bytes -= p.block.size;
+                g.stats.pending_blocks -= 1;
+                pending_events.push(p.event);
+                blocks.push(p.block);
+            }
         }
         if blocks.is_empty() {
             return 0;
+        }
+        if let Some(events) = &self.inner.events {
+            for event in pending_events {
+                events.synchronize(event);
+            }
         }
         let mut bytes = 0;
         let mut core = self.inner.core.lock();
@@ -776,6 +1050,30 @@ impl DeviceAllocator {
                 .expect("front-end owns every cached block");
         }
         bytes
+    }
+
+    /// Sweeps every shard's pending ring, promoting each cross-stream-freed
+    /// block whose event has completed into its owning stream's free list;
+    /// returns how many blocks were promoted.
+    ///
+    /// The allocation path already promotes opportunistically (a free-list
+    /// miss checks the shard's own ring before falling through to the
+    /// core), so calling this is optional — it is the *proactive* sweep for
+    /// natural synchronization points (iteration boundaries, scheduler
+    /// ticks), keeping rings short when the owning stream goes idle. A
+    /// no-op without an [`EventSource`].
+    pub fn process_events(&self) -> u64 {
+        let Some(events) = &self.inner.events else {
+            return 0;
+        };
+        let mut promoted = 0;
+        for shard in self.inner.shards.iter() {
+            let mut guard = shard.lock();
+            if !guard.pending.is_empty() {
+                promoted += guard.promote_completed(&**events);
+            }
+        }
+        promoted
     }
 
     /// Returns every block parked in the shard caches — across **every**
@@ -821,11 +1119,15 @@ impl DeviceAllocator {
             total.misses += s.misses;
             total.fast_frees += s.fast_frees;
             total.cache_returns += s.cache_returns;
-            total.cross_stream_returns += s.cross_stream_returns;
+            total.cross_stream_parked += s.cross_stream_parked;
+            total.cross_stream_fallback += s.cross_stream_fallback;
+            total.event_promotions += s.event_promotions;
             total.requested += s.requested;
             total.requested_inflation += s.requested_inflation;
             total.cached_bytes += s.cached_bytes;
             total.cached_blocks += s.cached_blocks;
+            total.pending_bytes += s.pending_bytes;
+            total.pending_blocks += s.pending_blocks;
         }
         total
     }
@@ -839,6 +1141,10 @@ impl DeviceAllocator {
     /// reconciled with the per-shard fast-path counters. Exact whenever the
     /// pool is quiescent; a faithful snapshot under concurrency.
     ///
+    /// Blocks waiting in the pending rings count as *freed* here, exactly
+    /// like blocks parked in the free lists: the caller relinquished them,
+    /// only the event machinery still holds them back from reuse.
+    ///
     /// Peak watermarks are measured at the core, so bytes parked in the
     /// shard caches count toward `peak_active_bytes` (an upper bound).
     pub fn stats(&self) -> MemStats {
@@ -848,7 +1154,9 @@ impl DeviceAllocator {
         s.free_count = (s.free_count + fast.fast_frees).saturating_sub(fast.cache_returns);
         s.requested_bytes_total =
             (s.requested_bytes_total + fast.requested).saturating_sub(fast.requested_inflation);
-        s.active_bytes = s.active_bytes.saturating_sub(fast.cached_bytes);
+        s.active_bytes = s
+            .active_bytes
+            .saturating_sub(fast.cached_bytes + fast.pending_bytes);
         s
     }
 
@@ -859,7 +1167,11 @@ impl DeviceAllocator {
             misses: fast.misses,
             cached_bytes: fast.cached_bytes,
             cached_blocks: fast.cached_blocks,
-            cross_stream_returns: fast.cross_stream_returns,
+            cross_stream_parked: fast.cross_stream_parked,
+            cross_stream_fallback: fast.cross_stream_fallback,
+            pending_bytes: fast.pending_bytes,
+            pending_blocks: fast.pending_blocks,
+            event_promotions: fast.event_promotions,
             shards,
             streams,
         }
@@ -875,7 +1187,10 @@ impl DeviceAllocator {
     }
 
     /// Cache telemetry of one stream's bank only (`shards` reports the
-    /// bank's shard count, `streams` is 1).
+    /// bank's shard count, `streams` is 1). Includes the bank's pending-ring
+    /// occupancy ([`DeviceCacheStats::pending_bytes`] /
+    /// [`DeviceCacheStats::pending_blocks`]): cross-stream-freed blocks
+    /// owned by this bank's streams that are still waiting on their event.
     ///
     /// **Folding caveat:** a stream id at or above the configured
     /// [`DeviceAllocatorConfig::streams`] count folds onto an existing bank
@@ -986,6 +1301,10 @@ impl AllocatorCore for DeviceAllocator {
         DeviceAllocator::iteration_boundary(self)
     }
 
+    fn process_events(&mut self) -> u64 {
+        DeviceAllocator::process_events(self)
+    }
+
     fn release_cached(&mut self) -> u64 {
         DeviceAllocator::release_cached(self)
     }
@@ -1002,6 +1321,7 @@ impl AllocatorCore for DeviceAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::ManualEvents;
     use std::collections::HashMap as StdHashMap;
 
     /// Test core with strict accounting and a bounded capacity.
@@ -1402,7 +1722,8 @@ mod tests {
         pool.free_on_stream(a.id, StreamId(0)).unwrap();
         let c = pool.cache_stats();
         assert_eq!(c.cached_blocks, 0, "cross-stream free never parks");
-        assert_eq!(c.cross_stream_returns, 1);
+        assert_eq!(c.cross_stream_fallback, 1, "no event source: via the core");
+        assert_eq!(c.cross_stream_parked, 0);
         assert_eq!(
             pool.with_core(|core| core.stats().live_allocations()),
             0,
@@ -1495,7 +1816,7 @@ mod tests {
             .unwrap();
         pool.free_on_stream(a.id, StreamId(1)).unwrap();
         let c = pool.cache_stats();
-        assert_eq!(c.cross_stream_returns, 1);
+        assert_eq!(c.cross_stream_fallback, 1);
         assert_eq!(c.cached_blocks, 0);
     }
 
@@ -1579,6 +1900,251 @@ mod tests {
         // Full accounting survives a flush.
         pool.flush();
         assert_eq!(pool.with_core(|c| c.stats().live_allocations()), 0);
+    }
+
+    /// A 2-stream pool over a `ManualEvents` source plus a control handle
+    /// to script pending→ready transitions.
+    fn event_pool(capacity: u64) -> (DeviceAllocator, Arc<ManualEvents>) {
+        let events = Arc::new(ManualEvents::new());
+        let pool = DeviceAllocator::with_config_and_events(
+            TestCore::bounded(capacity),
+            DeviceAllocatorConfig::default().with_streams(2),
+            events.clone(),
+        );
+        (pool, events)
+    }
+
+    #[test]
+    fn cross_stream_free_with_events_parks_until_completion() {
+        let (pool, events) = event_pool(0);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        // Freed from stream 0: records an event, parks in the pending ring.
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.cross_stream_parked, 1);
+        assert_eq!(c.cross_stream_fallback, 0);
+        assert_eq!((c.pending_blocks, c.pending_bytes), (1, 1024));
+        assert_eq!(c.cached_blocks, 0, "not reusable before the event");
+        assert_eq!(
+            pool.with_core(|core| core.stats().live_allocations()),
+            1,
+            "the core never saw the free — no round trip"
+        );
+        // The caller-visible stats already count the block as freed.
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (1, 1, 0));
+        // While the event is outstanding, the owner's allocation MISSES:
+        // the block must not come back early.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_ne!(b.va, a.va, "pending block must not be handed out");
+        assert_eq!(pool.cache_stats().hits, 0);
+        // Event completes (b stays live, so the free list is empty): the
+        // next owner-stream allocation promotes the pending block and
+        // reuses it — one shard lock, no core traffic.
+        events.complete_all();
+        let core_allocs_before = pool.with_core(|core| core.stats().alloc_count);
+        let c2 = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_eq!(c2.va, a.va, "the promoted block was reused");
+        assert_eq!(
+            pool.with_core(|core| core.stats().alloc_count),
+            core_allocs_before,
+            "promotion + reuse required no core allocation"
+        );
+        let cs = pool.cache_stats();
+        assert_eq!(cs.event_promotions, 1);
+        assert_eq!(cs.pending_blocks, 0);
+        assert_eq!(cs.hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        pool.free_on_stream(c2.id, StreamId(1)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (3, 3, 0));
+    }
+
+    #[test]
+    fn process_events_sweeps_the_pending_rings() {
+        let (pool, events) = event_pool(0);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(2048), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        assert_eq!(pool.process_events(), 0, "event still outstanding");
+        assert_eq!(pool.cache_stats().pending_blocks, 1);
+        events.complete_all();
+        assert_eq!(pool.process_events(), 1);
+        let c = pool.cache_stats();
+        assert_eq!(c.pending_blocks, 0);
+        assert_eq!(c.cached_blocks, 1, "promoted into the owner's free list");
+        // The owner reuses the promoted block.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(2048), StreamId(1))
+            .unwrap();
+        assert_eq!(b.va, a.va);
+        assert_eq!(pool.cache_stats().hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+    }
+
+    #[test]
+    fn process_events_without_a_source_is_a_noop() {
+        let pool = DeviceAllocator::new(TestCore::default());
+        assert_eq!(pool.process_events(), 0);
+    }
+
+    #[test]
+    fn full_pending_ring_falls_back_to_the_core_after_synchronizing() {
+        let events = Arc::new(ManualEvents::new());
+        let pool = DeviceAllocator::with_config_and_events(
+            TestCore::default(),
+            DeviceAllocatorConfig::default()
+                .with_streams(2)
+                .with_pending_ring_cap(1),
+            events.clone(),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        assert_eq!(events.pending(), 1, "parked event outstanding");
+        pool.free_on_stream(b.id, StreamId(0)).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.cross_stream_parked, 1, "ring capacity is 1");
+        assert_eq!(c.cross_stream_fallback, 1, "overflow went to the core");
+        assert_eq!(c.pending_blocks, 1);
+        // The overflowing free recorded AND synchronized its event before
+        // the core saw the block — same rule as the flush path, so the
+        // core can never re-serve a block whose freeing stream is still
+        // using it. (ManualEvents completes along a global timeline, so
+        // the sync also completed the parked block's earlier event.)
+        assert_eq!(events.pending(), 0, "fallback synchronized its event");
+        assert_eq!(
+            pool.with_core(|core| core.stats().live_allocations()),
+            1,
+            "exactly the parked block is still core-live"
+        );
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (2, 2, 0));
+    }
+
+    #[test]
+    fn zero_pending_ring_cap_disables_event_parking() {
+        let events = Arc::new(ManualEvents::new());
+        let pool = DeviceAllocator::with_config_and_events(
+            TestCore::default(),
+            DeviceAllocatorConfig::default()
+                .with_streams(2)
+                .with_pending_ring_cap(0),
+            events.clone(),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let c = pool.cache_stats();
+        assert_eq!(c.cross_stream_parked, 0, "parking disabled");
+        assert_eq!(c.cross_stream_fallback, 1);
+        assert_eq!(c.pending_blocks, 0);
+        assert_eq!(events.pending(), 0, "fallback event synchronized");
+        assert_eq!(pool.with_core(|core| core.stats().live_allocations()), 0);
+    }
+
+    #[test]
+    fn flush_drains_pending_rings_and_synchronizes_their_events() {
+        let (pool, events) = event_pool(0);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1000), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        assert_eq!(events.pending(), 1, "event outstanding");
+        // Flush must reach the NOT-yet-completed cross-stream block:
+        // defrag/OOM rescue sees every cached byte.
+        assert_eq!(pool.flush(), 1024, "the pending block's bytes came back");
+        assert_eq!(
+            events.pending(),
+            0,
+            "handing the block to the core synchronized its event"
+        );
+        let c = pool.cache_stats();
+        assert_eq!(
+            (c.pending_blocks, c.pending_bytes, c.cached_blocks),
+            (0, 0, 0)
+        );
+        assert_eq!(pool.with_core(|core| core.stats().live_allocations()), 0);
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (1, 1, 0));
+    }
+
+    #[test]
+    fn oom_retry_reclaims_pending_blocks() {
+        // Capacity fits exactly one 1 KiB-class block, which is stuck in a
+        // pending ring behind an uncompleted event. The OOM retry's flush
+        // must synchronize and reclaim it or the allocation cannot succeed.
+        let (pool, _events) = event_pool(1024);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        assert_eq!(pool.cache_stats().pending_blocks, 1);
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
+            .unwrap();
+        assert_eq!(b.size, 1024, "flush-and-retry rescued the request");
+        assert_eq!(pool.cache_stats().pending_blocks, 0);
+        pool.free_on_stream(b.id, StreamId(0)).unwrap();
+    }
+
+    #[test]
+    fn immediate_events_promote_on_the_very_next_owner_alloc() {
+        let pool = DeviceAllocator::with_config_and_events(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_streams(2),
+            Arc::new(crate::events::ImmediateEvents),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(4096), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(4096), StreamId(1))
+            .unwrap();
+        assert_eq!(b.va, a.va, "already-complete event: immediate reuse");
+        let c = pool.cache_stats();
+        assert_eq!(
+            (c.hits, c.event_promotions, c.cross_stream_parked),
+            (1, 1, 1)
+        );
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+    }
+
+    #[test]
+    fn promoted_blocks_stay_guarded_by_exact_stream_ids() {
+        // Stream 5 folds onto bank 1 (2 banks). Its block, cross-stream
+        // freed and promoted, must still only be reusable by stream 5 —
+        // promotion must not launder the owner tag.
+        let (pool, events) = event_pool(0);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        events.complete_all();
+        assert_eq!(pool.process_events(), 1);
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_ne!(b.va, a.va, "stream 1 must not get stream 5's block");
+        let a2 = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(5))
+            .unwrap();
+        assert_eq!(a2.va, a.va, "the owner reuses its promoted block");
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        pool.free_on_stream(a2.id, StreamId(5)).unwrap();
     }
 
     #[test]

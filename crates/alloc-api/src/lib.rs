@@ -13,8 +13,11 @@
 //!   callers (the runtime's pool service, replayers, benches) speak to. It
 //!   shards small allocation traffic into per-size-class free-list caches —
 //!   partitioned per logical GPU stream ([`StreamId`]), with PyTorch's
-//!   cross-stream reuse rule enforced conservatively — so threads and
-//!   streams never contend with each other or with stitch work.
+//!   event-guarded cross-stream reuse rule (an [`EventSource`] turns
+//!   cross-stream frees into pending-ring parks promoted on event
+//!   completion; without one the conservative through-the-core rule
+//!   applies) — so threads and streams never contend with each other or
+//!   with stitch work.
 //!
 //! The trait mirrors the narrow interface a deep-learning framework exposes to
 //! its tensor layer: `allocate`, `deallocate`, plus the cache-management hooks
@@ -30,8 +33,11 @@
 //! assert_eq!(req.size, 96 * 1024 * 1024);
 //! ```
 
+#![warn(missing_docs)]
+
 mod device;
 mod error;
+mod events;
 mod request;
 mod stats;
 mod traits;
@@ -41,12 +47,13 @@ pub use device::{
     DeviceAllocator, DeviceAllocatorConfig, DeviceCacheStats, MAX_SHARDS, MAX_STREAMS,
 };
 pub use error::AllocError;
+pub use events::{EventSource, ImmediateEvents, ManualEvents};
 pub use request::{AllocRequest, Allocation};
 pub use stats::{MemStats, StatsDelta};
 pub use traits::AllocatorCore;
 #[allow(deprecated)]
 pub use traits::{share, GpuAllocator, SharedAllocator};
 pub use types::{
-    gib, kib, mib, AllocTag, AllocationId, StreamId, VirtAddr, BYTES_PER_GIB, BYTES_PER_KIB,
-    BYTES_PER_MIB,
+    gib, kib, mib, AllocTag, AllocationId, EventId, StreamId, VirtAddr, BYTES_PER_GIB,
+    BYTES_PER_KIB, BYTES_PER_MIB,
 };

@@ -106,6 +106,19 @@ pub trait AllocatorCore {
     /// convergence of the allocation pattern; other allocators ignore it.
     fn iteration_boundary(&mut self) {}
 
+    /// Sweeps any stream-completion machinery, returning how many
+    /// cross-stream-freed blocks became reusable. Stream-oblivious cores
+    /// have no such machinery and return 0; the
+    /// [`DeviceAllocator`](crate::DeviceAllocator) front-end (and the
+    /// runtime's `PoolHandle`) override this to promote pending-ring blocks
+    /// whose events have completed. Trait-generic drivers (the trace
+    /// replayers) call it at natural synchronization points — iteration
+    /// boundaries — so parked blocks do not idle past the moment their
+    /// event completes.
+    fn process_events(&mut self) -> u64 {
+        0
+    }
+
     /// Releases cached (inactive) device memory back to the device, like
     /// `torch.cuda.empty_cache()`. Returns the number of bytes released.
     fn release_cached(&mut self) -> u64 {
@@ -190,6 +203,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for &mut A {
         (**self).iteration_boundary()
     }
 
+    fn process_events(&mut self) -> u64 {
+        (**self).process_events()
+    }
+
     fn release_cached(&mut self) -> u64 {
         (**self).release_cached()
     }
@@ -241,6 +258,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for Box<A> {
 
     fn iteration_boundary(&mut self) {
         (**self).iteration_boundary()
+    }
+
+    fn process_events(&mut self) -> u64 {
+        (**self).process_events()
     }
 
     fn release_cached(&mut self) -> u64 {
@@ -355,6 +376,10 @@ impl AllocatorCore for SharedAllocator {
 
     fn iteration_boundary(&mut self) {
         self.inner.lock().iteration_boundary()
+    }
+
+    fn process_events(&mut self) -> u64 {
+        self.inner.lock().process_events()
     }
 
     fn release_cached(&mut self) -> u64 {

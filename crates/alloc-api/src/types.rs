@@ -187,6 +187,46 @@ impl From<u32> for StreamId {
     }
 }
 
+/// Identifier of a recorded stream event, unique within one
+/// [`EventSource`](crate::EventSource) instance.
+///
+/// An event is a marker dropped into a stream's work queue by
+/// [`EventSource::record`](crate::EventSource::record): it *completes* once
+/// every operation enqueued on that stream before the record has finished.
+/// Identifiers are minted in record order and never reused, so they also
+/// give a global happens-before timeline: within one stream, a later event
+/// can only complete after an earlier one.
+///
+/// ```
+/// use gmlake_alloc_api::EventId;
+/// let ev = EventId::new(7);
+/// assert_eq!(ev.as_u64(), 7);
+/// assert_eq!(format!("{ev}"), "event#7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Creates an identifier from a raw value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        EventId(raw)
+    }
+
+    /// Returns the raw numeric identifier.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
 /// Semantic label of an allocation, used by the workload generator so that
 /// traces stay interpretable and by tests to assert per-category accounting.
 ///

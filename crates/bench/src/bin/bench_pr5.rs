@@ -1,0 +1,270 @@
+//! Perf snapshot for the PR 5 event-guarded cross-stream reuse path:
+//! sweeps warm alloc/free throughput over 1/2/4/8 threads, all issuing ONE
+//! shared 64 KiB size class, in three shapes:
+//!
+//! * **same_stream** — 8 stream banks, thread *t* allocating AND freeing on
+//!   `StreamId(t)`: the warm-path reference every cross-stream number is
+//!   measured against;
+//! * **cross_guarded** — thread *t* allocates on `StreamId(t)`, frees on
+//!   `StreamId(t+1)`, on a pool **without** an event source: every free
+//!   takes the PR 4 conservative return-to-core guard (the ~6× gap
+//!   `BENCH_PR4.json` measured);
+//! * **cross_events** — the same mapping on a pool whose event source is
+//!   the device driver: every free `try_record`s an event on the freeing
+//!   stream; a caught-up stream (always, on the zero-cost device) re-pools
+//!   the block into the owner's free list in that same driver entry, a
+//!   busy one parks it in the pending ring for promotion — either way, no
+//!   core-mutex round trip.
+//!
+//! Results are written as machine-readable `BENCH_PR5.json` (committed,
+//! uploaded as a CI artifact; the committed snapshot records the
+//! cross-stream event path within the 2× acceptance bound of same-stream
+//! at 8 threads). `bench_pr5 --check` re-runs the sweep (best of three per
+//! point) and fails when the event path *structurally* regresses: an
+//! 8-thread same/cross-events slowdown above [`MAX_SLOWDOWN_8T`] fails the
+//! gate, while values between the 2× acceptance bound and it only warn
+//! (scheduler noise on oversubscribed single-core runners), and
+//! order-of-magnitude drops against the committed snapshot fail as in
+//! `bench_pr4 --check`.
+
+use std::time::Instant;
+
+use gmlake_alloc_api::{AllocRequest, DeviceAllocator, StreamId};
+use gmlake_bench::perf::{extract_field, stream_pool, stream_pool_with_events, STREAM_SWEEP_SIZE};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const OPS_PER_THREAD: usize = 20_000;
+/// Repetitions per measurement point; the best run is kept (strips
+/// scheduler-noise downside on oversubscribed runners).
+const REPS: usize = 3;
+/// Stream banks of the stream-aware pools (covers the widest sweep point).
+const STREAMS: usize = 8;
+/// Acceptance bound: at 8 threads, cross-stream reuse through events must
+/// be within this factor of same-stream. The committed snapshot meets it;
+/// `--check` runs above it only warn until [`MAX_SLOWDOWN_8T`].
+const ACCEPT_SLOWDOWN_8T: f64 = 2.0;
+/// Hard `--check` ceiling on the 8-thread same/cross-events slowdown:
+/// above this the event path has structurally regressed toward the old
+/// through-the-core guard (~6×) and the gate fails.
+const MAX_SLOWDOWN_8T: f64 = 3.0;
+/// Order-of-magnitude guard used by `--check` against the snapshot.
+const MAX_REGRESSION: f64 = 10.0;
+
+/// How each worker maps itself onto streams.
+#[derive(Clone, Copy)]
+enum Shape {
+    /// Thread t lives entirely on StreamId(t).
+    SameStream,
+    /// Thread t allocates on StreamId(t), frees on StreamId(t + 1).
+    CrossStream,
+}
+
+impl Shape {
+    fn streams(self, t: usize) -> (StreamId, StreamId) {
+        match self {
+            Shape::SameStream => (StreamId(t as u32), StreamId(t as u32)),
+            Shape::CrossStream => (StreamId(t as u32), StreamId(t as u32 + 1)),
+        }
+    }
+}
+
+/// Best of [`REPS`] runs of [`measure_once`], each on a FRESH pool: a rep
+/// that falls into a bad lock-handoff regime (oversubscribed single-core
+/// runners) cannot poison the others through shared mutex/cache state.
+fn measure(make_pool: impl Fn() -> DeviceAllocator, threads: usize, shape: Shape) -> f64 {
+    (0..REPS)
+        .map(|_| measure_once(&make_pool(), threads, shape))
+        .fold(0.0, f64::max)
+}
+
+/// Runs `threads` workers, each doing `OPS_PER_THREAD` warm alloc/free
+/// cycles of the shared size class under `shape`'s stream mapping; returns
+/// aggregate operations (one alloc + one free = 2 ops) per second.
+fn measure_once(pool: &DeviceAllocator, threads: usize, shape: Shape) -> f64 {
+    // Warm every thread's (stream, class) slot so the sweep measures the
+    // steady state, not first-touch core misses. (On the event pool a
+    // cross-stream cycle warms up too: the parked block is promoted back.)
+    for t in 0..threads {
+        let (alloc_stream, _) = shape.streams(t);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(STREAM_SWEEP_SIZE), alloc_stream)
+            .unwrap();
+        pool.free_on_stream(a.id, alloc_stream).unwrap();
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let (alloc_stream, free_stream) = shape.streams(t);
+                for _ in 0..OPS_PER_THREAD {
+                    let a = pool
+                        .alloc_on_stream(AllocRequest::new(STREAM_SWEEP_SIZE), alloc_stream)
+                        .unwrap();
+                    pool.free_on_stream(a.id, free_stream).unwrap();
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads * OPS_PER_THREAD * 2) as f64 / secs
+}
+
+struct SweepPoint {
+    threads: usize,
+    same_stream_ops_per_sec: f64,
+    cross_guarded_ops_per_sec: f64,
+    cross_events_ops_per_sec: f64,
+}
+
+impl SweepPoint {
+    /// How many times slower cross-stream reuse through events is than the
+    /// same-stream warm path (1.0 = parity; PR 4's guard sat around 6).
+    fn slowdown_events(&self) -> f64 {
+        self.same_stream_ops_per_sec / self.cross_events_ops_per_sec
+    }
+
+    /// The PR 4 conservative guard's slowdown, measured in the same
+    /// process for the before/after comparison.
+    fn slowdown_guarded(&self) -> f64 {
+        self.same_stream_ops_per_sec / self.cross_guarded_ops_per_sec
+    }
+}
+
+fn run_sweep() -> Vec<SweepPoint> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let same_stream_ops_per_sec = measure(
+                || stream_pool_with_events(STREAMS),
+                threads,
+                Shape::SameStream,
+            );
+            let cross_guarded_ops_per_sec =
+                measure(|| stream_pool(STREAMS), threads, Shape::CrossStream);
+            let cross_events_ops_per_sec = measure(
+                || stream_pool_with_events(STREAMS),
+                threads,
+                Shape::CrossStream,
+            );
+            let point = SweepPoint {
+                threads,
+                same_stream_ops_per_sec,
+                cross_guarded_ops_per_sec,
+                cross_events_ops_per_sec,
+            };
+            eprintln!(
+                "  {threads} thread(s): same-stream {:>12.0} ops/s, cross guarded \
+                 {:>11.0} ops/s ({:.1}x slower), cross events {:>11.0} ops/s ({:.2}x slower)",
+                point.same_stream_ops_per_sec,
+                point.cross_guarded_ops_per_sec,
+                point.slowdown_guarded(),
+                point.cross_events_ops_per_sec,
+                point.slowdown_events(),
+            );
+            point
+        })
+        .collect()
+}
+
+fn render_json(sweep: &[SweepPoint]) -> String {
+    let mut json = String::from("{\n  \"schema\": \"gmlake-bench-pr5/v1\",\n");
+    json.push_str("  \"event_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"same_stream_ops_per_sec\": {:.0}, \
+             \"cross_guarded_ops_per_sec\": {:.0}, \"cross_events_ops_per_sec\": {:.0}, \
+             \"slowdown_guarded\": {:.2}, \"slowdown_events\": {:.2}}}{}\n",
+            p.threads,
+            p.same_stream_ops_per_sec,
+            p.cross_guarded_ops_per_sec,
+            p.cross_events_ops_per_sec,
+            p.slowdown_guarded(),
+            p.slowdown_events(),
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    let eight = sweep.last().expect("sweep is non-empty");
+    json.push_str(&format!(
+        "  \"same_over_cross_events_8t\": {:.2},\n  \"same_over_cross_guarded_8t\": {:.2},\n",
+        eight.slowdown_events(),
+        eight.slowdown_guarded()
+    ));
+    json.push_str(
+        "  \"notes\": \"warm 64 KiB alloc+free cycles of ONE shared size class; same_stream = \
+         8 banks, thread t on StreamId(t); cross shapes alloc on StreamId(t) / free on \
+         StreamId(t+1) — cross_guarded on a pool without events (every free round-trips the \
+         core mutex, the PR 4 rule), cross_events on a pool with the driver as its event \
+         source (free try_records an event on the freeing stream; the zero-cost device keeps \
+         no work in flight, so the event completes at record time and the block re-pools \
+         into the owner's free list in that same driver entry — the caught-up fast path; \
+         busy streams would park in the pending ring instead). Acceptance: \
+         same_over_cross_events_8t <= 2.0, vs ~6x for the guarded path in BENCH_PR4.json\"\n}\n",
+    );
+    json
+}
+
+/// Compares a freshly measured sweep against the committed snapshot;
+/// returns the hard failures (empty = pass).
+fn check_against(committed: &str, sweep: &[SweepPoint]) -> Vec<String> {
+    let mut failures = Vec::new();
+    let eight = sweep.last().expect("sweep is non-empty");
+    if eight.slowdown_events() > MAX_SLOWDOWN_8T {
+        failures.push(format!(
+            "8-thread cross-stream event reuse fell to {:.2}x slower than same-stream \
+             (hard ceiling {MAX_SLOWDOWN_8T}x; acceptance bound {ACCEPT_SLOWDOWN_8T}x)",
+            eight.slowdown_events()
+        ));
+    } else if eight.slowdown_events() > ACCEPT_SLOWDOWN_8T {
+        eprintln!(
+            "warning: 8-thread same/cross-events slowdown {:.2}x exceeds the {ACCEPT_SLOWDOWN_8T}x \
+             acceptance bound (scheduler noise on an oversubscribed runner?)",
+            eight.slowdown_events()
+        );
+    }
+    if let Some(baseline) = extract_field(committed, "cross_events_ops_per_sec") {
+        // First sweep entry in the snapshot is the 1-thread point; compare
+        // the same-shape quantity: current 1-thread cross-events throughput.
+        let current = sweep[0].cross_events_ops_per_sec;
+        if current * MAX_REGRESSION < baseline {
+            failures.push(format!(
+                "1-thread cross-events throughput regressed {:.1}x (snapshot {baseline:.0} \
+                 ops/s, now {current:.0} ops/s)",
+                baseline / current
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    eprintln!("event-guarded cross-stream sweep, {OPS_PER_THREAD} alloc/free cycles per thread:");
+    let sweep = run_sweep();
+
+    if check_mode {
+        let committed = std::fs::read_to_string("BENCH_PR5.json")
+            .expect("--check needs the committed BENCH_PR5.json in the working directory");
+        let failures = check_against(&committed, &sweep);
+        if failures.is_empty() {
+            let eight = sweep.last().unwrap();
+            println!(
+                "perf check passed: 8-thread cross-stream events {:.2}x slower than same-stream \
+                 (guarded path: {:.2}x)",
+                eight.slowdown_events(),
+                eight.slowdown_guarded()
+            );
+            return;
+        }
+        for f in &failures {
+            eprintln!("PERF REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+
+    let json = render_json(&sweep);
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_PR5.json");
+}

@@ -126,6 +126,29 @@ pub fn stream_pool(streams: usize) -> DeviceAllocator {
     )
 }
 
+/// Builds the event-backed variant of [`stream_pool`] (PR 5): the same
+/// caching core on a zero-cost device, with a clone of the device's driver
+/// as the front-end's [`EventSource`] — cross-stream frees record a real
+/// driver event and park in the pending rings instead of round-tripping
+/// through the core mutex. On the zero-cost device no stream work is ever
+/// in flight, so every event completes at record time: the sweep measures
+/// the pure mechanics of the event-guarded path (record + park + promote),
+/// not event latency.
+///
+/// [`EventSource`]: gmlake_alloc_api::EventSource
+pub fn stream_pool_with_events(streams: usize) -> DeviceAllocator {
+    let driver = CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    );
+    DeviceAllocator::with_config_and_events(
+        CachingAllocator::new(driver.clone()),
+        DeviceAllocatorConfig::default().with_streams(streams),
+        std::sync::Arc::new(driver),
+    )
+}
+
 /// Minimal field extractor for the committed `BENCH_PR<n>.json` snapshots
 /// used by the `--check` CI gates: finds the first `"name": <number>`
 /// occurrence. The snapshots are machine-written by the bench binaries
@@ -235,6 +258,33 @@ mod tests {
         pool.free_on_stream(a.id, StreamId(3)).expect("live");
         assert_eq!(pool.stream_cache_stats(StreamId(3)).cached_blocks, 1);
         assert_eq!(pool.stream_cache_stats(StreamId(0)).cached_blocks, 0);
+    }
+
+    #[test]
+    fn event_pool_recycles_cross_stream_blocks_without_core_traffic() {
+        use gmlake_alloc_api::StreamId;
+        // The steady-state cycle bench_pr5's cross_events shape measures:
+        // alloc on t, free on t+1 (parks behind a driver event that is
+        // complete at record time), alloc on t again promotes and reuses.
+        let pool = stream_pool_with_events(8);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(STREAM_SWEEP_SIZE), StreamId(2))
+            .expect("capacity");
+        pool.free_on_stream(a.id, StreamId(3)).expect("live");
+        let core_allocs = pool.with_core(|c| c.stats().alloc_count);
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(STREAM_SWEEP_SIZE), StreamId(2))
+            .expect("capacity");
+        assert_eq!(b.va, a.va, "the parked block was promoted and reused");
+        assert_eq!(
+            pool.with_core(|c| c.stats().alloc_count),
+            core_allocs,
+            "no core round trip on the warm event path"
+        );
+        let c = pool.cache_stats();
+        assert_eq!((c.cross_stream_parked, c.event_promotions), (1, 1));
+        assert_eq!(c.cross_stream_fallback, 0);
+        pool.free_on_stream(b.id, StreamId(2)).expect("live");
     }
 
     #[test]

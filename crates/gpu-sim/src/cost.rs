@@ -58,6 +58,16 @@ const ADDRESS_FREE_NORM: f64 = 0.001;
 /// (`mem_create_batch`, `mem_map_range`) pays it once for the whole batch,
 /// so batching `n` chunks saves `(n-1)` dispatches versus `n` single calls.
 const DISPATCH_NORM: f64 = 0.0003;
+/// Event-API host costs (`cuEventRecord` / `cuEventQuery` /
+/// `cuEventSynchronize`): sub-microsecond driver entries on real hardware,
+/// which is the whole point of event-guarded cross-stream reuse — recording
+/// and polling an event is orders of magnitude cheaper than the allocator
+/// mutex round trip it replaces. `EVENT_SYNC_NORM` is the fixed call cost
+/// only; the *wait* for an incomplete event additionally advances the clock
+/// to the event's completion time.
+const EVENT_RECORD_NORM: f64 = 0.0006;
+const EVENT_QUERY_NORM: f64 = 0.0002;
+const EVENT_SYNC_NORM: f64 = 0.0008;
 /// Host-side bookkeeping of a pool allocator (hash/tree operations) per
 /// (de)allocation, in nanoseconds. The paper reports the caching allocator is
 /// ~10× faster end to end than the native path; sub-microsecond bookkeeping
@@ -142,8 +152,9 @@ impl CostModel {
         self.to_ns(interp_log(&MAP_PTS, chunk_size))
     }
 
-    /// Per-call dispatch overhead (see [`DISPATCH_NORM`]): the fixed cost a
-    /// batched entry point amortizes over its whole batch.
+    /// Per-call dispatch overhead (the user→driver transition plus argument
+    /// validation): the fixed cost a batched entry point amortizes over its
+    /// whole batch.
     pub fn dispatch_ns(&self) -> u64 {
         self.to_ns(DISPATCH_NORM)
     }
@@ -193,6 +204,24 @@ impl CostModel {
     /// the per-chunk accounting in the paper's Table 1.
     pub fn set_access_ns(&self, chunk_size: u64) -> u64 {
         self.to_ns(interp_log(&SET_ACCESS_PTS, chunk_size))
+    }
+
+    /// Cost of one `cuEventRecord` (dropping a completion marker into a
+    /// stream's queue).
+    pub fn event_record_ns(&self) -> u64 {
+        self.to_ns(EVENT_RECORD_NORM)
+    }
+
+    /// Cost of one `cuEventQuery` (non-blocking completion poll).
+    pub fn event_query_ns(&self) -> u64 {
+        self.to_ns(EVENT_QUERY_NORM)
+    }
+
+    /// Fixed call cost of one `cuEventSynchronize`, *excluding* the wait:
+    /// synchronizing an incomplete event additionally advances the clock to
+    /// the event's completion time.
+    pub fn event_sync_ns(&self) -> u64 {
+        self.to_ns(EVENT_SYNC_NORM)
     }
 
     /// Host-side bookkeeping cost charged by pool allocators per operation.
@@ -345,6 +374,21 @@ mod tests {
         assert_eq!(sizes.len(), 10);
         assert_eq!(sizes[0], mib(2));
         assert_eq!(sizes[9], mib(1024));
+    }
+
+    #[test]
+    fn event_calls_are_cheap_relative_to_allocation_work() {
+        // The premise of event-guarded cross-stream reuse: an event
+        // record+query pair must cost far less than the cheapest VMM
+        // allocation call it saves.
+        let m = CostModel::calibrated();
+        assert!(m.event_record_ns() > 0 && m.event_query_ns() > 0);
+        assert!(m.event_record_ns() + m.event_query_ns() < m.create_ns(mib(2)));
+        assert!(m.event_sync_ns() < m.mem_alloc_ns(mib(2)));
+        let z = CostModel::zero();
+        assert_eq!(z.event_record_ns(), 0);
+        assert_eq!(z.event_query_ns(), 0);
+        assert_eq!(z.event_sync_ns(), 0);
     }
 
     #[test]

@@ -121,6 +121,15 @@ pub struct DriverStats {
     pub set_access: ApiStats,
     /// Host/device copies and memsets.
     pub memcpy: ApiStats,
+    /// `cuEventRecord`.
+    pub event_record: ApiStats,
+    /// `cuEventQuery`.
+    pub event_query: ApiStats,
+    /// `cuEventSynchronize` / `cuCtxSynchronize` — `time_ns` includes the
+    /// simulated wait for incomplete work, not just the call overhead.
+    pub event_sync: ApiStats,
+    /// Asynchronous kernel/work launches (`stream_launch`).
+    pub launch: ApiStats,
 }
 
 impl DriverStats {
@@ -146,10 +155,17 @@ impl DriverStats {
         self.vmm_time_ns() + self.native_time_ns()
     }
 
-    /// Total driver entries across every API (copies included). Batched
-    /// entry points (`mem_create_batch`, `mem_map_range`) count as one call
-    /// each, so this is the number of lock round-trips an allocator cost
-    /// the device — the quantity batching drives down.
+    /// Total simulated time spent in the event/synchronization APIs
+    /// (record + query + synchronize, waits included).
+    pub fn event_time_ns(&self) -> u64 {
+        self.event_record.time_ns + self.event_query.time_ns + self.event_sync.time_ns
+    }
+
+    /// Total driver entries across every API (copies, events, and launches
+    /// included). Batched entry points (`mem_create_batch`,
+    /// `mem_map_range`) count as one call each, so this is the number of
+    /// lock round-trips an allocator cost the device — the quantity
+    /// batching drives down.
     pub fn total_calls(&self) -> u64 {
         self.mem_alloc.calls
             + self.mem_free.calls
@@ -161,6 +177,10 @@ impl DriverStats {
             + self.unmap.calls
             + self.set_access.calls
             + self.memcpy.calls
+            + self.event_record.calls
+            + self.event_query.calls
+            + self.event_sync.calls
+            + self.launch.calls
     }
 }
 

@@ -13,12 +13,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use gmlake_alloc_api::VirtAddr;
+use gmlake_alloc_api::{EventId, EventSource, StreamId, VirtAddr};
 
 use crate::chunk::{PhysHandle, PhysTable};
 use crate::clock::SimClock;
 use crate::device::{DeviceConfig, DeviceSnapshot, DriverStats};
 use crate::error::{DriverError, DriverResult};
+use crate::event::EventEngine;
 use crate::vaspace::VaSpace;
 
 /// Alignment of native (`cudaMalloc`) allocations.
@@ -31,6 +32,8 @@ struct Inner {
     phys: PhysTable,
     va: VaSpace,
     stats: DriverStats,
+    /// Per-stream completion frontiers and outstanding events.
+    events: EventEngine,
     /// Native allocations: VA -> (handle, size), so `mem_free` can tear the
     /// implicit reservation/mapping down.
     native: std::collections::HashMap<u64, (PhysHandle, u64)>,
@@ -73,6 +76,7 @@ impl CudaDriver {
                 phys: PhysTable::new(),
                 va: VaSpace::new(),
                 stats: DriverStats::default(),
+                events: EventEngine::default(),
                 native: std::collections::HashMap::new(),
             })),
         }
@@ -141,7 +145,10 @@ impl CudaDriver {
     // ------------------------------------------------------------------
 
     /// `cudaMalloc`: allocates `size` bytes of device memory with an implicit
-    /// device synchronization. Returns the device pointer.
+    /// device synchronization — the call waits for every stream's in-flight
+    /// work (launched via [`CudaDriver::stream_launch`]) before it runs,
+    /// which is precisely why the native path cannot overlap allocation
+    /// with compute. Returns the device pointer.
     ///
     /// # Errors
     ///
@@ -167,13 +174,16 @@ impl CudaDriver {
         g.phys.add_map(h).expect("fresh handle is mappable");
         g.va.set_access(va, size, true).expect("entry just created");
         g.native.insert(va.as_u64(), (h, size));
-        let ns = g.config.cost.mem_alloc_ns(size);
+        // Implicit device sync: wait out every stream's in-flight work.
+        let now = g.clock.now_ns();
+        let ns = (g.events.max_frontier(now) - now) + g.config.cost.mem_alloc_ns(size);
         g.clock.advance(ns);
         g.stats.mem_alloc.record(ns);
         Ok(va)
     }
 
-    /// `cudaFree`: releases a pointer obtained from [`CudaDriver::mem_alloc`].
+    /// `cudaFree`: releases a pointer obtained from [`CudaDriver::mem_alloc`],
+    /// with the same implicit device synchronization as the allocation path.
     pub fn mem_free(&self, va: VirtAddr) -> DriverResult<()> {
         let mut g = self.inner.lock();
         let (h, size) = g
@@ -186,7 +196,8 @@ impl CudaDriver {
         g.phys.release(h)?;
         g.va.address_free(va, size)?;
         g.native.remove(&va.as_u64());
-        let ns = g.config.cost.mem_free_ns(size);
+        let now = g.clock.now_ns();
+        let ns = (g.events.max_frontier(now) - now) + g.config.cost.mem_free_ns(size);
         g.clock.advance(ns);
         g.stats.mem_free.record(ns);
         Ok(())
@@ -466,6 +477,119 @@ impl CudaDriver {
     }
 
     // ------------------------------------------------------------------
+    // Streams and events
+    // ------------------------------------------------------------------
+
+    /// Enqueues `duration_ns` of asynchronous work (a kernel, a collective,
+    /// a copy) on `stream`: the stream's completion frontier advances by
+    /// the duration while the host clock only pays the launch dispatch —
+    /// exactly how a CUDA launch returns immediately. Events recorded on
+    /// the stream afterwards complete once the host clock catches up to
+    /// the frontier (driver-call costs, [`CudaDriver::advance_clock`], or a
+    /// synchronize).
+    pub fn stream_launch(&self, stream: StreamId, duration_ns: u64) {
+        let mut g = self.inner.lock();
+        let now = g.clock.now_ns();
+        g.events.launch(stream, now, duration_ns);
+        let ns = g.config.cost.dispatch_ns();
+        g.clock.advance(ns);
+        g.stats.launch.record(ns);
+    }
+
+    /// The stream's completion frontier: the simulated time at which every
+    /// operation enqueued on it so far has finished (never before "now").
+    pub fn stream_frontier_ns(&self, stream: StreamId) -> u64 {
+        let g = self.inner.lock();
+        g.events.frontier(stream, g.clock.now_ns())
+    }
+
+    /// `cuCtxSynchronize`: blocks the host until every stream's in-flight
+    /// work has finished, advancing the clock to the latest frontier.
+    /// Returns the nanoseconds waited. Recorded under the `event_sync`
+    /// telemetry (wait included).
+    pub fn device_synchronize(&self) -> u64 {
+        let mut g = self.inner.lock();
+        let now = g.clock.now_ns();
+        let wait = g.events.max_frontier(now) - now;
+        let ns = wait + g.config.cost.event_sync_ns();
+        g.clock.advance(ns);
+        g.stats.event_sync.record(ns);
+        wait
+    }
+
+    /// `cuEventRecord`: drops a completion marker into `stream`'s queue and
+    /// returns its id. The event completes once all work enqueued on the
+    /// stream before this call has finished.
+    pub fn event_record(&self, stream: StreamId) -> EventId {
+        let mut g = self.inner.lock();
+        let now = g.clock.now_ns();
+        let (event, _ready_at) = g.events.record(stream, now);
+        let ns = g.config.cost.event_record_ns();
+        g.clock.advance(ns);
+        g.stats.event_record.record(ns);
+        event
+    }
+
+    /// [`CudaDriver::event_record`] variant that answers "was there
+    /// anything to wait for?" in the same driver entry: returns `None` —
+    /// without tracking an event — when `stream` has no work in flight
+    /// (the marker would complete at record time), and records a pending
+    /// event otherwise. Costed and counted exactly like `event_record`;
+    /// this is the one-round-trip path the allocator's cross-stream free
+    /// uses to re-pool a caught-up block immediately.
+    pub fn event_record_if_pending(&self, stream: StreamId) -> Option<EventId> {
+        let mut g = self.inner.lock();
+        let now = g.clock.now_ns();
+        let result = if g.events.frontier(stream, now) > now {
+            Some(g.events.record(stream, now).0)
+        } else {
+            None
+        };
+        let ns = g.config.cost.event_record_ns();
+        g.clock.advance(ns);
+        g.stats.event_record.record(ns);
+        result
+    }
+
+    /// `cuEventQuery`: polls `event` without blocking; `true` once it has
+    /// completed. Events the driver no longer tracks (already observed
+    /// complete, or complete at record time) report `true`.
+    pub fn event_query(&self, event: EventId) -> bool {
+        let mut g = self.inner.lock();
+        let ns = g.config.cost.event_query_ns();
+        g.clock.advance(ns);
+        g.stats.event_query.record(ns);
+        match g.events.completion_of(event) {
+            Some(at) if at > g.clock.now_ns() => false,
+            Some(_) => {
+                g.events.prune(event);
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// `cuEventSynchronize`: blocks the host (advances the clock) until
+    /// `event` has completed. The `event_sync` telemetry records the wait
+    /// plus the fixed call cost.
+    pub fn event_synchronize(&self, event: EventId) {
+        let mut g = self.inner.lock();
+        let mut ns = g.config.cost.event_sync_ns();
+        if let Some(at) = g.events.completion_of(event) {
+            ns += at.saturating_sub(g.clock.now_ns());
+            g.events.prune(event);
+        }
+        g.clock.advance(ns);
+        g.stats.event_sync.record(ns);
+    }
+
+    /// Outstanding (recorded, not yet observed complete) events — leak
+    /// telemetry for tests.
+    pub fn outstanding_events(&self) -> usize {
+        self.inner.lock().events.outstanding()
+    }
+
+    // ------------------------------------------------------------------
     // Data path
     // ------------------------------------------------------------------
 
@@ -523,6 +647,32 @@ impl CudaDriver {
         g.clock.advance(ns);
         g.stats.memcpy.record(ns);
         Ok(())
+    }
+}
+
+/// The simulated driver *is* a stream-event source: a `DeviceAllocator`
+/// front-end built with a clone of the device's driver records and polls
+/// its cross-stream-reuse events on the same simulated clock the workload
+/// advances, with every call costed as a driver entry.
+///
+/// The driver lock is a leaf — no driver call ever re-enters an allocator —
+/// so this implementation satisfies the [`EventSource`] ordering contract
+/// (the allocator may call it while holding its own shard locks).
+impl EventSource for CudaDriver {
+    fn record(&self, stream: StreamId) -> EventId {
+        self.event_record(stream)
+    }
+
+    fn try_record(&self, stream: StreamId) -> Option<EventId> {
+        self.event_record_if_pending(stream)
+    }
+
+    fn query(&self, event: EventId) -> bool {
+        self.event_query(event)
+    }
+
+    fn synchronize(&self, event: EventId) {
+        self.event_synchronize(event)
     }
 }
 
@@ -915,6 +1065,140 @@ mod tests {
         assert_eq!(snap.va_reserved, 2 * gran);
         assert_eq!(snap.phys_created_total, 2 * gran);
         assert_eq!(snap.peak_phys_in_use, 2 * gran);
+    }
+
+    #[test]
+    fn events_complete_when_the_host_catches_up_to_the_frontier() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        let s = StreamId(1);
+        // 1 ms of async work: the launch returns immediately (host pays
+        // only the dispatch), the frontier moves a full millisecond.
+        let t0 = d.now_ns();
+        d.stream_launch(s, 1_000_000);
+        assert!(d.now_ns() - t0 < 10_000, "launch is asynchronous");
+        assert_eq!(d.stream_frontier_ns(s), t0 + 1_000_000);
+
+        let ev = d.event_record(s);
+        assert!(!d.event_query(ev), "work still in flight");
+        assert_eq!(d.outstanding_events(), 1);
+        // Host catches up past the frontier: the event completes and is
+        // garbage-collected; re-querying the pruned id stays true.
+        d.advance_clock(2_000_000);
+        assert!(d.event_query(ev));
+        assert_eq!(d.outstanding_events(), 0);
+        assert!(d.event_query(ev), "untracked events report complete");
+        let st = d.stats();
+        assert_eq!(st.event_record.calls, 1);
+        assert_eq!(st.event_query.calls, 3);
+        assert_eq!(st.launch.calls, 1);
+        assert!(st.event_time_ns() > 0);
+    }
+
+    #[test]
+    fn event_on_an_idle_stream_is_complete_at_record_time() {
+        let d = test_driver(); // zero-cost model
+        let ev = d.event_record(StreamId(3));
+        assert_eq!(d.outstanding_events(), 0, "never tracked");
+        assert!(d.event_query(ev));
+    }
+
+    #[test]
+    fn record_if_pending_skips_caught_up_streams_but_tracks_busy_ones() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        assert!(
+            d.event_record_if_pending(StreamId(0)).is_none(),
+            "idle stream: nothing to wait for"
+        );
+        assert_eq!(d.stats().event_record.calls, 1, "the call is still costed");
+        assert_eq!(d.outstanding_events(), 0);
+        d.stream_launch(StreamId(0), 1_000_000);
+        let ev = d
+            .event_record_if_pending(StreamId(0))
+            .expect("work in flight: a pending event");
+        assert!(!d.event_query(ev));
+        d.device_synchronize();
+        assert!(d.event_query(ev));
+    }
+
+    #[test]
+    fn event_synchronize_advances_the_clock_to_completion() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        d.stream_launch(StreamId(0), 500_000);
+        let ev = d.event_record(StreamId(0));
+        let ready_at = d.stream_frontier_ns(StreamId(0));
+        d.event_synchronize(ev);
+        assert!(d.now_ns() >= ready_at, "the host blocked until completion");
+        assert!(d.event_query(ev), "synchronized event is complete");
+        assert_eq!(d.stats().event_sync.calls, 1);
+    }
+
+    #[test]
+    fn device_synchronize_drains_every_stream() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        d.stream_launch(StreamId(0), 100_000);
+        d.stream_launch(StreamId(1), 900_000);
+        let e0 = d.event_record(StreamId(0));
+        let e1 = d.event_record(StreamId(1));
+        let waited = d.device_synchronize();
+        assert!(waited > 0);
+        assert!(d.now_ns() >= d.stream_frontier_ns(StreamId(1)));
+        assert!(d.event_query(e0) && d.event_query(e1));
+        assert_eq!(d.device_synchronize(), 0, "already caught up");
+    }
+
+    #[test]
+    fn serial_stream_order_is_preserved_across_events() {
+        // Two launches, an event between them: the event completes with the
+        // FIRST launch, not the second (FIFO stream semantics).
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        let s = StreamId(0);
+        d.stream_launch(s, 100_000);
+        let mid = d.event_record(s);
+        d.stream_launch(s, 900_000);
+        let end = d.event_record(s);
+        d.advance_clock(200_000);
+        assert!(d.event_query(mid), "first launch done");
+        assert!(!d.event_query(end), "second still running");
+        d.device_synchronize();
+        assert!(d.event_query(end));
+    }
+
+    #[test]
+    fn native_calls_synchronize_in_flight_stream_work() {
+        // cudaMalloc/cudaFree imply a device sync: with 1 ms of compute in
+        // flight, the call's cost includes waiting it out — the native
+        // path cannot overlap allocation with compute (VMM calls can).
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        d.stream_launch(StreamId(0), 1_000_000);
+        let t0 = d.now_ns();
+        let va = d.mem_alloc(4096).unwrap();
+        assert!(
+            d.now_ns() - t0 >= 1_000_000,
+            "mem_alloc waited for the stream"
+        );
+        assert_eq!(d.device_synchronize(), 0, "nothing left in flight");
+        d.stream_launch(StreamId(1), 500_000);
+        let t1 = d.now_ns();
+        d.mem_free(va).unwrap();
+        assert!(d.now_ns() - t1 >= 500_000, "mem_free waited too");
+    }
+
+    #[test]
+    fn driver_implements_event_source() {
+        // The trait surface the DeviceAllocator consumes, driven through a
+        // `dyn` handle exactly as the front-end holds it.
+        let d = test_driver();
+        let src: &dyn EventSource = &d;
+        let ev = src.record(StreamId(2));
+        assert!(src.query(ev));
+        src.synchronize(ev);
+        assert_eq!(d.stats().event_record.calls, 1);
     }
 
     #[test]

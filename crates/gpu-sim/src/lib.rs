@@ -45,6 +45,7 @@ mod cost;
 mod device;
 mod driver;
 mod error;
+mod event;
 mod native;
 mod vaspace;
 
@@ -54,4 +55,5 @@ pub use cost::{figure6_chunk_sizes, CostModel};
 pub use device::{ApiStats, DeviceConfig, DeviceSnapshot, DriverStats};
 pub use driver::CudaDriver;
 pub use error::{DriverError, DriverResult};
+pub use event::{EventId, EventSource};
 pub use native::NativeAllocator;

@@ -32,10 +32,10 @@ pub enum DefragAction {
     /// Leave the pool alone.
     None,
     /// Run the allocator's proactive defrag/GC pass
-    /// ([`AllocatorCore::compact`]).
+    /// ([`AllocatorCore::compact`](gmlake_alloc_api::AllocatorCore::compact)).
     Compact,
     /// Surrender every cached structure
-    /// ([`AllocatorCore::release_cached`]), like
+    /// ([`AllocatorCore::release_cached`](gmlake_alloc_api::AllocatorCore::release_cached)), like
     /// `torch.cuda.empty_cache()`.
     ReleaseCached,
 }
@@ -56,7 +56,7 @@ pub struct PoolObservation {
     /// The pool's memory counters.
     pub stats: MemStats,
     /// Instantaneous fragmentation ratio (`1 − active/reserved`), as
-    /// reported by [`AllocatorCore::fragmentation`].
+    /// reported by [`AllocatorCore::fragmentation`](gmlake_alloc_api::AllocatorCore::fragmentation).
     pub fragmentation: f64,
 }
 

@@ -561,6 +561,16 @@ impl PoolHandle {
         }
     }
 
+    /// Sweeps the pool's pending event rings, promoting cross-stream-freed
+    /// blocks whose events have completed back into their owning streams'
+    /// free lists (see [`DeviceAllocator::process_events`]). Worker threads
+    /// need not call this — the allocation path promotes opportunistically —
+    /// but schedulers and iteration loops can tick it at synchronization
+    /// points to keep rings short.
+    pub fn process_events(&self) -> u64 {
+        self.entry.alloc.process_events()
+    }
+
     /// Releases the pool's cached memory (see
     /// [`DeviceAllocator::release_cached`]).
     pub fn release_cached(&self) -> u64 {
@@ -614,6 +624,10 @@ impl AllocatorCore for PoolHandle {
 
     fn iteration_boundary(&mut self) {
         PoolHandle::iteration_boundary(self)
+    }
+
+    fn process_events(&mut self) -> u64 {
+        PoolHandle::process_events(self)
     }
 
     fn release_cached(&mut self) -> u64 {
@@ -960,13 +974,58 @@ mod tests {
             .alloc_on_stream(AllocRequest::new(1024), StreamId(0))
             .unwrap();
         assert_eq!(a2.va, a.va);
-        // Cross-stream free through the handle takes the conservative path.
+        // Cross-stream free through the handle: no event source on this
+        // pool, so it takes the conservative fallback through the core.
         pool.free_on_stream(a2.id, StreamId(1)).unwrap();
-        assert_eq!(alloc.cache_stats().cross_stream_returns, 1);
+        assert_eq!(alloc.cache_stats().cross_stream_fallback, 1);
+        assert_eq!(alloc.cache_stats().cross_stream_parked, 0);
         let s = pool.stats();
         assert_eq!(s.alloc_count, 3);
         assert_eq!(s.free_count, 3);
         assert_eq!(s.active_bytes, 0);
+    }
+
+    #[test]
+    fn event_guarded_cross_stream_reuse_through_the_handle() {
+        use gmlake_alloc_api::StreamId;
+        use std::sync::Arc;
+        // A pool whose front-end shares the device's driver as its event
+        // source: cross-stream frees park in pending rings; the handle's
+        // process_events tick promotes them once their event completes (the
+        // zero-cost test device completes events at record time).
+        let service = PoolService::new();
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let front = DeviceAllocator::with_config_and_events(
+            CachingAllocator::new(driver.clone()),
+            DeviceAllocatorConfig::default().with_streams(2),
+            Arc::new(driver.clone()),
+        );
+        let pool = service.register_device(DeviceId(0), front).unwrap();
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        // In-flight work on the freeing stream keeps the event pending, so
+        // the free must park the block in the ring, not re-pool it.
+        driver.stream_launch(StreamId(0), 1_000);
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let c = pool.allocator().cache_stats();
+        assert_eq!(c.cross_stream_parked, 1, "event recorded, block parked");
+        assert_eq!(c.cross_stream_fallback, 0, "no core round trip");
+        assert_eq!(c.pending_blocks, 1);
+        assert_eq!(pool.process_events(), 0, "stream work still in flight");
+        // The host catches up with the stream; the handle tick promotes.
+        driver.advance_clock(2_000);
+        assert_eq!(pool.process_events(), 1, "handle tick promoted the block");
+        // The owning stream reuses the promoted block without core traffic.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(1024), StreamId(1))
+            .unwrap();
+        assert_eq!(b.va, a.va);
+        assert_eq!(pool.allocator().cache_stats().hits, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.alloc_count, s.free_count, s.active_bytes), (2, 2, 0));
+        assert_eq!(driver.outstanding_events(), 0, "no event leaked");
     }
 
     #[test]

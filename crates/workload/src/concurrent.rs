@@ -300,10 +300,13 @@ mod tests {
     #[test]
     fn multi_stream_ranks_replay_through_per_stream_pools() {
         use gmlake_alloc_api::{DeviceAllocator, DeviceAllocatorConfig, StreamId};
+        use std::sync::Arc;
         // Two ranks, each replaying a 2-stream trace (offload staging on the
-        // side stream) against a stream-configured front-end: the replay
-        // must route per-stream, keep the accounting exact, and mirror
-        // across ranks exactly as the single-stream fleet does.
+        // side stream, comm buffers freed cross-stream by their consumer)
+        // against a stream-configured, event-backed front-end: the replay
+        // must route per-stream, drive the pending→ready event transitions,
+        // keep the accounting exact, and mirror across ranks exactly as the
+        // single-stream fleet does.
         let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::RO)
             .with_seq_len(256)
             .with_batch(2)
@@ -314,11 +317,12 @@ mod tests {
             .map(|rank| {
                 let driver = CudaDriver::new(DeviceConfig::a100_80g());
                 let device = DeviceId(rank);
-                let front = DeviceAllocator::with_config(
+                let front = DeviceAllocator::with_config_and_events(
                     CachingAllocator::new(driver.clone()),
                     DeviceAllocatorConfig::default()
                         .with_streams(2)
                         .with_small_threshold(gmlake_alloc_api::mib(512)),
+                    Arc::new(driver.clone()),
                 );
                 service.register_device(device, front).unwrap();
                 RankSpec::new(device, driver, cfg.clone())
@@ -339,7 +343,10 @@ mod tests {
                 side.hits + side.misses > 0,
                 "{device}: side-stream traffic rode stream 1's bank"
             );
-            assert_eq!(handle.allocator().cache_stats().cross_stream_returns, 0);
+            let c = handle.allocator().cache_stats();
+            assert!(c.cross_stream_parked > 0, "{device}: events guarded frees");
+            assert!(c.event_promotions > 0, "{device}: pending→ready happened");
+            assert_eq!(c.pending_blocks, 0, "{device}: nothing left pending");
         }
     }
 

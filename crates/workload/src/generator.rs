@@ -172,31 +172,46 @@ impl TraceGenerator {
     /// move to side streams — real ZeRO/offload runs issue them on separate
     /// CUDA streams precisely so they overlap compute — with a deterministic
     /// per-tensor spread over the available side streams. Compute tensors
-    /// stay on the default stream, and every tensor is freed on the stream
-    /// it was allocated on (the same-stream reuse rule; the concurrent
-    /// harnesses inject cross-stream frees separately).
+    /// stay on the default stream.
+    ///
+    /// Frees follow the tensor's *consumer*: staging buffers live and die
+    /// on their copy stream (same-stream frees, the warm path), while a
+    /// communication buffer is produced on its side stream but consumed by
+    /// the compute kernels — its free is issued from [`StreamId::DEFAULT`],
+    /// a **cross-stream free**, exactly the pattern that exercises the
+    /// allocator's event-guarded reuse rule (conservative guard without an
+    /// event source, pending→ready promotion with one).
     fn assign_streams(events: &mut [TraceEvent], streams: u32) {
         if streams <= 1 {
             return;
         }
         let side = streams as u64 - 1;
-        let mut owner: std::collections::HashMap<u64, StreamId> = std::collections::HashMap::new();
+        // key -> stream the FREE is issued from (the consumer's stream).
+        let mut free_stream: std::collections::HashMap<u64, StreamId> =
+            std::collections::HashMap::new();
         for ev in events {
             match ev {
                 TraceEvent::Alloc {
                     key, tag, stream, ..
                 } => {
-                    let s = match tag {
-                        AllocTag::Communication | AllocTag::Staging => {
-                            StreamId(1 + (*key % side) as u32)
+                    let (alloc_on, free_on) = match tag {
+                        // Produced AND consumed by the copy engine stream.
+                        AllocTag::Staging => {
+                            let s = StreamId(1 + (*key % side) as u32);
+                            (s, s)
                         }
-                        _ => StreamId::DEFAULT,
+                        // Produced on the comm stream, consumed by compute:
+                        // freed from the default stream (cross-stream).
+                        AllocTag::Communication => {
+                            (StreamId(1 + (*key % side) as u32), StreamId::DEFAULT)
+                        }
+                        _ => (StreamId::DEFAULT, StreamId::DEFAULT),
                     };
-                    *stream = s;
-                    owner.insert(*key, s);
+                    *stream = alloc_on;
+                    free_stream.insert(*key, free_on);
                 }
                 TraceEvent::Free { key, stream } => {
-                    if let Some(s) = owner.get(key) {
+                    if let Some(s) = free_stream.get(key) {
                         *stream = *s;
                     }
                 }
@@ -601,8 +616,10 @@ mod tests {
         let t = TraceGenerator::new(cfg).generate();
         t.validate().unwrap();
         assert_eq!(t.stats().streams, 3, "default + 2 side streams in use");
-        let mut owner: std::collections::HashMap<u64, StreamId> = std::collections::HashMap::new();
+        let mut owner: std::collections::HashMap<u64, (AllocTag, StreamId)> =
+            std::collections::HashMap::new();
         let mut side_allocs = 0u64;
+        let mut cross_stream_frees = 0u64;
         for ev in &t.events {
             match *ev {
                 TraceEvent::Alloc {
@@ -615,15 +632,29 @@ mod tests {
                         }
                         _ => assert!(stream.is_default(), "{tag}: compute stays on stream 0"),
                     }
-                    owner.insert(key, stream);
+                    owner.insert(key, (tag, stream));
                 }
                 TraceEvent::Free { key, stream } => {
-                    assert_eq!(owner[&key], stream, "tensors are freed on their stream");
+                    let (tag, alloc_stream) = owner[&key];
+                    match tag {
+                        // Comm buffers are consumed by compute: freed from
+                        // the default stream, i.e. cross-stream.
+                        AllocTag::Communication => {
+                            assert!(stream.is_default(), "{tag}: freed by its consumer");
+                            assert_ne!(stream, alloc_stream);
+                            cross_stream_frees += 1;
+                        }
+                        _ => assert_eq!(alloc_stream, stream, "{tag}: freed on its own stream"),
+                    }
                 }
                 _ => {}
             }
         }
         assert!(side_allocs > 0);
+        assert!(
+            cross_stream_frees > 0,
+            "offload workloads must exercise the cross-stream free path"
+        );
     }
 
     #[test]

@@ -219,7 +219,13 @@ impl Replayer {
                             .expect("replayer frees only live allocations");
                     }
                 }
-                TraceEvent::Compute { ns } => self.driver.advance_clock(ns),
+                // Compute is launched ASYNCHRONOUSLY on the default stream,
+                // the way a framework enqueues kernels: the stream's
+                // completion frontier advances by the full duration while
+                // the host runs ahead. Events recorded by cross-stream
+                // frees during the phase therefore stay genuinely pending
+                // until the host catches up at the iteration boundary.
+                TraceEvent::Compute { ns } => self.driver.stream_launch(StreamId::DEFAULT, ns),
                 TraceEvent::IterBegin { index } => {
                     current_iter = index;
                     if first_iter_t.is_none() {
@@ -227,7 +233,14 @@ impl Replayer {
                     }
                 }
                 TraceEvent::IterEnd { .. } => {
+                    // The optimizer step synchronizes the device (the host
+                    // blocks until every stream's work is done), completing
+                    // the iteration's events; the process_events tick then
+                    // promotes cross-stream blocks parked during the
+                    // iteration so the next one reuses them warm.
+                    self.driver.device_synchronize();
                     alloc.iteration_boundary();
+                    alloc.process_events();
                     iterations_completed += 1;
                     iter_end_ts.push(self.driver.now_ns());
                 }
@@ -248,6 +261,11 @@ impl Replayer {
             }
         }
 
+        // Catch the host up with any trailing in-flight work (an OOM may
+        // have cut the trace short mid-iteration) so the reported sim time
+        // covers every launched phase.
+        self.driver.device_synchronize();
+        alloc.process_events();
         // Release surviving allocations so the allocator can be reused (the
         // trace itself frees everything unless it was cut short by OOM).
         for (_, (id, stream)) in ids.drain() {
@@ -419,9 +437,15 @@ mod tests {
     #[test]
     fn multi_stream_trace_routes_into_per_stream_banks() {
         use gmlake_alloc_api::{DeviceAllocator, DeviceAllocatorConfig};
+        use std::sync::Arc;
         // Offload (RO) generates communication + staging tensors, which the
         // generator moves to side streams; replaying through a stream-aware
         // front-end must land that traffic in the side-stream cache banks.
+        // Comm buffers are freed by their consumer (the default stream), so
+        // the replay also exercises the event-guarded cross-stream path:
+        // frees park blocks behind events recorded on the compute stream,
+        // whose in-flight phases keep them pending until the iteration
+        // boundary synchronizes and promotes them.
         let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::RO)
             .with_iterations(2)
             .with_seq_len(256)
@@ -433,25 +457,35 @@ mod tests {
         // Comm/staging tensors run tens-to-hundreds of MiB; raise the
         // fast-path threshold so the side-stream traffic is visible in the
         // stream banks instead of falling through to the core.
-        let mut pool = DeviceAllocator::with_config(
+        let mut pool = DeviceAllocator::with_config_and_events(
             CachingAllocator::new(driver.clone()),
             DeviceAllocatorConfig::default()
                 .with_streams(2)
                 .with_small_threshold(gmlake_alloc_api::mib(512)),
+            Arc::new(driver.clone()),
         );
-        let report = Replayer::new(driver).replay(&mut pool, &trace, &cfg);
+        let report = Replayer::new(driver.clone()).replay(&mut pool, &trace, &cfg);
         assert!(report.outcome.is_completed());
         let side = pool.stream_cache_stats(StreamId(1));
         assert!(
             side.hits + side.misses > 0,
             "side-stream traffic reached stream 1's bank"
         );
+        let c = pool.cache_stats();
+        assert!(
+            c.cross_stream_parked > 0,
+            "comm frees rode the event-guarded path"
+        );
+        assert!(
+            c.event_promotions > 0,
+            "completed events promoted parked blocks back to their banks"
+        );
         assert_eq!(
-            pool.cache_stats().cross_stream_returns,
-            0,
-            "the generator frees every tensor on its own stream"
+            c.pending_blocks, 0,
+            "the final device sync left nothing pending"
         );
         assert_eq!(AllocatorCore::stats(&pool).active_bytes, 0);
+        assert_eq!(driver.outstanding_events(), 0, "no event leaked");
     }
 
     #[test]

@@ -27,10 +27,12 @@ pub enum TraceEvent {
     Free {
         /// Logical tensor id.
         key: u64,
-        /// Stream the free is issued from. The generator frees every
-        /// tensor on its allocating stream; a replayed cross-stream free
-        /// (different stream than the tensor's `Alloc`) exercises the
-        /// allocator's conservative reuse guard.
+        /// Stream the free is issued from — the tensor's *consumer*. The
+        /// generator frees most tensors on their allocating stream, but
+        /// communication buffers are consumed by compute and freed from
+        /// the default stream: a **cross-stream free** (different stream
+        /// than the tensor's `Alloc`), which exercises the allocator's
+        /// event-guarded reuse rule.
         stream: StreamId,
     },
     /// Computation (kernel execution / communication / PCIe transfer) taking

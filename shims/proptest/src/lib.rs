@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this workspace ships
 //! a minimal property-testing harness with the subset of the `proptest` API
-//! that `tests/property_allocators.rs` uses: the [`Strategy`] trait with
+//! that `tests/property_allocators.rs` uses: the [`strategy::Strategy`] trait with
 //! `prop_map`, [`strategy::Just`], [`arbitrary::any`], weighted
 //! [`prop_oneof!`], [`collection::vec`], [`ProptestConfig`], and the
 //! [`proptest!`] / `prop_assert*` macros.
@@ -268,7 +268,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -1,22 +1,37 @@
-//! Differential-oracle property tests for the stream-aware `DeviceAllocator`
-//! front-end: random multi-stream alloc/free programs are replayed through
-//! the sharded, stream-partitioned front-end AND through a single-mutex
-//! `AllocatorCore` oracle, and the two must agree
+//! Differential-oracle property tests for the stream-aware, event-guarded
+//! `DeviceAllocator` front-end: random multi-stream alloc/free/tick
+//! programs are replayed through the sharded, stream-partitioned front-end
+//! AND through a single-mutex `AllocatorCore` oracle, and the two must
+//! agree
 //!
 //! * on the outcome (success / `OutOfMemory`) of **every** allocation — the
-//!   front-end's caches, stream banks, and flush-and-retry must be invisible
-//!   to feasibility (the transparency GMLake promises);
+//!   front-end's caches, stream banks, pending event rings, and
+//!   flush-and-retry must be invisible to feasibility (the transparency
+//!   GMLake promises);
 //! * on `stats()` at quiescence — after the program ends and the caches are
 //!   flushed, the reconciled counters must be bit-identical to the oracle's.
+//!
+//! **How the oracle models event completion:** instantaneously. The mirror
+//! frees every block the moment `free_on_stream` is called, which is the
+//! limit case of an event that completes at record time. The front-end runs
+//! over a `ManualEvents` source whose completion is advanced only by the
+//! seed-chosen `Tick` ops, so a program's pending rings hold blocks for
+//! arbitrary stretches of the program — and the property says exactly that
+//! this is invisible: wherever the ticks land, every caller-visible
+//! counter and every allocation outcome must match the instant-completion
+//! oracle. (OOM included: the flush-and-retry synchronizes pending events,
+//! so feasibility never depends on tick placement.)
 //!
 //! Program sizes are powers of two, so the front-end's size-class rounding
 //! is the identity and any divergence is a real routing/accounting bug, not
 //! a rounding artifact.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use gmlake::prelude::*;
-use gmlake_alloc_api::DeviceAllocatorConfig;
+use gmlake_alloc_api::{DeviceAllocatorConfig, ManualEvents};
 
 /// Number of logical streams the random programs run over.
 const STREAMS: u32 = 4;
@@ -28,8 +43,12 @@ enum Op {
     Alloc { size_log2: u32, stream: u32 },
     /// Free the n-th (mod live count) live allocation from stream
     /// `stream % STREAMS` — when that is not the allocating stream, this is
-    /// a cross-stream free exercising the conservative reuse guard.
+    /// a cross-stream free exercising the event-guarded reuse rule.
     Free { nth: usize, stream: u32 },
+    /// Complete every event recorded so far and sweep the pending rings
+    /// (front-end only; the oracle completes events instantaneously, so
+    /// tick placement must be caller-invisible).
+    Tick,
     /// Return every cached block to the core (front-end only; the oracle
     /// caches nothing, so this must be caller-invisible).
     Flush,
@@ -44,6 +63,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             stream,
         }),
         7 => (any::<usize>(), (0u32..STREAMS)).prop_map(|(nth, stream)| Op::Free { nth, stream }),
+        2 => Just(Op::Tick),
         1 => Just(Op::Flush),
         1 => (0u32..STREAMS).prop_map(|stream| Op::FlushStream { stream }),
     ]
@@ -146,13 +166,18 @@ impl MutexOracle {
 /// every step and stats agreement at quiescence. `capacity == 0` means
 /// unbounded (no OOM arm).
 fn run_differential(ops: &[Op], capacity: u64) {
-    let pool = DeviceAllocator::try_with_config(
+    let events = Arc::new(ManualEvents::new());
+    let pool = DeviceAllocator::with_config_and_events(
         MirrorCore::bounded(capacity),
         DeviceAllocatorConfig::default()
             .with_streams(STREAMS as usize)
-            .with_max_cached_per_class(4), // small cap: exercise overflow returns
-    )
-    .unwrap();
+            // Small caps: exercise free-list overflow returns AND
+            // pending-ring overflow (the cross-stream fallback, which
+            // synchronizes its event before the core sees the block).
+            .with_max_cached_per_class(4)
+            .with_pending_ring_cap(4),
+        events.clone(),
+    );
     let oracle = MutexOracle(std::sync::Mutex::new(MirrorCore::bounded(capacity)));
 
     // (front id, oracle id, allocating stream) per live tensor.
@@ -185,6 +210,10 @@ fn run_differential(ops: &[Op], capacity: u64) {
                 let stream = StreamId(stream % STREAMS);
                 pool.free_on_stream(fid, stream).unwrap();
                 oracle.free(oid, stream).unwrap();
+            }
+            Op::Tick => {
+                events.complete_all();
+                pool.process_events();
             }
             Op::Flush => {
                 pool.flush();
@@ -224,7 +253,13 @@ fn run_differential(ops: &[Op], capacity: u64) {
     prop_assert_eq!(f.free_count, o.free_count);
     prop_assert_eq!(f.requested_bytes_total, o.requested_bytes_total);
     prop_assert_eq!(f.reserved_bytes, o.reserved_bytes);
-    prop_assert_eq!(pool.cache_stats().cached_blocks, 0);
+    let cache = pool.cache_stats();
+    prop_assert_eq!(cache.cached_blocks, 0);
+    prop_assert_eq!(cache.pending_blocks, 0, "flush drained the rings");
+    prop_assert_eq!(events.pending(), 0, "flush synchronized pending events");
+    // A block is only ever promoted after having been parked; whatever was
+    // parked but never promoted left through the flush path just verified.
+    prop_assert!(cache.event_promotions <= cache.cross_stream_parked);
 }
 
 proptest! {

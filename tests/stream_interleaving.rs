@@ -1,26 +1,34 @@
-//! Deterministic-interleaving concurrency tests for the stream-aware
-//! `DeviceAllocator`: a seeded scheduler drives 2 streams x 2 worker
-//! threads through scripted alloc/free/flush/compact sequences — including
-//! cross-stream frees and double-free races — one operation at a time, in a
-//! seed-chosen global order. Every operation executes on a real worker
-//! thread (the handoff crosses `Send`/`Sync` for real), but the scheduler
-//! waits for each acknowledgment before dispatching the next, so a given
-//! seed replays the exact same interleaving every time.
+//! Deterministic-interleaving concurrency tests for the stream-aware,
+//! event-guarded `DeviceAllocator`: a seeded scheduler drives 2 streams x 2
+//! worker threads through scripted alloc/free/flush/compact/event-tick
+//! sequences — including cross-stream frees and double-free races — one
+//! operation at a time, in a seed-chosen global order. Every operation
+//! executes on a real worker thread (the handoff crosses `Send`/`Sync` for
+//! real), but the scheduler waits for each acknowledgment before
+//! dispatching the next, so a given seed replays the exact same
+//! interleaving every time.
+//!
+//! The pool is backed by a `ManualEvents` source, so cross-stream frees
+//! park blocks in the pending rings and the scripted `Tick` actions model
+//! event completion (`complete_all` + `process_events`) at seed-chosen
+//! points relative to the other threads' operations.
 //!
 //! 256 seeds are replayed per run; for each one the test pins
 //!
 //! * double-free races: two frees of one allocation never both succeed —
 //!   the loser sees `UnknownAllocation`, whichever order the seed chose;
-//! * cross-stream frees take the conservative return-to-core path;
+//! * cross-stream frees take the event-guarded parking path, never the
+//!   core fallback (the rings never fill in these scripts);
 //! * exact accounting at quiescence: every successful allocation freed
-//!   exactly once, `active_bytes == 0`, core and front-end reconciled, and
+//!   exactly once, `active_bytes == 0`, the pending rings drained by the
+//!   final flush (events synchronized), core and front-end reconciled, and
 //!   the simulated device fully quiescent after teardown.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 use gmlake::prelude::*;
-use gmlake_alloc_api::DeviceAllocatorConfig;
+use gmlake_alloc_api::{DeviceAllocatorConfig, ManualEvents};
 
 /// One scripted operation, executed on a worker thread.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +42,10 @@ enum Action {
         slot: usize,
         stream: StreamId,
     },
+    /// Complete every event recorded so far, then sweep the pending rings
+    /// (`process_events`) — the pending→ready transition, scheduled like
+    /// any other op so it interleaves with the other thread's frees.
+    Tick,
     Flush,
     Compact,
 }
@@ -81,7 +93,8 @@ fn script_thread0() -> Vec<Action> {
         Action::Free {
             slot: 2,
             stream: S1,
-        }, // cross-stream: via the core
+        }, // cross-stream: event recorded, parked pending
+        Action::Tick, // complete events, promote pending blocks
         Action::Alloc {
             slot: 4,
             size: kib(64),
@@ -124,7 +137,8 @@ fn script_thread1() -> Vec<Action> {
         Action::Free {
             slot: 5,
             stream: S0,
-        }, // cross-stream: via the core
+        }, // cross-stream: event recorded, parked pending
+        Action::Tick, // may promote slot 5's block before the final flush
         Action::Flush,
     ]
 }
@@ -138,7 +152,11 @@ fn xorshift(x: &mut u64) -> u64 {
 
 /// Runs both scripts under the interleaving chosen by `seed`; returns the
 /// global (thread, action-index, outcome) log in execution order.
-fn run_scheduled(seed: u64, pool: &DeviceAllocator) -> Vec<(usize, usize, Outcome)> {
+fn run_scheduled(
+    seed: u64,
+    pool: &DeviceAllocator,
+    events: &Arc<ManualEvents>,
+) -> Vec<(usize, usize, Outcome)> {
     // Allocation ids land in shared slots; a slot is never cleared, so a
     // scripted double-free genuinely re-submits the same id.
     let slots: Arc<Mutex<[Option<AllocationId>; SLOTS]>> = Arc::new(Mutex::new([None; SLOTS]));
@@ -155,6 +173,7 @@ fn run_scheduled(seed: u64, pool: &DeviceAllocator) -> Vec<(usize, usize, Outcom
             let (go_tx, go_rx) = mpsc::channel::<Action>();
             let (done_tx, done_rx) = mpsc::channel::<Outcome>();
             let pool = pool.clone();
+            let events = Arc::clone(events);
             let slots = Arc::clone(&slots);
             scope.spawn(move || {
                 for action in go_rx {
@@ -179,6 +198,11 @@ fn run_scheduled(seed: u64, pool: &DeviceAllocator) -> Vec<(usize, usize, Outcom
                                     Err(e) => panic!("unexpected free error: {e}"),
                                 },
                             }
+                        }
+                        Action::Tick => {
+                            events.complete_all();
+                            pool.process_events();
+                            Outcome::Maintenance
                         }
                         Action::Flush => {
                             pool.flush();
@@ -215,21 +239,24 @@ fn run_scheduled(seed: u64, pool: &DeviceAllocator) -> Vec<(usize, usize, Outcom
     })
 }
 
-fn make_pool() -> (DeviceAllocator, CudaDriver) {
+fn make_pool() -> (DeviceAllocator, CudaDriver, Arc<ManualEvents>) {
     let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let events = Arc::new(ManualEvents::new());
     (
-        DeviceAllocator::with_config(
+        DeviceAllocator::with_config_and_events(
             CachingAllocator::new(driver.clone()),
             DeviceAllocatorConfig::default().with_streams(2),
+            events.clone(),
         ),
         driver,
+        events,
     )
 }
 
 /// The invariants one scheduled run must satisfy, for ANY interleaving.
 fn check_run(seed: u64) {
-    let (pool, driver) = make_pool();
-    let log = run_scheduled(seed, &pool);
+    let (pool, driver, events) = make_pool();
+    let log = run_scheduled(seed, &pool, &events);
     assert_eq!(log.len(), script_thread0().len() + script_thread1().len());
 
     let allocs = log
@@ -264,11 +291,17 @@ fn check_run(seed: u64) {
 
     // Cross-stream frees of slots 2 and 5 are script-ordered after their
     // allocs on the same thread, so they always execute and always take the
-    // conservative path; the slot-1 winner may add a third.
-    let cross = pool.cache_stats().cross_stream_returns;
+    // event-guarded parking path; the slot-1 winner may add a third. The
+    // rings never fill in these scripts, so the core fallback never fires.
+    let cache = pool.cache_stats();
     assert!(
-        (2..=3).contains(&cross),
-        "seed {seed}: cross-stream returns {cross}"
+        (2..=3).contains(&cache.cross_stream_parked),
+        "seed {seed}: cross-stream parked {}",
+        cache.cross_stream_parked
+    );
+    assert_eq!(
+        cache.cross_stream_fallback, 0,
+        "seed {seed}: no free should have fallen back to the core"
     );
 
     // Quiescence: under EVERY interleaving each slot ends up freed exactly
@@ -281,7 +314,18 @@ fn check_run(seed: u64) {
     assert_eq!(stats.alloc_count, SLOTS as u64, "seed {seed}");
     assert_eq!(stats.free_count, SLOTS as u64, "seed {seed}");
     assert_eq!(stats.active_bytes, 0, "seed {seed}");
+    // The final flush reaches blocks still waiting in the pending rings
+    // (frees sequenced after the last Tick), synchronizing their events on
+    // the way out: nothing stays parked, no event stays outstanding.
     pool.flush();
+    let cache = pool.cache_stats();
+    assert_eq!(cache.pending_blocks, 0, "seed {seed}: rings drained");
+    assert_eq!(cache.pending_bytes, 0, "seed {seed}");
+    assert_eq!(
+        events.pending(),
+        0,
+        "seed {seed}: flush synchronized events"
+    );
     pool.with_core(|core| assert_eq!(core.stats().active_bytes, 0, "seed {seed}"));
     drop(pool);
     assert!(driver.snapshot().is_quiescent(), "seed {seed}");
@@ -289,10 +333,10 @@ fn check_run(seed: u64) {
 
 #[test]
 fn same_seed_replays_the_same_interleaving() {
-    let (pool_a, _da) = make_pool();
-    let (pool_b, _db) = make_pool();
-    let a = run_scheduled(42, &pool_a);
-    let b = run_scheduled(42, &pool_b);
+    let (pool_a, _da, ev_a) = make_pool();
+    let (pool_b, _db, ev_b) = make_pool();
+    let a = run_scheduled(42, &pool_a, &ev_a);
+    let b = run_scheduled(42, &pool_b, &ev_b);
     assert_eq!(a, b, "the scheduler is deterministic per seed");
 }
 
@@ -300,8 +344,8 @@ fn same_seed_replays_the_same_interleaving() {
 fn different_seeds_explore_different_interleavings() {
     let orders: std::collections::HashSet<Vec<(usize, usize)>> = (0..32u64)
         .map(|seed| {
-            let (pool, _d) = make_pool();
-            run_scheduled(seed, &pool)
+            let (pool, _d, events) = make_pool();
+            run_scheduled(seed, &pool, &events)
                 .into_iter()
                 .map(|(t, i, _)| (t, i))
                 .collect()
