@@ -119,6 +119,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
+use gmlake_telemetry::{EventKind, PoolTelemetry};
 use parking_lot::Mutex;
 
 use crate::error::AllocError;
@@ -554,6 +555,9 @@ struct Inner {
     /// Stream-completion event source backing the cross-stream reuse fast
     /// path; `None` keeps the conservative free-through-the-core rule.
     events: Option<Arc<dyn EventSource>>,
+    /// Optional observability sink: sampled alloc/free latencies and shard
+    /// hit/miss/park/promote trace records. `None` costs one branch.
+    telemetry: Option<Arc<PoolTelemetry>>,
 }
 
 /// The concurrent allocator front-end: cloneable, `Send + Sync`, `&self` on
@@ -688,6 +692,38 @@ impl DeviceAllocator {
         config: DeviceAllocatorConfig,
         events: Option<Arc<dyn EventSource>>,
     ) -> Result<Self, AllocError> {
+        Self::try_build(core, config, events, None)
+    }
+
+    /// Wraps an already-boxed core with an attached [`PoolTelemetry`] sink
+    /// (disabled sinks cost one relaxed atomic load per call; see the
+    /// `gmlake-telemetry` crate docs for the overhead model). Invalid
+    /// configuration values are repaired via
+    /// [`DeviceAllocatorConfig::normalized`], as in
+    /// [`DeviceAllocator::from_boxed`].
+    pub fn from_boxed_with_telemetry(
+        core: Box<dyn AllocatorCore + Send>,
+        config: DeviceAllocatorConfig,
+        telemetry: Arc<PoolTelemetry>,
+    ) -> Self {
+        Self::try_build(core, config.normalized(), None, Some(telemetry))
+            .expect("normalized() repairs everything validate() rejects")
+    }
+
+    /// The most general constructor: an already-boxed core, a strict
+    /// configuration, an optional [`EventSource`] (see
+    /// [`DeviceAllocator::with_config_and_events`]), and an optional
+    /// [`PoolTelemetry`] sink fed by the alloc/free fast paths.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidConfig`] — see [`DeviceAllocatorConfig::validate`].
+    pub fn try_build(
+        core: Box<dyn AllocatorCore + Send>,
+        config: DeviceAllocatorConfig,
+        events: Option<Arc<dyn EventSource>>,
+        telemetry: Option<Arc<PoolTelemetry>>,
+    ) -> Result<Self, AllocError> {
         config.validate()?;
         let class_shards = config.shards.next_power_of_two();
         let stream_banks = config.streams.next_power_of_two();
@@ -707,8 +743,15 @@ impl DeviceAllocator {
                 shard_bits: total.trailing_zeros(),
                 shards: (0..total).map(|_| Mutex::default()).collect(),
                 events,
+                telemetry,
             }),
         })
+    }
+
+    /// The attached telemetry sink, if any — enable it to start recording,
+    /// and snapshot it to export what was recorded.
+    pub fn telemetry(&self) -> Option<&Arc<PoolTelemetry>> {
+        self.inner.telemetry.as_ref()
     }
 
     /// Global shard index of `(stream, class)`: the stream's bank (stream
@@ -744,6 +787,7 @@ impl DeviceAllocator {
         &self,
         req: AllocRequest,
         stream: StreamId,
+        tel: Option<&PoolTelemetry>,
     ) -> Result<Allocation, AllocError> {
         let class = size_class(req.size);
         let index = self.shard_index(stream, class);
@@ -781,6 +825,9 @@ impl DeviceAllocator {
                 g.stats.requested += req.size;
                 let id = g.mint(index, self.inner.shard_bits);
                 g.live.insert(id, LiveSmall { block, class });
+                if let Some(t) = tel {
+                    t.record(EventKind::ShardHit, class, stream.as_u32() as u64, 0);
+                }
                 return Ok(Allocation {
                     id: AllocationId::new(id),
                     va: block.va,
@@ -794,6 +841,9 @@ impl DeviceAllocator {
         // held), so the block can later serve any request of the class. The
         // core records `class` as requested; `requested_inflation` subtracts
         // the rounding back out.
+        if let Some(t) = tel {
+            t.record(EventKind::ShardMiss, class, stream.as_u32() as u64, 0);
+        }
         let core_alloc = self.core_allocate(AllocRequest::new(class).with_tag(req.tag))?;
         let block = CachedBlock {
             core_id: core_alloc.id,
@@ -838,11 +888,26 @@ impl DeviceAllocator {
         if req.size == 0 {
             return Err(AllocError::ZeroSize);
         }
-        if req.size < self.inner.small_threshold {
-            self.allocate_small(req, stream)
+        // Telemetry gate: `None` when detached, disabled, or not sampled
+        // this call — everything below then skips all telemetry work.
+        let tel = match &self.inner.telemetry {
+            Some(t) if t.hot_sample() => Some(&**t),
+            _ => None,
+        };
+        let start = tel.map(|_| std::time::Instant::now());
+        let result = if req.size < self.inner.small_threshold {
+            self.allocate_small(req, stream, tel)
         } else {
-            self.core_allocate(req)
+            let result = self.core_allocate(req);
+            if let (Some(t), Ok(a)) = (tel, &result) {
+                t.record(EventKind::Alloc, a.size, stream.as_u32() as u64, 0);
+            }
+            result
+        };
+        if let (Some(t), Some(start)) = (tel, start) {
+            t.alloc_ns().record(start.elapsed().as_nanos() as u64);
         }
+        result
     }
 
     /// Releases the allocation identified by `id` (see
@@ -881,6 +946,24 @@ impl DeviceAllocator {
     ///
     /// See [`AllocatorCore::deallocate`].
     pub fn free_on_stream(&self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        let tel = match &self.inner.telemetry {
+            Some(t) if t.hot_sample() => Some(&**t),
+            _ => None,
+        };
+        let start = tel.map(|_| std::time::Instant::now());
+        let result = self.free_on_stream_impl(id, stream, tel);
+        if let (Some(t), Some(start)) = (tel, start) {
+            t.free_ns().record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn free_on_stream_impl(
+        &self,
+        id: AllocationId,
+        stream: StreamId,
+        tel: Option<&PoolTelemetry>,
+    ) -> Result<(), AllocError> {
         let raw = id.as_u64();
         if raw < FRONT_ID_BASE {
             // Large allocation (or an unknown id): the core owns it. Core
@@ -924,6 +1007,14 @@ impl DeviceAllocator {
                                     event,
                                     freed_from: stream,
                                 });
+                                if let Some(t) = tel {
+                                    t.record(
+                                        EventKind::CrossStreamPark,
+                                        entry.class,
+                                        stream.as_u32() as u64,
+                                        entry.block.stream.as_u32() as u64,
+                                    );
+                                }
                                 return Ok(());
                             }
                             None => {
@@ -940,6 +1031,14 @@ impl DeviceAllocator {
                                     g.stats.cached_bytes += entry.block.size;
                                     g.stats.cached_blocks += 1;
                                     stack.push(entry.block);
+                                    if let Some(t) = tel {
+                                        t.record(
+                                            EventKind::CrossStreamPark,
+                                            entry.class,
+                                            stream.as_u32() as u64,
+                                            entry.block.stream.as_u32() as u64,
+                                        );
+                                    }
                                     return Ok(());
                                 }
                                 // Free list at cap: overflow to the core.
@@ -964,6 +1063,9 @@ impl DeviceAllocator {
                 g.stats.cache_returns += 1;
                 Some(entry.block)
             } else {
+                if let Some(t) = tel {
+                    t.record(EventKind::Free, entry.block.size, stream.as_u32() as u64, 0);
+                }
                 let cap = self.inner.max_cached_per_class;
                 let stack = g.free.entry(entry.class).or_default();
                 if stack.len() < cap {
@@ -1071,6 +1173,13 @@ impl DeviceAllocator {
             let mut guard = shard.lock();
             if !guard.pending.is_empty() {
                 promoted += guard.promote_completed(&**events);
+            }
+        }
+        if promoted > 0 {
+            if let Some(t) = &self.inner.telemetry {
+                // A proactive sweep is rare (iteration boundaries), so it
+                // is recorded whenever telemetry is on, not sampled.
+                t.record(EventKind::EventPromotion, 0, promoted, 0);
             }
         }
         promoted

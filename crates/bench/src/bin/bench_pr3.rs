@@ -19,14 +19,13 @@
 use std::time::Instant;
 
 use gmlake_alloc_api::{AllocRequest, DeviceAllocator};
-use gmlake_bench::perf::{contention_pool, contention_thread_size, extract_field, sample_pool};
+use gmlake_bench::perf::{contention_pool, contention_thread_size, sample_pool};
+use gmlake_bench::report;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_THREAD: usize = 20_000;
 /// Pool size for the re-sampled PR 2 BestFit probe.
 const PROBE_POOL_BLOCKS: usize = 10_000;
-/// Order-of-magnitude guard used by `--check`.
-const MAX_REGRESSION: f64 = 10.0;
 /// Acceptance floor: sharded 8-thread small-alloc throughput over the
 /// single-mutex baseline. Below it `--check` *warns* (wall-clock ratios on
 /// shared CI runners are noisy); CI only fails when the sharded path is
@@ -151,58 +150,41 @@ fn check_against(committed: &str, sweep: &[SweepPoint], probe_indexed_ns: f64) -
             eight.speedup()
         );
     }
-    if let Some(baseline) = extract_field(committed, "sharded_ops_per_sec") {
-        // First sweep entry in the snapshot is the 1-thread point; compare
-        // the same-shape quantity: current 1-thread sharded throughput.
-        let current = sweep[0].sharded_ops_per_sec;
-        if current * MAX_REGRESSION < baseline {
-            failures.push(format!(
-                "1-thread sharded throughput regressed {:.1}x (snapshot {baseline:.0} ops/s, \
-                 now {current:.0} ops/s)",
-                baseline / current
-            ));
-        }
-    }
-    if let Some(snap_probe) = extract_field(committed, "probe_indexed_ns") {
-        if probe_indexed_ns > snap_probe * MAX_REGRESSION {
-            failures.push(format!(
-                "bestfit_scaling probe regressed {:.1}x (snapshot {snap_probe:.1} ns, \
-                 now {probe_indexed_ns:.1} ns)",
-                probe_indexed_ns / snap_probe
-            ));
-        }
-    }
+    // First sweep entry in the snapshot is the 1-thread point; compare
+    // the same-shape quantity: current 1-thread sharded throughput.
+    failures.extend(report::throughput_guard(
+        committed,
+        "sharded_ops_per_sec",
+        sweep[0].sharded_ops_per_sec,
+        "1-thread sharded throughput",
+        "ops/s",
+    ));
+    failures.extend(report::latency_guard(
+        committed,
+        "probe_indexed_ns",
+        probe_indexed_ns,
+        "bestfit_scaling probe",
+    ));
     failures
 }
 
 fn main() {
-    let check_mode = std::env::args().any(|a| a == "--check");
     eprintln!("contention sweep, {OPS_PER_THREAD} alloc/free cycles per thread:");
     let sweep = run_sweep();
     eprintln!("re-sampling BestFit probe at {PROBE_POOL_BLOCKS} blocks...");
     let probe = sample_pool(PROBE_POOL_BLOCKS, 200);
 
-    if check_mode {
-        let committed = std::fs::read_to_string("BENCH_PR3.json")
-            .expect("--check needs the committed BENCH_PR3.json in the working directory");
-        let failures = check_against(&committed, &sweep, probe.probe_indexed_ns);
-        if failures.is_empty() {
+    report::finish(
+        "BENCH_PR3.json",
+        || render_json(&sweep, probe.probe_indexed_ns, probe.alloc_free_s1_ns),
+        |committed| check_against(committed, &sweep, probe.probe_indexed_ns),
+        || {
             let eight = sweep.last().unwrap();
-            println!(
-                "perf check passed: 8-thread sharded speedup {:.2}x, probe {:.1} ns",
+            format!(
+                "8-thread sharded speedup {:.2}x, probe {:.1} ns",
                 eight.speedup(),
                 probe.probe_indexed_ns
-            );
-            return;
-        }
-        for f in &failures {
-            eprintln!("PERF REGRESSION: {f}");
-        }
-        std::process::exit(1);
-    }
-
-    let json = render_json(&sweep, probe.probe_indexed_ns, probe.alloc_free_s1_ns);
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
-    println!("{json}");
-    eprintln!("wrote BENCH_PR3.json");
+            )
+        },
+    );
 }

@@ -26,7 +26,8 @@
 use std::time::Instant;
 
 use gmlake_alloc_api::{AllocRequest, DeviceAllocator, StreamId};
-use gmlake_bench::perf::{extract_field, stream_pool, STREAM_SWEEP_SIZE};
+use gmlake_bench::perf::{stream_pool, STREAM_SWEEP_SIZE};
+use gmlake_bench::report;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_THREAD: usize = 20_000;
@@ -36,8 +37,6 @@ const OPS_PER_THREAD: usize = 20_000;
 const REPS: usize = 3;
 /// Stream banks of the stream-aware pools (covers the widest sweep point).
 const STREAMS: usize = 8;
-/// Order-of-magnitude guard used by `--check` against the snapshot.
-const MAX_REGRESSION: f64 = 10.0;
 /// Same-process same-stream/single-pool floor for `--check`: below 1.0x
 /// only warns (on a single-core runner the two shapes are separated by
 /// scheduler noise, not structure), below this the stream path is
@@ -198,48 +197,33 @@ fn check_against(committed: &str, sweep: &[SweepPoint]) -> Vec<String> {
             eight.same_over_single()
         );
     }
-    if let Some(baseline) = extract_field(committed, "same_stream_ops_per_sec") {
-        // First sweep entry in the snapshot is the 1-thread point; compare
-        // the same-shape quantity: current 1-thread same-stream throughput.
-        let current = sweep[0].same_stream_ops_per_sec;
-        if current * MAX_REGRESSION < baseline {
-            failures.push(format!(
-                "1-thread same-stream throughput regressed {:.1}x (snapshot {baseline:.0} \
-                 ops/s, now {current:.0} ops/s)",
-                baseline / current
-            ));
-        }
-    }
+    // First sweep entry in the snapshot is the 1-thread point; compare
+    // the same-shape quantity: current 1-thread same-stream throughput.
+    failures.extend(report::throughput_guard(
+        committed,
+        "same_stream_ops_per_sec",
+        sweep[0].same_stream_ops_per_sec,
+        "1-thread same-stream throughput",
+        "ops/s",
+    ));
     failures
 }
 
 fn main() {
-    let check_mode = std::env::args().any(|a| a == "--check");
     eprintln!("stream sweep, {OPS_PER_THREAD} alloc/free cycles per thread:");
     let sweep = run_sweep();
 
-    if check_mode {
-        let committed = std::fs::read_to_string("BENCH_PR4.json")
-            .expect("--check needs the committed BENCH_PR4.json in the working directory");
-        let failures = check_against(&committed, &sweep);
-        if failures.is_empty() {
+    report::finish(
+        "BENCH_PR4.json",
+        || render_json(&sweep),
+        |committed| check_against(committed, &sweep),
+        || {
             let eight = sweep.last().unwrap();
-            println!(
-                "perf check passed: 8-thread same-stream/single-pool {:.2}x, \
-                 cross-stream {:.0} ops/s",
+            format!(
+                "8-thread same-stream/single-pool {:.2}x, cross-stream {:.0} ops/s",
                 eight.same_over_single(),
                 eight.cross_stream_ops_per_sec
-            );
-            return;
-        }
-        for f in &failures {
-            eprintln!("PERF REGRESSION: {f}");
-        }
-        std::process::exit(1);
-    }
-
-    let json = render_json(&sweep);
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
-    println!("{json}");
-    eprintln!("wrote BENCH_PR4.json");
+            )
+        },
+    );
 }

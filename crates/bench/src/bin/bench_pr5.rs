@@ -30,7 +30,8 @@
 use std::time::Instant;
 
 use gmlake_alloc_api::{AllocRequest, DeviceAllocator, StreamId};
-use gmlake_bench::perf::{extract_field, stream_pool, stream_pool_with_events, STREAM_SWEEP_SIZE};
+use gmlake_bench::perf::{stream_pool, stream_pool_with_events, STREAM_SWEEP_SIZE};
+use gmlake_bench::report;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const OPS_PER_THREAD: usize = 20_000;
@@ -47,8 +48,6 @@ const ACCEPT_SLOWDOWN_8T: f64 = 2.0;
 /// above this the event path has structurally regressed toward the old
 /// through-the-core guard (~6×) and the gate fails.
 const MAX_SLOWDOWN_8T: f64 = 3.0;
-/// Order-of-magnitude guard used by `--check` against the snapshot.
-const MAX_REGRESSION: f64 = 10.0;
 
 /// How each worker maps itself onto streams.
 #[derive(Clone, Copy)]
@@ -223,48 +222,34 @@ fn check_against(committed: &str, sweep: &[SweepPoint]) -> Vec<String> {
             eight.slowdown_events()
         );
     }
-    if let Some(baseline) = extract_field(committed, "cross_events_ops_per_sec") {
-        // First sweep entry in the snapshot is the 1-thread point; compare
-        // the same-shape quantity: current 1-thread cross-events throughput.
-        let current = sweep[0].cross_events_ops_per_sec;
-        if current * MAX_REGRESSION < baseline {
-            failures.push(format!(
-                "1-thread cross-events throughput regressed {:.1}x (snapshot {baseline:.0} \
-                 ops/s, now {current:.0} ops/s)",
-                baseline / current
-            ));
-        }
-    }
+    // First sweep entry in the snapshot is the 1-thread point; compare
+    // the same-shape quantity: current 1-thread cross-events throughput.
+    failures.extend(report::throughput_guard(
+        committed,
+        "cross_events_ops_per_sec",
+        sweep[0].cross_events_ops_per_sec,
+        "1-thread cross-events throughput",
+        "ops/s",
+    ));
     failures
 }
 
 fn main() {
-    let check_mode = std::env::args().any(|a| a == "--check");
     eprintln!("event-guarded cross-stream sweep, {OPS_PER_THREAD} alloc/free cycles per thread:");
     let sweep = run_sweep();
 
-    if check_mode {
-        let committed = std::fs::read_to_string("BENCH_PR5.json")
-            .expect("--check needs the committed BENCH_PR5.json in the working directory");
-        let failures = check_against(&committed, &sweep);
-        if failures.is_empty() {
+    report::finish(
+        "BENCH_PR5.json",
+        || render_json(&sweep),
+        |committed| check_against(committed, &sweep),
+        || {
             let eight = sweep.last().unwrap();
-            println!(
-                "perf check passed: 8-thread cross-stream events {:.2}x slower than same-stream \
+            format!(
+                "8-thread cross-stream events {:.2}x slower than same-stream \
                  (guarded path: {:.2}x)",
                 eight.slowdown_events(),
                 eight.slowdown_guarded()
-            );
-            return;
-        }
-        for f in &failures {
-            eprintln!("PERF REGRESSION: {f}");
-        }
-        std::process::exit(1);
-    }
-
-    let json = render_json(&sweep);
-    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
-    println!("{json}");
-    eprintln!("wrote BENCH_PR5.json");
+            )
+        },
+    );
 }

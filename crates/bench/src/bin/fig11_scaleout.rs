@@ -14,8 +14,16 @@
 //! whose proactive compaction hands back the idle caches a plain caching
 //! fleet keeps reserved to the end.
 
-use gmlake_bench::{fmt_gib, fmt_pct, rule, run_scaleout, Allocator};
+//! `fig11_scaleout --profile <out.json>` skips the full sweep and instead
+//! replays a small profiled fleet (OPT-1.3B, 2 ranks) with the whole
+//! telemetry stack attached, writing the memory-timeline snapshot to
+//! `<out.json>` and the chrome://tracing export next to it
+//! (`<out>.trace.json`); the snapshot is self-validated against the
+//! `gmlake-snapshot/v1` schema before the binary exits 0.
+
+use gmlake_bench::{fmt_gib, fmt_pct, rule, run_scaleout, run_scaleout_profiled, Allocator};
 use gmlake_runtime::DefragScheduler;
+use gmlake_telemetry::MemorySnapshot;
 use gmlake_workload::{ModelSpec, ScaleoutReport, StrategySet, TrainConfig};
 
 fn fmt_rm(report: &ScaleoutReport) -> String {
@@ -26,7 +34,57 @@ fn fmt_rm(report: &ScaleoutReport) -> String {
     }
 }
 
+/// The `--profile <out.json>` mode: a small profiled replay whose snapshot
+/// is written, exported as a chrome trace, and schema-validated.
+fn run_profile(out: &str) {
+    let cfg = TrainConfig::new(ModelSpec::opt_1_3b(), StrategySet::LR)
+        .with_batch(16)
+        .with_gpus(2)
+        .with_iterations(3);
+    eprintln!("profiled replay: OPT-1.3B, LR, 2 ranks, 3 iterations");
+    let (report, snapshot) = run_scaleout_profiled(&cfg, 2);
+    if !report.all_completed() {
+        eprintln!("profiled replay did not complete on every rank");
+        std::process::exit(1);
+    }
+
+    let json = snapshot.to_json();
+    if let Err(e) = MemorySnapshot::validate_json(&json) {
+        eprintln!(
+            "snapshot failed {} validation: {e}",
+            gmlake_telemetry::SCHEMA
+        );
+        std::process::exit(1);
+    }
+    std::fs::write(out, &json).expect("write snapshot");
+    let trace_path = format!("{}.trace.json", out.strip_suffix(".json").unwrap_or(out));
+    std::fs::write(&trace_path, snapshot.to_chrome_trace()).expect("write chrome trace");
+
+    for pool in &snapshot.pools {
+        eprintln!(
+            "  {}: {} timeline points, {} events, final reserved {}",
+            pool.pool,
+            pool.samples.len(),
+            pool.events.len(),
+            fmt_gib(pool.final_reserved).trim()
+        );
+    }
+    println!(
+        "wrote {out} (validated against {}) and {trace_path}",
+        gmlake_telemetry::SCHEMA
+    );
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(at) = args.iter().position(|a| a == "--profile") {
+        let out = args.get(at + 1).map(String::as_str).unwrap_or_else(|| {
+            eprintln!("usage: fig11_scaleout --profile <out.json>");
+            std::process::exit(2);
+        });
+        run_profile(out);
+        return;
+    }
     println!("Figure 11: GPU scale-out under LR, w/ and w/o GMLake (batch 16)");
     println!("ranks replay concurrently through the gmlake-runtime PoolService;");
     println!("end-RM = memory still reserved per rank after the run\n");

@@ -6,17 +6,21 @@
 //! the PyTorch-style caching allocator and against GMLake on identical
 //! fresh devices, and print the paper's rows/series.
 
-use gmlake_alloc_api::{gib, AllocatorCore};
+use std::sync::Arc;
+
+use gmlake_alloc_api::{gib, AllocatorCore, DeviceAllocator, DeviceAllocatorConfig};
 use gmlake_caching::CachingAllocator;
 use gmlake_core::{GmLakeAllocator, GmLakeConfig};
 use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
-use gmlake_runtime::{DefragScheduler, DeviceId, PoolService};
+use gmlake_runtime::{DefragScheduler, DeviceId, MemoryProfiler, PoolService};
+use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
 use gmlake_workload::{
     ConcurrentReplayer, RankSpec, ReplayOptions, ReplayReport, Replayer, ScaleoutReport,
     TraceGenerator, TrainConfig,
 };
 
 pub mod perf;
+pub mod report;
 
 /// Which allocator to run a workload against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +112,48 @@ pub fn run_scaleout(
     ConcurrentReplayer::new(service)
         .replay_ranks(specs)
         .expect("all ranks were just registered")
+}
+
+/// Runs a profiled GMLake scale-out fleet: like
+/// [`run_scaleout`]`(cfg, ranks, Allocator::GmLake, None)`, but with the
+/// full telemetry stack attached to every rank — an unsampled
+/// [`PoolTelemetry`] sink wired into the front-end hot paths, the GMLake
+/// core's stitch decisions, and the device driver (which also serves as
+/// the sink's clock, so event timestamps share the replay's simulated
+/// timeline) — under a started [`MemoryProfiler`]. Returns the replay
+/// report together with the dumped [`MemorySnapshot`]: one pool per rank,
+/// timeline points at every iteration boundary plus the profiler's final
+/// reconciling sample.
+pub fn run_scaleout_profiled(cfg: &TrainConfig, ranks: u32) -> (ScaleoutReport, MemorySnapshot) {
+    let service = PoolService::new();
+    let profiler = MemoryProfiler::new(&service);
+    let specs: Vec<RankSpec> = (0..ranks)
+        .map(|rank| {
+            let driver = CudaDriver::new(DeviceConfig::a100_80g());
+            let telemetry = Arc::new(PoolTelemetry::full().with_clock(Arc::new(driver.clone())));
+            driver.set_telemetry(Arc::clone(&telemetry));
+            let mut core = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+            core.set_telemetry(Arc::clone(&telemetry));
+            let alloc = DeviceAllocator::try_build(
+                Box::new(core),
+                DeviceAllocatorConfig::default(),
+                Some(Arc::new(driver.clone())),
+                Some(telemetry),
+            )
+            .expect("the default front-end config is valid");
+            let device = DeviceId(rank);
+            service
+                .register_device(device, alloc)
+                .expect("fresh device ids are unique");
+            RankSpec::new(device, driver, cfg.clone())
+        })
+        .collect();
+    profiler.start();
+    let report = ConcurrentReplayer::new(service)
+        .replay_ranks(specs)
+        .expect("all ranks were just registered");
+    let snapshot = profiler.dump();
+    (report, snapshot)
 }
 
 /// Runs `cfg` against a caller-supplied allocator on a fresh device (for

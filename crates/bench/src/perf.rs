@@ -149,6 +149,36 @@ pub fn stream_pool_with_events(streams: usize) -> DeviceAllocator {
     )
 }
 
+/// Builds the telemetry variant of [`stream_pool_with_events`] (PR 6): the
+/// same event-backed pool with a [`PoolTelemetry`] sink attached exactly
+/// as `PoolService::register` attaches it (default 1-in-32 hot-path
+/// sampling), optionally pre-enabled. The driver doubles as the sink's
+/// clock and feeds the driver-call histogram, mirroring the full profiled
+/// stack so `bench_pr6` measures realistic end-to-end overhead.
+///
+/// [`PoolTelemetry`]: gmlake_telemetry::PoolTelemetry
+pub fn stream_pool_with_telemetry(streams: usize, enabled: bool) -> DeviceAllocator {
+    let driver = CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(4)),
+    );
+    let telemetry = std::sync::Arc::new(
+        gmlake_telemetry::PoolTelemetry::new().with_clock(std::sync::Arc::new(driver.clone())),
+    );
+    if enabled {
+        telemetry.enable();
+    }
+    driver.set_telemetry(std::sync::Arc::clone(&telemetry));
+    DeviceAllocator::try_build(
+        Box::new(CachingAllocator::new(driver.clone())),
+        DeviceAllocatorConfig::default().with_streams(streams),
+        Some(std::sync::Arc::new(driver)),
+        Some(telemetry),
+    )
+    .expect("default config with a valid stream count")
+}
+
 /// Minimal field extractor for the committed `BENCH_PR<n>.json` snapshots
 /// used by the `--check` CI gates: finds the first `"name": <number>`
 /// occurrence. The snapshots are machine-written by the bench binaries

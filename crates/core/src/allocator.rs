@@ -32,12 +32,15 @@
 //! victims come from an `(lru_tick, id)` set instead of an `O(n)` scan.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use gmlake_alloc_api::{
     AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, VirtAddr,
 };
 use gmlake_caching::CachingAllocator;
 use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
+use gmlake_telemetry::log::{self as tlog, Level};
+use gmlake_telemetry::{EventKind, PoolTelemetry};
 
 use crate::bestfit::{best_fit_indexed, best_fit_reference, BestFit, StitchCost, TieredPIndex};
 use crate::block::{PBlock, PBlockId, SBlock, SBlockId, Target};
@@ -76,9 +79,13 @@ pub struct GmLakeAllocator {
     config: GmLakeConfig,
     chunk: u64,
     host_op_ns: u64,
-    /// `GMLAKE_DEBUG_S3` tracing, sampled once at construction so the
-    /// per-allocation path never touches the environment.
-    debug_s3: bool,
+    /// Whether BestFit decision logging (`GMLAKE_LOG=debug`, or the legacy
+    /// `GMLAKE_DEBUG_S3` alias) is on — sampled once at construction so
+    /// the per-allocation path never consults the environment.
+    log_decisions: bool,
+    /// Optional observability sink: stitch-decision trace records and the
+    /// BestFit latency histogram. `None` costs one branch per decision.
+    telemetry: Option<Arc<PoolTelemetry>>,
     small: CachingAllocator,
     pblocks: Slab<PBlock>,
     sblocks: Slab<SBlock>,
@@ -125,7 +132,8 @@ impl GmLakeAllocator {
             config,
             chunk,
             host_op_ns,
-            debug_s3: std::env::var_os("GMLAKE_DEBUG_S3").is_some(),
+            log_decisions: tlog::enabled(Level::Debug),
+            telemetry: None,
             small,
             pblocks: Slab::new(),
             sblocks: Slab::new(),
@@ -149,6 +157,27 @@ impl GmLakeAllocator {
     /// The underlying driver handle.
     pub fn driver(&self) -> &CudaDriver {
         &self.driver
+    }
+
+    /// Attaches an observability sink: from then on (while the sink is
+    /// enabled) every BestFit classification is timed into
+    /// `telemetry.bestfit_ns()` and emits a
+    /// [`EventKind::StitchDecision`] trace record, and stitch / split /
+    /// evict / defrag operations emit their own records — all stamped
+    /// with the driver's simulated clock. Shared pools reach this through
+    /// `DeviceAllocator::with_core_as::<GmLakeAllocator, _>`.
+    pub fn set_telemetry(&mut self, telemetry: Arc<PoolTelemetry>) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Records a trace event stamped with the driver clock; no-op unless a
+    /// sink is attached and enabled.
+    fn emit(&self, kind: EventKind, bytes: u64, a: u64, b: u64) {
+        if let Some(t) = &self.telemetry {
+            if t.is_enabled() {
+                t.record_at(self.driver.now_ns(), kind, bytes, a, b);
+            }
+        }
     }
 
     /// The allocator's configuration.
@@ -458,6 +487,7 @@ impl GmLakeAllocator {
             self.retier_pblock(child);
         }
         self.counters.splits += 1;
+        self.emit(EventKind::Split, p.size, left_size, 0);
         (left, right)
     }
 
@@ -499,6 +529,12 @@ impl GmLakeAllocator {
             self.retier_pblock(pid);
         }
         self.counters.stitches += 1;
+        self.emit(
+            EventKind::Stitch,
+            total,
+            self.sblocks[sid].parts.len() as u64,
+            0,
+        );
         // NOTE: capacity enforcement runs in `allocate` *after* the new
         // block is assigned, so a freshly stitched block can never be its
         // own eviction victim.
@@ -512,8 +548,10 @@ impl GmLakeAllocator {
         while self.sblocks.len() > self.config.max_sblocks {
             match self.s_evictable.first().copied() {
                 Some((_, sid)) => {
+                    let size = self.sblocks[sid].size;
                     self.destroy_sblock(sid);
                     self.counters.evictions += 1;
+                    self.emit(EventKind::Evict, size, 0, 0);
                 }
                 None => break, // nothing evictable; allow a soft overshoot
             }
@@ -616,8 +654,21 @@ impl GmLakeAllocator {
     }
 
     /// One attempt at a large allocation; OOM from `Alloc` is surfaced so the
-    /// caller can run the release-cached fallback and retry.
+    /// caller can run the release-cached fallback and retry. Wraps the
+    /// decision path with the `bestfit_ns` telemetry histogram.
     fn try_allocate_large(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
+        let start = match &self.telemetry {
+            Some(t) if t.is_enabled() => Some(std::time::Instant::now()),
+            _ => None,
+        };
+        let result = self.try_allocate_large_inner(req);
+        if let (Some(start), Some(t)) = (start, &self.telemetry) {
+            t.bestfit_ns().record(start.elapsed().as_nanos() as u64);
+        }
+        result
+    }
+
+    fn try_allocate_large_inner(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
         let aligned = self.align_up(req.size);
         match best_fit_indexed(
             aligned,
@@ -627,20 +678,27 @@ impl GmLakeAllocator {
         ) {
             BestFit::ExactS(sid) => {
                 self.counters.record(AllocState::ExactMatch);
+                self.emit(EventKind::StitchDecision, aligned, 1, 1);
                 let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                 Ok(self.register_allocation(Target::S(sid), va, size, req.size))
             }
             BestFit::ExactP(pid) => {
                 self.counters.record(AllocState::ExactMatch);
+                self.emit(EventKind::StitchDecision, aligned, 1, 1);
                 let (va, size) = (self.pblocks[pid].va, self.pblocks[pid].size);
                 Ok(self.register_allocation(Target::P(pid), va, size, req.size))
             }
             BestFit::Single(pid) => {
                 self.counters.record(AllocState::SingleBlock);
-                if self.debug_s3 {
-                    eprintln!(
-                        "S2 iter={} size={} block={}",
-                        self.iterations, aligned, self.pblocks[pid].size
+                self.emit(EventKind::StitchDecision, aligned, 2, 1);
+                if self.log_decisions {
+                    tlog::log(
+                        Level::Debug,
+                        "gmlake_core::bestfit",
+                        format_args!(
+                            "S2 iter={} size={} block={}",
+                            self.iterations, aligned, self.pblocks[pid].size
+                        ),
                     );
                 }
                 let block_size = self.pblocks[pid].size;
@@ -669,14 +727,19 @@ impl GmLakeAllocator {
             BestFit::Multiple { mut ids, sum } => {
                 self.counters.record(AllocState::MultiBlock);
                 self.iter_non_exact += 1;
-                if self.debug_s3 {
-                    eprintln!(
-                        "S3 iter={} size={} candidates={:?}",
-                        self.iterations,
-                        aligned,
-                        ids.iter()
-                            .map(|&i| self.pblocks[i].size)
-                            .collect::<Vec<_>>()
+                self.emit(EventKind::StitchDecision, aligned, 3, ids.len() as u64);
+                if self.log_decisions {
+                    tlog::log(
+                        Level::Debug,
+                        "gmlake_core::bestfit",
+                        format_args!(
+                            "S3 iter={} size={} candidates={:?}",
+                            self.iterations,
+                            aligned,
+                            ids.iter()
+                                .map(|&i| self.pblocks[i].size)
+                                .collect::<Vec<_>>()
+                        ),
                     );
                 }
                 if sum > aligned {
@@ -702,8 +765,13 @@ impl GmLakeAllocator {
             BestFit::Insufficient { mut ids, sum } => {
                 self.counters.record(AllocState::Insufficient);
                 self.iter_non_exact += 1;
-                if self.debug_s3 {
-                    eprintln!("S4 iter={} size={} have={}", self.iterations, aligned, sum);
+                self.emit(EventKind::StitchDecision, aligned, 4, ids.len() as u64);
+                if self.log_decisions {
+                    tlog::log(
+                        Level::Debug,
+                        "gmlake_core::bestfit",
+                        format_args!("S4 iter={} size={} have={}", self.iterations, aligned, sum),
+                    );
                 }
                 debug_assert!(sum < aligned);
                 let new_size = aligned - sum;
@@ -1192,6 +1260,7 @@ impl AllocatorCore for GmLakeAllocator {
             self.destroy_pblock(pid);
         }
         self.sync_reserved();
+        self.emit(EventKind::Defrag, released, 0, 0);
         released
     }
 }

@@ -37,6 +37,23 @@ struct Inner {
     /// Native allocations: VA -> (handle, size), so `mem_free` can tear the
     /// implicit reservation/mapping down.
     native: std::collections::HashMap<u64, (PhysHandle, u64)>,
+    /// Optional telemetry sink: every costed driver call feeds its
+    /// simulated latency into the pool's `driver_ns` histogram.
+    telemetry: Option<Arc<gmlake_telemetry::PoolTelemetry>>,
+}
+
+impl Inner {
+    /// Advance the clock by one driver call's simulated cost and, when a
+    /// telemetry sink is attached and enabled, record that latency.
+    fn charge(&mut self, ns: u64) {
+        self.clock.advance(ns);
+        if let Some(t) = self.telemetry.as_ref() {
+            if t.is_enabled() {
+                t.driver_ns().record(ns);
+                t.note_now(self.clock.now_ns());
+            }
+        }
+    }
 }
 
 /// Handle to a simulated GPU device exposing the CUDA driver API surface
@@ -78,6 +95,7 @@ impl CudaDriver {
                 stats: DriverStats::default(),
                 events: EventEngine::default(),
                 native: std::collections::HashMap::new(),
+                telemetry: None,
             })),
         }
     }
@@ -117,6 +135,13 @@ impl CudaDriver {
     /// Per-API telemetry snapshot.
     pub fn stats(&self) -> DriverStats {
         self.inner.lock().stats
+    }
+
+    /// Attach a telemetry sink. From then on every costed driver call
+    /// records its simulated latency into `telemetry.driver_ns()` (while
+    /// the sink is enabled). Clones of this driver share the sink.
+    pub fn set_telemetry(&self, telemetry: Arc<gmlake_telemetry::PoolTelemetry>) {
+        self.inner.lock().telemetry = Some(telemetry);
     }
 
     /// Occupancy snapshot.
@@ -177,7 +202,7 @@ impl CudaDriver {
         // Implicit device sync: wait out every stream's in-flight work.
         let now = g.clock.now_ns();
         let ns = (g.events.max_frontier(now) - now) + g.config.cost.mem_alloc_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.mem_alloc.record(ns);
         Ok(va)
     }
@@ -198,7 +223,7 @@ impl CudaDriver {
         g.native.remove(&va.as_u64());
         let now = g.clock.now_ns();
         let ns = (g.events.max_frontier(now) - now) + g.config.cost.mem_free_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.mem_free.record(ns);
         Ok(())
     }
@@ -223,7 +248,7 @@ impl CudaDriver {
         let granularity = g.config.granularity;
         let va = g.va.reserve(size, granularity)?;
         let ns = g.config.cost.address_reserve_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.address_reserve.record(ns);
         Ok(va)
     }
@@ -234,7 +259,7 @@ impl CudaDriver {
         let mut g = self.inner.lock();
         g.va.address_free(va, size)?;
         let ns = g.config.cost.address_free_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.address_free.record(ns);
         Ok(())
     }
@@ -248,7 +273,7 @@ impl CudaDriver {
         let capacity = g.config.capacity;
         let h = g.phys.create(size, capacity, backing)?;
         let ns = g.config.cost.create_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.create.record(ns);
         Ok(h)
     }
@@ -290,7 +315,7 @@ impl CudaDriver {
             })
             .collect();
         let ns = g.config.cost.create_batch_ns(chunk_size, count as u64);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.create.record(ns);
         Ok(handles)
     }
@@ -301,7 +326,7 @@ impl CudaDriver {
         let mut g = self.inner.lock();
         g.phys.release(h)?;
         let ns = g.config.cost.release_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.release.record(ns);
         Ok(())
     }
@@ -332,7 +357,7 @@ impl CudaDriver {
             return Err(e);
         }
         let ns = g.config.cost.map_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.map.record(ns);
         Ok(())
     }
@@ -392,7 +417,7 @@ impl CudaDriver {
             }
         }
         let ns = g.config.cost.map_range_ns(chunk_size, handles.len() as u64);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.map.record(ns);
         Ok(())
     }
@@ -407,7 +432,7 @@ impl CudaDriver {
             g.phys.remove_map(h).expect("mapping existed");
         }
         let ns = g.config.cost.unmap_ns() * n.max(1);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.unmap.record(ns);
         Ok(())
     }
@@ -428,7 +453,7 @@ impl CudaDriver {
             g.phys.remove_map(h).expect("mapping existed");
         }
         let ns = g.config.cost.unmap_range_ns(n.max(1));
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.unmap.record(ns);
         Ok(())
     }
@@ -456,7 +481,7 @@ impl CudaDriver {
             g.phys.release(h).expect("batch validated up front");
         }
         let ns = g.config.cost.release_batch_ns(handles.len() as u64);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.release.record(ns);
         Ok(())
     }
@@ -471,7 +496,7 @@ impl CudaDriver {
         for len in &lens {
             ns += g.config.cost.set_access_ns(*len);
         }
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.set_access.record(ns);
         Ok(())
     }
@@ -492,7 +517,7 @@ impl CudaDriver {
         let now = g.clock.now_ns();
         g.events.launch(stream, now, duration_ns);
         let ns = g.config.cost.dispatch_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.launch.record(ns);
     }
 
@@ -512,7 +537,7 @@ impl CudaDriver {
         let now = g.clock.now_ns();
         let wait = g.events.max_frontier(now) - now;
         let ns = wait + g.config.cost.event_sync_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.event_sync.record(ns);
         wait
     }
@@ -525,7 +550,7 @@ impl CudaDriver {
         let now = g.clock.now_ns();
         let (event, _ready_at) = g.events.record(stream, now);
         let ns = g.config.cost.event_record_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.event_record.record(ns);
         event
     }
@@ -546,7 +571,7 @@ impl CudaDriver {
             None
         };
         let ns = g.config.cost.event_record_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.event_record.record(ns);
         result
     }
@@ -557,7 +582,7 @@ impl CudaDriver {
     pub fn event_query(&self, event: EventId) -> bool {
         let mut g = self.inner.lock();
         let ns = g.config.cost.event_query_ns();
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.event_query.record(ns);
         match g.events.completion_of(event) {
             Some(at) if at > g.clock.now_ns() => false,
@@ -579,7 +604,7 @@ impl CudaDriver {
             ns += at.saturating_sub(g.clock.now_ns());
             g.events.prune(event);
         }
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.event_sync.record(ns);
     }
 
@@ -608,7 +633,7 @@ impl CudaDriver {
             cursor = end;
         }
         let ns = g.config.cost.memcpy_ns(data.len() as u64);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.memcpy.record(ns);
         Ok(())
     }
@@ -627,7 +652,7 @@ impl CudaDriver {
             cursor = end;
         }
         let ns = g.config.cost.memcpy_ns(buf.len() as u64);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.memcpy.record(ns);
         Ok(())
     }
@@ -644,7 +669,7 @@ impl CudaDriver {
             g.phys.write(e.handle, e.handle_off, &chunk)?;
         }
         let ns = g.config.cost.memcpy_ns(size);
-        g.clock.advance(ns);
+        g.charge(ns);
         g.stats.memcpy.record(ns);
         Ok(())
     }
@@ -673,6 +698,15 @@ impl EventSource for CudaDriver {
 
     fn synchronize(&self, event: EventId) {
         self.event_synchronize(event)
+    }
+}
+
+/// The simulated clock is the workspace's telemetry timestamp source:
+/// attaching a driver to a [`PoolTelemetry`](gmlake_telemetry::PoolTelemetry)
+/// stamps trace records and timeline samples in simulated nanoseconds.
+impl gmlake_telemetry::TelemetryClock for CudaDriver {
+    fn now_ns(&self) -> u64 {
+        CudaDriver::now_ns(self)
     }
 }
 

@@ -125,11 +125,13 @@
 
 mod background;
 mod error;
+mod profiler;
 mod scheduler;
 mod service;
 
 pub use background::BackgroundDefragger;
 pub use error::RuntimeError;
+pub use profiler::MemoryProfiler;
 pub use scheduler::{
     DefragAction, DefragPolicy, DefragScheduler, DefragStats, FragThresholdPolicy,
     OomPressurePolicy, PeriodicPolicy, PoolObservation,

@@ -1,0 +1,168 @@
+//! The [`MemoryProfiler`] facade: start/stop/dump memory-timeline
+//! profiling over a [`PoolService`]'s pools.
+
+use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
+
+use crate::service::{fragmentation_of, DeviceId, PoolHandle, PoolService};
+
+/// Captures memory timelines, event traces, and latency histograms from a
+/// [`PoolService`]'s pools.
+///
+/// Every pool the service registers carries a [`PoolTelemetry`] sink that
+/// starts disabled (one relaxed atomic load of overhead per allocator
+/// call). The profiler is the switch: [`start`](MemoryProfiler::start)
+/// enables the sink on every pool in scope, [`stop`](MemoryProfiler::stop)
+/// disables it again, and [`dump`](MemoryProfiler::dump) assembles a
+/// [`MemorySnapshot`] — the reserved/active/pending/fragmentation series,
+/// the structured event trace, and the latency histograms — ready for
+/// [`MemorySnapshot::to_json`] or
+/// [`MemorySnapshot::to_chrome_trace`].
+///
+/// Timeline points accumulate automatically at every
+/// [`PoolHandle::iteration_boundary`]; call
+/// [`sample`](MemoryProfiler::sample) for extra points between
+/// boundaries. `dump` records one final point per pool so the timeline
+/// always reconciles with the pool's closing [`MemStats`].
+///
+/// ```
+/// use gmlake_runtime::{DeviceId, MemoryProfiler, PoolService};
+/// use gmlake_caching::CachingAllocator;
+/// use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+/// use gmlake_alloc_api::{mib, AllocRequest};
+///
+/// let service = PoolService::new();
+/// let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+/// let pool = service.register(DeviceId(0), Box::new(CachingAllocator::new(driver)))?;
+///
+/// let profiler = MemoryProfiler::new(&service);
+/// profiler.start();
+/// let a = pool.allocate(AllocRequest::new(mib(4)))?;
+/// pool.iteration_boundary(); // timeline point
+/// pool.deallocate(a.id)?;
+/// profiler.stop();
+///
+/// let snapshot = profiler.dump();
+/// assert_eq!(snapshot.pools.len(), 1);
+/// gmlake_telemetry::MemorySnapshot::validate_json(&snapshot.to_json())?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// [`MemStats`]: gmlake_alloc_api::MemStats
+#[derive(Debug, Clone)]
+pub struct MemoryProfiler {
+    service: PoolService,
+    scope: Option<Vec<DeviceId>>,
+}
+
+impl MemoryProfiler {
+    /// A profiler over every pool currently (and subsequently) registered
+    /// in `service`.
+    pub fn new(service: &PoolService) -> Self {
+        MemoryProfiler {
+            service: service.clone(),
+            scope: None,
+        }
+    }
+
+    /// A profiler restricted to `devices`. Devices without a registered
+    /// pool are skipped (not an error), so a scope can be declared before
+    /// registration.
+    pub fn scoped(service: &PoolService, devices: Vec<DeviceId>) -> Self {
+        MemoryProfiler {
+            service: service.clone(),
+            scope: Some(devices),
+        }
+    }
+
+    /// The pools currently in scope.
+    fn pools(&self) -> Vec<(DeviceId, PoolHandle)> {
+        let devices = match &self.scope {
+            Some(scope) => scope.clone(),
+            None => self.service.devices(),
+        };
+        devices
+            .into_iter()
+            .filter_map(|d| self.service.handle(d).ok().map(|h| (d, h)))
+            .collect()
+    }
+
+    /// Enables telemetry on every pool in scope and records an initial
+    /// timeline point per pool (the baseline the series starts from).
+    pub fn start(&self) {
+        for (_, handle) in self.pools() {
+            if let Some(tel) = handle.allocator().telemetry() {
+                tel.enable();
+                Self::sample_pool(&handle, tel);
+            }
+        }
+    }
+
+    /// Disables telemetry on every pool in scope. Buffered events,
+    /// timeline points, and histograms are retained for a later
+    /// [`dump`](MemoryProfiler::dump).
+    pub fn stop(&self) {
+        for (_, handle) in self.pools() {
+            if let Some(tel) = handle.allocator().telemetry() {
+                tel.disable();
+            }
+        }
+    }
+
+    /// Records one timeline point on every enabled pool in scope, in
+    /// addition to the automatic per-iteration samples.
+    pub fn sample(&self) {
+        for (_, handle) in self.pools() {
+            if let Some(tel) = handle.allocator().telemetry() {
+                if tel.is_enabled() {
+                    Self::sample_pool(&handle, tel);
+                }
+            }
+        }
+    }
+
+    /// Drains every in-scope pool's telemetry into a [`MemorySnapshot`].
+    ///
+    /// Each pool contributes one [`PoolSnapshot`] labelled
+    /// `"<device> (<allocator name>)"` (e.g. `"gpu0 (gmlake)"`). A final
+    /// timeline point is recorded first — briefly re-enabling a stopped
+    /// sink — so the last sample always matches the pool's final
+    /// reserved/active gauges ([`MemorySnapshot::validate_json`] asserts
+    /// exactly that reconciliation).
+    ///
+    /// Draining is destructive for the event trace (each event is
+    /// reported once) but histograms and timeline points accumulate
+    /// across dumps.
+    ///
+    /// [`PoolSnapshot`]: gmlake_telemetry::PoolSnapshot
+    pub fn dump(&self) -> MemorySnapshot {
+        let mut pools = Vec::new();
+        for (device, handle) in self.pools() {
+            let Some(tel) = handle.allocator().telemetry() else {
+                continue;
+            };
+            let was_enabled = tel.is_enabled();
+            if !was_enabled {
+                tel.enable();
+            }
+            Self::sample_pool(&handle, tel);
+            let stats = handle.stats();
+            if !was_enabled {
+                tel.disable();
+            }
+            let label = format!("{} ({})", device, handle.name());
+            pools.push(tel.snapshot(&label, stats.reserved_bytes, stats.active_bytes));
+        }
+        MemorySnapshot { pools }
+    }
+
+    fn sample_pool(handle: &PoolHandle, tel: &PoolTelemetry) {
+        let stats = handle.stats();
+        let cache = handle.allocator().cache_stats();
+        tel.record_sample(
+            stats.reserved_bytes,
+            stats.active_bytes,
+            cache.pending_bytes,
+            fragmentation_of(&stats),
+        );
+    }
+}

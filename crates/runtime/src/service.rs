@@ -13,6 +13,7 @@ use gmlake_alloc_api::{
     AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, DeviceAllocator,
     DeviceAllocatorConfig, MemStats, StreamId,
 };
+use gmlake_telemetry::PoolTelemetry;
 
 use crate::error::RuntimeError;
 use crate::scheduler::{apply_action, DefragAction, DefragScheduler, PoolObservation};
@@ -128,8 +129,11 @@ impl PoolService {
 
     /// Registers an allocator core as the pool for `device` and returns a
     /// handle. The core is wrapped in a [`DeviceAllocator`] front-end with
-    /// the default configuration; use [`PoolService::register_device`] to
-    /// supply a pre-configured front-end.
+    /// the default configuration and a disabled
+    /// [`PoolTelemetry`] sink (one relaxed atomic load per call until a
+    /// [`MemoryProfiler`](crate::MemoryProfiler) enables it); use
+    /// [`PoolService::register_device`] to supply a pre-configured
+    /// front-end.
     ///
     /// # Errors
     ///
@@ -141,7 +145,11 @@ impl PoolService {
     ) -> Result<PoolHandle, RuntimeError> {
         self.register_device(
             device,
-            DeviceAllocator::from_boxed(alloc, DeviceAllocatorConfig::default()),
+            DeviceAllocator::from_boxed_with_telemetry(
+                alloc,
+                DeviceAllocatorConfig::default(),
+                Arc::new(PoolTelemetry::new()),
+            ),
         )
     }
 
@@ -207,7 +215,11 @@ impl PoolService {
     ) -> Result<PoolHandle, RuntimeError> {
         self.insert_entry(
             device,
-            DeviceAllocator::from_boxed(alloc, DeviceAllocatorConfig::default()),
+            DeviceAllocator::from_boxed_with_telemetry(
+                alloc,
+                DeviceAllocatorConfig::default(),
+                Arc::new(PoolTelemetry::new()),
+            ),
             Some(affinity),
         )
     }
@@ -351,7 +363,7 @@ impl PoolService {
 /// Instantaneous fragmentation of a stats snapshot (same formula as
 /// [`DeviceAllocator::fragmentation`], computed here so one observation
 /// aggregates the pool's shard counters once, not twice).
-fn fragmentation_of(stats: &MemStats) -> f64 {
+pub(crate) fn fragmentation_of(stats: &MemStats) -> f64 {
     if stats.reserved_bytes == 0 {
         0.0
     } else {
@@ -537,11 +549,24 @@ impl PoolHandle {
     }
 
     /// Signals the end of one training iteration: forwards the hint to the
-    /// allocator, advances the pool's iteration counter, and gives the
-    /// defrag policy its per-iteration decision point.
+    /// allocator, advances the pool's iteration counter, pushes a
+    /// memory-timeline sample when the pool's telemetry is enabled, and
+    /// gives the defrag policy its per-iteration decision point.
     pub fn iteration_boundary(&self) {
         self.entry.alloc.iteration_boundary();
         let iteration = self.entry.iterations.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(tel) = self.entry.alloc.telemetry() {
+            if tel.is_enabled() {
+                let stats = self.entry.alloc.stats();
+                let cache = self.entry.alloc.cache_stats();
+                tel.record_sample(
+                    stats.reserved_bytes,
+                    stats.active_bytes,
+                    cache.pending_bytes,
+                    fragmentation_of(&stats),
+                );
+            }
+        }
         let Some(scheduler) = self.scheduler() else {
             return;
         };

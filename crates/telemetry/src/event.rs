@@ -1,0 +1,114 @@
+//! Structured trace records.
+//!
+//! Every record is a fixed-size [`Event`]: a timestamp, a [`EventKind`]
+//! discriminant, a byte count, and two kind-specific payload words. Keeping
+//! the record `Copy` and pointer-free means the recorder's ring buffers
+//! never allocate on the hot path.
+
+/// What happened. The `bytes`/`a`/`b` payload meaning is per-kind; see
+/// each variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// An allocation was served. `bytes` = size, `a` = stream id.
+    Alloc,
+    /// An allocation was returned. `bytes` = size, `a` = stream id.
+    Free,
+    /// `DeviceAllocator` served a small alloc from its shard cache.
+    /// `bytes` = size class, `a` = stream id.
+    ShardHit,
+    /// `DeviceAllocator` missed its shard cache and fell through to the
+    /// wrapped core. `bytes` = size class, `a` = stream id.
+    ShardMiss,
+    /// A cross-stream free was parked behind a device event. `bytes` =
+    /// size class, `a` = freeing stream, `b` = owning stream.
+    CrossStreamPark,
+    /// Parked blocks were promoted after their guard events completed.
+    /// `bytes` = bytes promoted, `a` = block count.
+    EventPromotion,
+    /// Core BestFit classified a large request. `bytes` = aligned request
+    /// size, `a` = tier chosen (1 exact, 2 single, 3 multiple,
+    /// 4 insufficient), `b` = candidate pBlocks probed.
+    StitchDecision,
+    /// pBlocks were stitched into a new sBlock. `bytes` = stitched size,
+    /// `a` = parts count.
+    Stitch,
+    /// A pBlock was split. `bytes` = original size, `a` = carved size.
+    Split,
+    /// A cached sBlock/pBlock was evicted to enforce pool capacity.
+    /// `bytes` = freed size.
+    Evict,
+    /// A defrag/compact pass ran. `bytes` = bytes released.
+    Defrag,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order (schema validation walks this).
+    pub const ALL: [EventKind; 11] = [
+        EventKind::Alloc,
+        EventKind::Free,
+        EventKind::ShardHit,
+        EventKind::ShardMiss,
+        EventKind::CrossStreamPark,
+        EventKind::EventPromotion,
+        EventKind::StitchDecision,
+        EventKind::Stitch,
+        EventKind::Split,
+        EventKind::Evict,
+        EventKind::Defrag,
+    ];
+
+    /// Stable wire name used in snapshots and chrome traces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Alloc => "alloc",
+            EventKind::Free => "free",
+            EventKind::ShardHit => "shard_hit",
+            EventKind::ShardMiss => "shard_miss",
+            EventKind::CrossStreamPark => "cross_stream_park",
+            EventKind::EventPromotion => "event_promotion",
+            EventKind::StitchDecision => "stitch_decision",
+            EventKind::Stitch => "stitch",
+            EventKind::Split => "split",
+            EventKind::Evict => "evict",
+            EventKind::Defrag => "defrag",
+        }
+    }
+
+    /// Inverse of [`EventKind::as_str`]; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<EventKind> {
+        EventKind::ALL.iter().copied().find(|k| k.as_str() == name)
+    }
+}
+
+/// One trace record. `ts_ns` comes from the attached
+/// [`TelemetryClock`](crate::TelemetryClock) (the sim clock in this
+/// workspace) or from a per-pool sequence counter when no clock is set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp, simulated nanoseconds (or a sequence number without a
+    /// clock — still totally ordered per pool).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Size payload; see [`EventKind`] for the per-kind meaning.
+    pub bytes: u64,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::parse(k.as_str()), Some(k));
+            assert!(seen.insert(k.as_str()), "duplicate name {}", k.as_str());
+        }
+        assert_eq!(EventKind::parse("not_a_kind"), None);
+    }
+}

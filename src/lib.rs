@@ -18,6 +18,7 @@ pub use gmlake_caching as caching;
 pub use gmlake_core as core;
 pub use gmlake_gpu_sim as gpu_sim;
 pub use gmlake_runtime as runtime;
+pub use gmlake_telemetry as telemetry;
 pub use gmlake_workload as workload;
 
 /// Commonly used items, importable with a single `use gmlake::prelude::*`.
@@ -29,7 +30,8 @@ pub mod prelude {
     pub use gmlake_caching::CachingAllocator;
     pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};
     pub use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
-    pub use gmlake_runtime::{DefragScheduler, DeviceId, PoolHandle, PoolService};
+    pub use gmlake_runtime::{DefragScheduler, DeviceId, MemoryProfiler, PoolHandle, PoolService};
+    pub use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
     pub use gmlake_workload::{
         ConcurrentReplayer, ModelSpec, Platform, RankSpec, Replayer, StrategySet, TrainConfig,
     };
