@@ -1361,6 +1361,14 @@ impl DeviceAllocator {
         f(&mut **self.inner.core.lock())
     }
 
+    /// Forwards [`AllocatorCore::set_stitch_enabled`] to the wrapped core.
+    /// The shard caches are untouched — only the core's composition
+    /// machinery is gated, so small-alloc fast paths stay warm while a
+    /// circuit breaker holds stitching open.
+    pub fn set_stitch_enabled(&self, enabled: bool) {
+        self.inner.core.lock().set_stitch_enabled(enabled);
+    }
+
     /// Typed variant of [`DeviceAllocator::with_core`]: runs `f` on the
     /// wrapped core if it is a `T` (via [`AllocatorCore::as_any_mut`]),
     /// e.g. to read `GmLakeAllocator::state_counters` behind the
@@ -1424,6 +1432,10 @@ impl AllocatorCore for DeviceAllocator {
 
     fn fragmentation(&self) -> f64 {
         DeviceAllocator::fragmentation(self)
+    }
+
+    fn set_stitch_enabled(&mut self, enabled: bool) {
+        DeviceAllocator::set_stitch_enabled(self, enabled)
     }
 }
 

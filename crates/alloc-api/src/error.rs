@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::types::AllocationId;
 
@@ -9,7 +10,7 @@ use crate::types::AllocationId;
 ///
 /// Allocators must provide *strong exception safety*: a failed call leaves the
 /// allocator and the device in the state they had before the call.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum AllocError {
     /// The device cannot satisfy the request, even after the allocator
     /// released every cached block it could (the PyTorch `empty_cache` retry
@@ -34,7 +35,64 @@ pub enum AllocError {
     /// rendered message. This indicates a bug in the allocator, not a
     /// recoverable condition.
     Driver(String),
+    /// A driver call failed mid-operation and the allocator rolled the
+    /// operation back transactionally: partial create/map work was
+    /// unwound, the allocator's invariants hold, and the request simply
+    /// was not served. Unlike [`AllocError::Driver`], this is a
+    /// *recoverable* condition — a retry (possibly after backoff, a cache
+    /// flush, or with stitching disabled) is legitimate. The original
+    /// driver error is preserved for [`Error::source`] chains.
+    DriverFault {
+        /// The allocator operation that failed (e.g. `"stitch"`,
+        /// `"alloc_new_pblock"`).
+        op: &'static str,
+        /// The underlying driver error.
+        source: Arc<dyn Error + Send + Sync>,
+    },
 }
+
+impl AllocError {
+    /// Builds a [`AllocError::DriverFault`] from any driver error type.
+    pub fn driver_fault(op: &'static str, source: impl Error + Send + Sync + 'static) -> Self {
+        AllocError::DriverFault {
+            op,
+            source: Arc::new(source),
+        }
+    }
+}
+
+/// Equality compares [`AllocError::DriverFault`] sources by rendered
+/// message — the source is a type-erased trait object, and tests want
+/// structural comparison of the rest of the enum to keep working.
+impl PartialEq for AllocError {
+    fn eq(&self, other: &Self) -> bool {
+        use AllocError::*;
+        match (self, other) {
+            (
+                OutOfMemory {
+                    requested: r1,
+                    reserved: v1,
+                    capacity: c1,
+                },
+                OutOfMemory {
+                    requested: r2,
+                    reserved: v2,
+                    capacity: c2,
+                },
+            ) => r1 == r2 && v1 == v2 && c1 == c2,
+            (ZeroSize, ZeroSize) => true,
+            (UnknownAllocation(a), UnknownAllocation(b)) => a == b,
+            (InvalidConfig(a), InvalidConfig(b)) => a == b,
+            (Driver(a), Driver(b)) => a == b,
+            (DriverFault { op: o1, source: s1 }, DriverFault { op: o2, source: s2 }) => {
+                o1 == o2 && s1.to_string() == s2.to_string()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AllocError {}
 
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -54,11 +112,23 @@ impl fmt::Display for AllocError {
             }
             AllocError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AllocError::Driver(msg) => write!(f, "driver error: {msg}"),
+            AllocError::DriverFault { op, source } => {
+                write!(f, "driver fault during {op} (rolled back): {source}")
+            }
         }
     }
 }
 
-impl Error for AllocError {}
+impl Error for AllocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AllocError::DriverFault { source, .. } => {
+                Some(source.as_ref() as &(dyn Error + 'static))
+            }
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -100,5 +170,40 @@ mod tests {
     fn implements_std_error() {
         let e: Box<dyn Error> = Box::new(AllocError::ZeroSize);
         assert!(e.source().is_none());
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct FakeDriverError(&'static str);
+
+    impl fmt::Display for FakeDriverError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "fake driver says: {}", self.0)
+        }
+    }
+
+    impl Error for FakeDriverError {}
+
+    #[test]
+    fn driver_fault_chains_its_source() {
+        let e = AllocError::driver_fault("stitch", FakeDriverError("map failed"));
+        assert!(e.to_string().contains("stitch"));
+        assert!(e.to_string().contains("map failed"));
+        let src = e.source().expect("fault carries a source");
+        assert_eq!(src.to_string(), "fake driver says: map failed");
+        assert!(src.downcast_ref::<FakeDriverError>().is_some());
+    }
+
+    #[test]
+    fn driver_fault_equality_compares_op_and_message() {
+        let a = AllocError::driver_fault("stitch", FakeDriverError("x"));
+        let b = AllocError::driver_fault("stitch", FakeDriverError("x"));
+        let c = AllocError::driver_fault("split", FakeDriverError("x"));
+        let d = AllocError::driver_fault("stitch", FakeDriverError("y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(a, AllocError::ZeroSize);
+        // Clone shares the Arc'd source.
+        assert_eq!(a.clone(), a);
     }
 }

@@ -154,6 +154,16 @@ pub trait AllocatorCore {
         }
     }
 
+    /// Enables or disables the implementation's block-composition
+    /// ("stitching") machinery, if it has one. While disabled the
+    /// allocator must keep serving requests through its degraded paths
+    /// (exact reuse, splitting, fresh allocation) and must keep every
+    /// invariant intact — this is the knob a runtime circuit breaker
+    /// flips after repeated stitch-path driver faults, and flips back
+    /// once a cooldown expires. Allocators without stitching ignore it
+    /// (the default is a no-op).
+    fn set_stitch_enabled(&mut self, _enabled: bool) {}
+
     /// Mutable [`Any`](std::any::Any) view of the concrete allocator, for
     /// implementation-specific telemetry behind a type-erased front-end
     /// (see
@@ -219,6 +229,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for &mut A {
         (**self).fragmentation()
     }
 
+    fn set_stitch_enabled(&mut self, enabled: bool) {
+        (**self).set_stitch_enabled(enabled)
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         (**self).as_any_mut()
     }
@@ -274,6 +288,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for Box<A> {
 
     fn fragmentation(&self) -> f64 {
         (**self).fragmentation()
+    }
+
+    fn set_stitch_enabled(&mut self, enabled: bool) {
+        (**self).set_stitch_enabled(enabled)
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
@@ -392,6 +410,10 @@ impl AllocatorCore for SharedAllocator {
 
     fn fragmentation(&self) -> f64 {
         self.inner.lock().fragmentation()
+    }
+
+    fn set_stitch_enabled(&mut self, enabled: bool) {
+        self.inner.lock().set_stitch_enabled(enabled)
     }
 }
 

@@ -1,0 +1,292 @@
+//! Perf snapshot for the PR 7 fault-recovery layer: what riding out a
+//! realistic transient driver-fault rate costs on a stitch-heavy pool.
+//!
+//! Two sweeps over the same single-thread mixed-size alloc/free churn
+//! (live window of 8 tensors, 2–12 MiB, 2 MiB frag limit, so the large
+//! path splits and stitches, with a `release_cached` defrag burst every
+//! [`RELEASE_EVERY`] ops keeping pBlock teardown/rebuild driver traffic
+//! in play) through a `PoolService` pool:
+//!
+//! * **fault-free** — no fault plan installed;
+//! * **degraded** — a seeded probabilistic [`FaultPlan`] failing 1 in
+//!   1000 driver calls; the service's retry/rescue pipeline absorbs the
+//!   faults (the transactional core rolls each one back).
+//!
+//! Plus a direct **recovery latency** probe: the wall time of one
+//! stitching allocation whose first `mem_map` is failed and retried,
+//! against the identical fault-free allocation.
+//!
+//! Results are written as machine-readable `BENCH_PR7.json` (committed,
+//! uploaded as a CI artifact). `bench_pr7 --check` re-runs the sweeps and
+//! fails when recovery *structurally* regresses: degraded throughput
+//! below [`MIN_RATIO_HARD`]× fault-free fails the gate, values between
+//! [`MIN_RATIO_ACCEPT`] and the floor only warn (scheduler noise), and
+//! order-of-magnitude drops against the committed snapshot fail as in
+//! the other `bench_prN --check` gates.
+
+use std::time::Instant;
+
+use gmlake_alloc_api::{mib, AllocRequest};
+use gmlake_bench::report;
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig, FaultOp, FaultPlan};
+use gmlake_runtime::{DeviceId, PoolHandle, PoolService};
+
+/// Alloc/free pairs per throughput rep.
+const OPS: usize = 12_000;
+/// Live tensors kept in flight (oldest freed per new alloc).
+const WINDOW: usize = 8;
+/// Repetitions per throughput point; the best run is kept.
+const REPS: usize = 5;
+/// Probes of the single-fault recovery latency (median reported).
+const RECOVERY_REPS: usize = 32;
+/// A `release_cached` defrag burst every this many churn ops: without it
+/// the steady state is pure cache reuse and never touches the driver, so
+/// there would be nothing for the fault plan to fail. The bursts keep
+/// pBlock teardown/rebuild (the fault-prone driver traffic) in play.
+const RELEASE_EVERY: usize = 64;
+/// Fault rate of the degraded sweep: 1 in this many driver calls.
+const FAULT_ONE_IN: u64 = 1000;
+/// Seed of the degraded sweep's xorshift fault schedule.
+const FAULT_SEED: u64 = 0x7A57_FA57;
+/// Acceptance bound: degraded throughput at least 0.8× fault-free. The
+/// committed snapshot meets it; `--check` runs below it only warn until
+/// [`MIN_RATIO_HARD`].
+const MIN_RATIO_ACCEPT: f64 = 0.8;
+/// Hard `--check` floor: below this the recovery path has structurally
+/// regressed (e.g. a rollback started thrashing the pool) and CI fails.
+const MIN_RATIO_HARD: f64 = 0.5;
+
+/// The churn sizes; with a 2 MiB frag limit every one takes the large
+/// (split/stitch) path.
+const SIZES: [u64; 6] = [2, 6, 3, 12, 4, 8];
+
+fn new_pool() -> (PoolService, PoolHandle, CudaDriver) {
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let service = PoolService::new();
+    let pool = service
+        .register(
+            DeviceId(0),
+            Box::new(GmLakeAllocator::new(
+                driver.clone(),
+                GmLakeConfig::default().with_frag_limit(mib(2)),
+            )),
+        )
+        .expect("fresh service");
+    (service, pool, driver)
+}
+
+struct ChurnRun {
+    ops_per_sec: f64,
+    alloc_p50_ns: f64,
+    alloc_p99_ns: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64
+}
+
+/// One churn rep on a fresh pool; `plan` arms the driver before the
+/// timed region. Frees are retried (the service retries allocations, not
+/// frees; the core rolls a faulted free back, so a retry is exact).
+fn churn_once(plan: Option<&FaultPlan>) -> (ChurnRun, u64, u64) {
+    let (_service, pool, driver) = new_pool();
+    // Warm the pool's block caches so both sweeps measure the steady
+    // state (first-touch pBlock creation is the same either way).
+    let mut live = Vec::new();
+    for i in 0..WINDOW {
+        live.push(
+            pool.allocate(AllocRequest::new(mib(SIZES[i % SIZES.len()])))
+                .unwrap(),
+        );
+    }
+    for a in live.drain(..) {
+        pool.deallocate(a.id).unwrap();
+    }
+    if let Some(plan) = plan {
+        driver.set_fault_plan(plan.clone());
+    }
+
+    let mut lat = Vec::with_capacity(OPS);
+    let start = Instant::now();
+    for i in 0..OPS {
+        if i % RELEASE_EVERY == 0 {
+            pool.release_cached();
+        }
+        let size = mib(SIZES[i % SIZES.len()]);
+        let t0 = Instant::now();
+        let a = pool
+            .allocate(AllocRequest::new(size))
+            .expect("retry pipeline absorbs transient faults");
+        lat.push(t0.elapsed().as_nanos() as u64);
+        live.push(a);
+        if live.len() > WINDOW {
+            let victim = live.remove(0);
+            for attempt in 0.. {
+                match pool.deallocate(victim.id) {
+                    Ok(()) => break,
+                    Err(_) if attempt < 3 => continue,
+                    Err(e) => panic!("free kept faulting: {e}"),
+                }
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    for victim in live.drain(..) {
+        let _ = pool.deallocate(victim.id);
+    }
+    driver.clear_fault_plan();
+    lat.sort_unstable();
+    let run = ChurnRun {
+        ops_per_sec: (OPS * 2) as f64 / secs,
+        alloc_p50_ns: percentile(&lat, 0.50),
+        alloc_p99_ns: percentile(&lat, 0.99),
+    };
+    let retries = pool.fault_stats().retries;
+    (run, driver.stats().injected_faults, retries)
+}
+
+/// Best of [`REPS`] churn reps (by throughput), keeping that rep's
+/// latency percentiles and fault counters.
+fn churn(plan: Option<&FaultPlan>) -> (ChurnRun, u64, u64) {
+    (0..REPS)
+        .map(|_| churn_once(plan))
+        .max_by(|a, b| a.0.ops_per_sec.total_cmp(&b.0.ops_per_sec))
+        .expect("REPS > 0")
+}
+
+/// Median wall time of one 10 MiB stitching allocation over cached 4+6
+/// MiB pBlocks, with and without its first `mem_map` call failing.
+fn recovery_probe() -> (f64, f64) {
+    let sample = |faulted: bool| -> f64 {
+        let mut times: Vec<u64> = (0..RECOVERY_REPS)
+            .map(|_| {
+                let (_service, pool, driver) = new_pool();
+                let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+                let b = pool.allocate(AllocRequest::new(mib(6))).unwrap();
+                pool.deallocate(a.id).unwrap();
+                pool.deallocate(b.id).unwrap();
+                if faulted {
+                    driver.set_fault_plan(FaultPlan::new().fail_nth(FaultOp::Map, 1));
+                }
+                let t0 = Instant::now();
+                let c = pool.allocate(AllocRequest::new(mib(10))).unwrap();
+                let dt = t0.elapsed().as_nanos() as u64;
+                if faulted {
+                    assert_eq!(driver.stats().injected_faults, 1, "probe missed the map");
+                }
+                pool.deallocate(c.id).unwrap();
+                dt
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2] as f64 / 1_000.0
+    };
+    (sample(false), sample(true))
+}
+
+fn render_json(
+    clean: &ChurnRun,
+    degraded: &ChurnRun,
+    injected: u64,
+    retries: u64,
+    clean_us: f64,
+    recovery_us: f64,
+) -> String {
+    let ratio = degraded.ops_per_sec / clean.ops_per_sec;
+    let mut json = String::from("{\n  \"schema\": \"gmlake-bench-pr7/v1\",\n");
+    json.push_str(&format!(
+        "  \"fault_free_ops_per_sec\": {:.0},\n  \"fault_free_alloc_p50_ns\": {:.0},\n  \
+         \"fault_free_alloc_p99_ns\": {:.0},\n",
+        clean.ops_per_sec, clean.alloc_p50_ns, clean.alloc_p99_ns
+    ));
+    json.push_str(&format!(
+        "  \"degraded_ops_per_sec\": {:.0},\n  \"degraded_alloc_p50_ns\": {:.0},\n  \
+         \"degraded_alloc_p99_ns\": {:.0},\n  \"degraded_ratio\": {ratio:.3},\n",
+        degraded.ops_per_sec, degraded.alloc_p50_ns, degraded.alloc_p99_ns
+    ));
+    json.push_str(&format!(
+        "  \"injected_faults\": {injected},\n  \"service_retries\": {retries},\n  \
+         \"recovery_clean_alloc_us\": {clean_us:.1},\n  \
+         \"recovery_faulted_alloc_us\": {recovery_us:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"notes\": \"single-thread mixed 2-12 MiB alloc/free churn (live window {WINDOW}, \
+         2 MiB frag limit, split/stitch path, release_cached defrag burst every \
+         {RELEASE_EVERY} ops so pBlock teardown/rebuild driver traffic stays in play) \
+         through a PoolService pool on the simulated device; degraded run injects \
+         1-in-{FAULT_ONE_IN} transient faults across every driver entry point (seed \
+         {FAULT_SEED:#x}) and the service retry pipeline absorbs them. Recovery probe: median wall time of one 10 MiB stitch over cached 4+6 MiB \
+         pBlocks with its first mem_map failed+rolled back+retried vs fault-free. \
+         Acceptance: degraded_ratio >= {MIN_RATIO_ACCEPT}\"\n}}\n"
+    ));
+    json
+}
+
+fn check_against(committed: &str, clean: &ChurnRun, degraded: &ChurnRun) -> Vec<String> {
+    let mut failures = Vec::new();
+    let ratio = degraded.ops_per_sec / clean.ops_per_sec;
+    if ratio < MIN_RATIO_HARD {
+        failures.push(format!(
+            "degraded throughput fell to {ratio:.3}x of fault-free (hard floor \
+             {MIN_RATIO_HARD}x; acceptance bound {MIN_RATIO_ACCEPT}x)"
+        ));
+    } else if ratio < MIN_RATIO_ACCEPT {
+        eprintln!(
+            "warning: degraded throughput {ratio:.3}x of fault-free is below the \
+             {MIN_RATIO_ACCEPT}x acceptance bound (scheduler noise on an oversubscribed \
+             runner?)"
+        );
+    }
+    failures.extend(report::throughput_guard(
+        committed,
+        "fault_free_ops_per_sec",
+        clean.ops_per_sec,
+        "fault-free churn throughput",
+        "ops/s",
+    ));
+    failures.extend(report::latency_guard(
+        committed,
+        "degraded_alloc_p99_ns",
+        degraded.alloc_p99_ns,
+        "degraded alloc p99",
+    ));
+    failures
+}
+
+fn main() {
+    eprintln!("fault-recovery churn sweep, {OPS} alloc/free pairs per rep:");
+    let (clean, _, _) = churn(None);
+    eprintln!(
+        "  fault-free: {:>10.0} ops/s, alloc p50 {:>7.0} ns, p99 {:>8.0} ns",
+        clean.ops_per_sec, clean.alloc_p50_ns, clean.alloc_p99_ns
+    );
+    let plan = FaultPlan::new().with_probabilistic(FAULT_SEED, FAULT_ONE_IN);
+    let (degraded, injected, retries) = churn(Some(&plan));
+    eprintln!(
+        "  degraded:   {:>10.0} ops/s, alloc p50 {:>7.0} ns, p99 {:>8.0} ns \
+         ({:.3}x, {injected} faults injected, {retries} retried)",
+        degraded.ops_per_sec,
+        degraded.alloc_p50_ns,
+        degraded.alloc_p99_ns,
+        degraded.ops_per_sec / clean.ops_per_sec,
+    );
+    let (clean_us, recovery_us) = recovery_probe();
+    eprintln!(
+        "  recovery:   one faulted+retried 10 MiB stitch {recovery_us:.1} us \
+         (fault-free {clean_us:.1} us)"
+    );
+
+    report::finish(
+        "BENCH_PR7.json",
+        || render_json(&clean, &degraded, injected, retries, clean_us, recovery_us),
+        |committed| check_against(committed, &clean, &degraded),
+        || {
+            format!(
+                "degraded throughput {:.3}x of fault-free, recovery alloc {recovery_us:.1} us",
+                degraded.ops_per_sec / clean.ops_per_sec
+            )
+        },
+    );
+}

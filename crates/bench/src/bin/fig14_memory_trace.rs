@@ -25,7 +25,7 @@ fn main() {
     let opts = ReplayOptions {
         record_series: true,
         series_stride: 64,
-        stop_on_oom: true,
+        ..ReplayOptions::default()
     };
 
     println!(

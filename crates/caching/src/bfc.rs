@@ -218,10 +218,10 @@ impl CachingAllocator {
                             capacity: self.driver.capacity(),
                         })
                     }
-                    Err(e) => return Err(AllocError::Driver(e.to_string())),
+                    Err(e) => return Err(AllocError::driver_fault("mem_alloc", e)),
                 }
             }
-            Err(e) => return Err(AllocError::Driver(e.to_string())),
+            Err(e) => return Err(AllocError::driver_fault("mem_alloc", e)),
         };
         self.next_segment += 1;
         let seg_id = self.next_segment;
@@ -346,14 +346,16 @@ impl CachingAllocator {
             .collect();
         let mut released = 0;
         for seg_id in releasable {
+            // An injected (or transient) driver fault keeps the segment
+            // cached: nothing was freed, so the books stay untouched and a
+            // later release pass simply retries.
+            let va = self.segments[&seg_id].va;
+            if self.driver.mem_free(va).is_err() {
+                continue;
+            }
             let seg = self.segments.remove(&seg_id).expect("collected above");
             let head = self.blocks.remove(&seg.head).expect("head exists");
             self.free_set(seg.pool).remove(&(head.size, seg.head));
-            // A cached segment is always freeable; driver errors here would
-            // indicate allocator corruption.
-            self.driver
-                .mem_free(seg.va)
-                .expect("cached segment must be freeable");
             self.reserved -= seg.size;
             released += seg.size;
         }

@@ -47,6 +47,37 @@ use crate::block::{PBlock, PBlockId, SBlock, SBlockId, Target};
 use crate::config::{AllocState, GmLakeConfig, StateCounters};
 use crate::slab::Slab;
 
+/// Per-allocator record of driver faults survived and what they cost.
+///
+/// Every multi-call driver sequence (`stitch`, `alloc_new_pblock`, `Split`,
+/// the teardown paths) is *transactional*: when a call fails mid-sequence
+/// the allocator unwinds the already-performed create/map steps with
+/// compensating driver calls and returns [`AllocError::DriverFault`] instead
+/// of panicking. Under a *transient* fault the compensating calls always
+/// succeed (the fault was consumed by the original call), so a failed op
+/// leaves zero residue. Under *persistent* faults the compensation itself
+/// can fail; the resources that could not be returned are counted here so
+/// tests and operators can reconcile them against driver snapshots.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultJournal {
+    /// Driver sequences that failed mid-way and were unwound.
+    pub failed_ops: u64,
+    /// VA reservations the unwind could not return to the driver.
+    pub orphan_vas: u64,
+    /// Total bytes of those orphaned reservations.
+    pub orphan_va_bytes: u64,
+    /// Physical chunk handles the unwind could not release.
+    pub orphan_chunks: u64,
+}
+
+impl FaultJournal {
+    /// `true` when every unwind ran to completion: no VA reservation or
+    /// physical chunk outlived its failed operation.
+    pub fn is_leak_free(&self) -> bool {
+        self.orphan_vas == 0 && self.orphan_va_bytes == 0 && self.orphan_chunks == 0
+    }
+}
+
 /// The GMLake virtual-memory-stitching allocator.
 ///
 /// # Example
@@ -102,6 +133,12 @@ pub struct GmLakeAllocator {
     stats: MemStats,
     /// Physical bytes owned by pBlocks (excludes the small pool's segments).
     reserved_phys: u64,
+    /// Circuit-breaker knob (see [`AllocatorCore::set_stitch_enabled`]):
+    /// while `false`, S3/S4 requests are served by whole fresh pBlocks
+    /// instead of stitched views.
+    stitch_enabled: bool,
+    /// Driver faults survived and unwind residue (see [`FaultJournal`]).
+    journal: FaultJournal,
     counters: StateCounters,
     iterations: u64,
     iter_non_exact: u64,
@@ -145,6 +182,8 @@ impl GmLakeAllocator {
             tick: 0,
             stats: MemStats::default(),
             reserved_phys: 0,
+            stitch_enabled: true,
+            journal: FaultJournal::default(),
             counters: StateCounters::default(),
             iterations: 0,
             iter_non_exact: 0,
@@ -204,6 +243,17 @@ impl GmLakeAllocator {
     /// evictions).
     pub fn state_counters(&self) -> StateCounters {
         self.counters
+    }
+
+    /// Driver faults survived so far and any unwind residue.
+    pub fn fault_journal(&self) -> FaultJournal {
+        self.journal
+    }
+
+    /// Whether S3/S4 requests may build stitched views (see
+    /// [`AllocatorCore::set_stitch_enabled`]).
+    pub fn stitch_is_enabled(&self) -> bool {
+        self.stitch_enabled
     }
 
     /// Completed training iterations (see
@@ -392,11 +442,40 @@ impl GmLakeAllocator {
         }
     }
 
+    /// Best-effort unwind of a VA range that was reserved (and possibly
+    /// partially mapped) before a mid-sequence driver fault. Failures are
+    /// journaled instead of propagated: under a transient fault the
+    /// compensating calls succeed (the fault was consumed by the original
+    /// call); under persistent faults the range is orphaned and counted.
+    fn unwind_va(&mut self, va: VirtAddr, reserved: u64, mapped: u64) {
+        if mapped > 0 && self.driver.mem_unmap_range(va, mapped).is_err() {
+            // A reservation with live mappings cannot be freed.
+            self.journal.orphan_vas += 1;
+            self.journal.orphan_va_bytes += reserved;
+            return;
+        }
+        if self.driver.mem_address_free(va, reserved).is_err() {
+            self.journal.orphan_vas += 1;
+            self.journal.orphan_va_bytes += reserved;
+        }
+    }
+
+    /// Best-effort release of physical chunks created before a mid-sequence
+    /// driver fault; journals the handles it could not return.
+    fn unwind_chunks(&mut self, chunks: &[PhysHandle]) {
+        if self.driver.mem_release_batch(chunks).is_err() {
+            self.journal.orphan_chunks += chunks.len() as u64;
+        }
+    }
+
     /// `Alloc` (§3.3.1): creates a brand-new pBlock of `size` bytes (a chunk
     /// multiple) with fresh physical chunks. The only function that
     /// increases reserved physical memory. Physical chunks are created and
     /// mapped through the driver's batched entry points: one driver
     /// round-trip for the creates, one for the maps.
+    ///
+    /// Transactional: a fault at any step unwinds the steps already
+    /// performed, so an `Err` leaves the allocator exactly as it was.
     fn alloc_new_pblock(&mut self, size: u64) -> Result<PBlockId, DriverError> {
         debug_assert_eq!(size % self.chunk, 0);
         let va = self.driver.mem_address_reserve(size)?;
@@ -404,17 +483,24 @@ impl GmLakeAllocator {
         let chunks: Vec<PhysHandle> = match self.driver.mem_create_batch(self.chunk, n) {
             Ok(chunks) => chunks,
             Err(e) => {
-                // Roll back: the batch is all-or-nothing, nothing is mapped.
-                let _ = self.driver.mem_address_free(va, size);
+                // The batch is all-or-nothing: nothing created, nothing mapped.
+                self.journal.failed_ops += 1;
+                self.unwind_va(va, size, 0);
                 return Err(e);
             }
         };
-        self.driver
-            .mem_map_range(va, self.chunk, &chunks)
-            .expect("mapping fresh chunks into a fresh reservation");
-        self.driver
-            .mem_set_access(va, size, true)
-            .expect("fully mapped range");
+        if let Err(e) = self.driver.mem_map_range(va, self.chunk, &chunks) {
+            self.journal.failed_ops += 1;
+            self.unwind_chunks(&chunks);
+            self.unwind_va(va, size, 0);
+            return Err(e);
+        }
+        if let Err(e) = self.driver.mem_set_access(va, size, true) {
+            self.journal.failed_ops += 1;
+            self.unwind_va(va, size, size);
+            self.unwind_chunks(&chunks);
+            return Err(e);
+        }
         let pid = self.pblocks.insert(PBlock::new(va, size, chunks));
         self.p_inactive.insert(StitchCost::Unreferenced, size, pid);
         self.reserved_phys += size;
@@ -423,48 +509,88 @@ impl GmLakeAllocator {
 
     /// Builds a pBlock over existing chunks (used by `Split`): reserves a
     /// fresh VA and maps the chunks there in one batched driver call.
-    fn pblock_from_chunks(&mut self, chunks: Vec<PhysHandle>) -> PBlockId {
+    ///
+    /// Transactional: on `Err` the reservation is unwound and the chunks —
+    /// owned by the caller's original block — are untouched.
+    fn pblock_from_chunks(&mut self, chunks: Vec<PhysHandle>) -> Result<PBlockId, DriverError> {
         let size = chunks.len() as u64 * self.chunk;
-        let va = self
-            .driver
-            .mem_address_reserve(size)
-            .expect("VA space is unbounded in simulation");
-        self.driver
-            .mem_map_range(va, self.chunk, &chunks)
-            .expect("mapping live chunks into a fresh reservation");
-        self.driver
-            .mem_set_access(va, size, true)
-            .expect("fully mapped range");
+        let va = self.driver.mem_address_reserve(size)?;
+        if let Err(e) = self.driver.mem_map_range(va, self.chunk, &chunks) {
+            self.journal.failed_ops += 1;
+            self.unwind_va(va, size, 0);
+            return Err(e);
+        }
+        if let Err(e) = self.driver.mem_set_access(va, size, true) {
+            self.journal.failed_ops += 1;
+            self.unwind_va(va, size, size);
+            return Err(e);
+        }
         let pid = self.pblocks.insert(PBlock::new(va, size, chunks));
         self.p_inactive.insert(StitchCost::Unreferenced, size, pid);
-        pid
+        Ok(pid)
+    }
+
+    /// Reverses a just-created [`Self::pblock_from_chunks`] view during a
+    /// rollback: removes it from the arena and index and tears its VA down.
+    /// The chunks belong to the block being split and are not released.
+    fn undo_pblock_view(&mut self, pid: PBlockId) {
+        let p = self.pblocks.remove(pid).expect("fresh view exists");
+        debug_assert!(!p.active && p.referenced_by.is_empty());
+        self.p_inactive.remove(p.tier, p.size, pid);
+        self.unwind_va(p.va, p.size, p.size);
     }
 
     /// `Split` (§3.3.1): divides an inactive pBlock into two pBlocks with
     /// fresh VA ranges and remapped chunks; the original structure is
     /// removed. Referencing sBlocks keep working (their own mappings are
     /// untouched) and their part lists are rewritten to the two children.
-    fn split_pblock(&mut self, pid: PBlockId, left_size: u64) -> (PBlockId, PBlockId) {
+    ///
+    /// Transactional: both replacement views are built *before* the parent
+    /// is touched, so a fault at any step before the parent's unmap rolls
+    /// back to the pre-split state. Once the parent's mappings are gone the
+    /// split is committed and any cleanup failure is journaled instead.
+    fn split_pblock(
+        &mut self,
+        pid: PBlockId,
+        left_size: u64,
+    ) -> Result<(PBlockId, PBlockId), DriverError> {
         debug_assert_eq!(left_size % self.chunk, 0);
-        let p = self.pblocks.remove(pid).expect("pblock exists");
-        debug_assert!(
-            !p.active && p.assigned_to.is_none(),
-            "split of a live block"
-        );
-        debug_assert!(left_size > 0 && left_size < p.size);
-        self.p_inactive.remove(p.tier, p.size, pid);
-        let k = (left_size / self.chunk) as usize;
-        let left_chunks = p.chunks[..k].to_vec();
-        let right_chunks = p.chunks[k..].to_vec();
-        let left = self.pblock_from_chunks(left_chunks);
-        let right = self.pblock_from_chunks(right_chunks);
+        let (left_chunks, right_chunks, parent_va, parent_size) = {
+            let p = &self.pblocks[pid];
+            debug_assert!(
+                !p.active && p.assigned_to.is_none(),
+                "split of a live block"
+            );
+            debug_assert!(left_size > 0 && left_size < p.size);
+            let k = (left_size / self.chunk) as usize;
+            (p.chunks[..k].to_vec(), p.chunks[k..].to_vec(), p.va, p.size)
+        };
+        let left = self.pblock_from_chunks(left_chunks)?;
+        let right = match self.pblock_from_chunks(right_chunks) {
+            Ok(right) => right,
+            Err(e) => {
+                self.undo_pblock_view(left);
+                return Err(e);
+            }
+        };
         // The old VA disappears; physical chunks live on through the new maps.
-        self.driver
-            .mem_unmap_range(p.va, p.size)
-            .expect("pblock range was fully mapped");
-        self.driver
-            .mem_address_free(p.va, p.size)
-            .expect("reservation exists and is empty");
+        if let Err(e) = self.driver.mem_unmap_range(parent_va, parent_size) {
+            self.journal.failed_ops += 1;
+            self.undo_pblock_view(right);
+            self.undo_pblock_view(left);
+            return Err(e);
+        }
+        // Commit point: the parent's mappings are gone.
+        if self
+            .driver
+            .mem_address_free(parent_va, parent_size)
+            .is_err()
+        {
+            self.journal.orphan_vas += 1;
+            self.journal.orphan_va_bytes += parent_size;
+        }
+        let p = self.pblocks.remove(pid).expect("pblock exists");
+        self.p_inactive.remove(p.tier, p.size, pid);
         // Rewrite referencing sBlocks to the two children. Both children are
         // inactive (the parent was), so no active-part counter changes.
         for &sid in &p.referenced_by {
@@ -488,30 +614,43 @@ impl GmLakeAllocator {
         }
         self.counters.splits += 1;
         self.emit(EventKind::Split, p.size, left_size, 0);
-        (left, right)
+        Ok((left, right))
     }
 
     /// `Stitch` (§3.3.1): creates an sBlock whose fresh VA range aliases the
     /// chunks of `parts`, in order — one batched map call per part. No
     /// physical memory is created.
-    fn stitch(&mut self, parts: Vec<PBlockId>) -> SBlockId {
+    ///
+    /// Transactional: a fault while mapping unwinds the already-mapped
+    /// prefix and the reservation; on `Err` the parts are untouched.
+    fn stitch(&mut self, parts: Vec<PBlockId>) -> Result<SBlockId, DriverError> {
         let total: u64 = parts.iter().map(|&p| self.pblocks[p].size).sum();
-        let va = self
-            .driver
-            .mem_address_reserve(total)
-            .expect("VA space is unbounded in simulation");
+        let va = self.driver.mem_address_reserve(total)?;
         let mut off = 0u64;
+        let mut fault: Option<DriverError> = None;
         for &pid in &parts {
             let p = &self.pblocks[pid];
             debug_assert!(!p.active, "stitching an active part");
-            self.driver
+            if let Err(e) = self
+                .driver
                 .mem_map_range(va.offset(off), self.chunk, &p.chunks)
-                .expect("aliasing live chunks into a fresh reservation");
+            {
+                fault = Some(e);
+                break;
+            }
             off += p.size;
         }
-        self.driver
-            .mem_set_access(va, total, true)
-            .expect("fully mapped range");
+        if fault.is_none() {
+            if let Err(e) = self.driver.mem_set_access(va, total, true) {
+                fault = Some(e);
+                debug_assert_eq!(off, total);
+            }
+        }
+        if let Some(e) = fault {
+            self.journal.failed_ops += 1;
+            self.unwind_va(va, total, off);
+            return Err(e);
+        }
         let tick = self.next_tick();
         let sid = self.sblocks.insert(SBlock::new(va, total, parts, tick));
         // The new view is unassigned with all parts inactive: it is both
@@ -538,7 +677,7 @@ impl GmLakeAllocator {
         // NOTE: capacity enforcement runs in `allocate` *after* the new
         // block is assigned, so a freshly stitched block can never be its
         // own eviction victim.
-        sid
+        Ok(sid)
     }
 
     /// `StitchFree` (§3.3.2): evicts least-recently-used *inactive* sBlock
@@ -549,7 +688,11 @@ impl GmLakeAllocator {
             match self.s_evictable.first().copied() {
                 Some((_, sid)) => {
                     let size = self.sblocks[sid].size;
-                    self.destroy_sblock(sid);
+                    if self.destroy_sblock(sid).is_err() {
+                        // Teardown faulted with the view intact; leave the
+                        // overshoot for a later allocation to retry.
+                        break;
+                    }
                     self.counters.evictions += 1;
                     self.emit(EventKind::Evict, size, 0, 0);
                 }
@@ -560,7 +703,26 @@ impl GmLakeAllocator {
 
     /// Tears an sBlock structure down: its VA and mappings disappear; the
     /// chunks stay owned by the pBlocks.
-    fn destroy_sblock(&mut self, sid: SBlockId) {
+    ///
+    /// Transactional: the unmap runs first, so on `Err` the view is fully
+    /// intact and still usable. After the unmap the teardown is committed;
+    /// a faulted reservation free is journaled, not propagated.
+    fn destroy_sblock(&mut self, sid: SBlockId) -> Result<(), DriverError> {
+        // Batched teardown: one driver round-trip for the whole view's
+        // mappings, so a StitchFree/OOM-rescue storm stops paying one
+        // dispatch per chunk.
+        let (va, size) = {
+            let s = &self.sblocks[sid];
+            (s.va, s.size)
+        };
+        if let Err(e) = self.driver.mem_unmap_range(va, size) {
+            self.journal.failed_ops += 1;
+            return Err(e);
+        }
+        if self.driver.mem_address_free(va, size).is_err() {
+            self.journal.orphan_vas += 1;
+            self.journal.orphan_va_bytes += size;
+        }
         let s = self.sblocks.remove(sid).expect("sblock exists");
         self.s_inactive.remove(&(s.size, sid));
         self.s_evictable.remove(&(s.lru_tick, sid));
@@ -573,35 +735,52 @@ impl GmLakeAllocator {
             // unreferenced).
             self.retier_pblock(pid);
         }
-        // Batched teardown: one driver round-trip for the whole view's
-        // mappings, so a StitchFree/OOM-rescue storm stops paying one
-        // dispatch per chunk.
-        self.driver
-            .mem_unmap_range(s.va, s.size)
-            .expect("sblock range was fully mapped");
-        self.driver
-            .mem_address_free(s.va, s.size)
-            .expect("reservation exists and is empty");
+        Ok(())
     }
 
     /// Returns a pBlock's physical memory to the device. The block must be
     /// inactive, unassigned and unreferenced. The whole block tears down in
     /// three driver round-trips (batched unmap, batched release, address
     /// free) regardless of its chunk count.
-    fn destroy_pblock(&mut self, pid: PBlockId) {
+    ///
+    /// Transactional: a faulted unmap leaves the block intact; a faulted
+    /// release re-maps the range and aborts the destroy. Only when the
+    /// rollback itself fails (persistent faults) is the block dropped from
+    /// the books with its resources journaled as orphans.
+    fn destroy_pblock(&mut self, pid: PBlockId) -> Result<(), DriverError> {
+        let (va, size, chunks) = {
+            let p = &self.pblocks[pid];
+            debug_assert!(!p.active && p.assigned_to.is_none() && p.referenced_by.is_empty());
+            (p.va, p.size, p.chunks.clone())
+        };
+        if let Err(e) = self.driver.mem_unmap_range(va, size) {
+            self.journal.failed_ops += 1;
+            return Err(e);
+        }
+        if let Err(e) = self.driver.mem_release_batch(&chunks) {
+            self.journal.failed_ops += 1;
+            // Re-map and abort the destroy; the block stays cached.
+            let remapped = self.driver.mem_map_range(va, self.chunk, &chunks).is_ok();
+            if remapped && self.driver.mem_set_access(va, size, true).is_ok() {
+                return Err(e);
+            }
+            // Rollback failed too: orphan the block's resources and drop it
+            // from the books so invariants keep holding.
+            self.journal.orphan_chunks += chunks.len() as u64;
+            self.unwind_va(va, size, if remapped { size } else { 0 });
+            let p = self.pblocks.remove(pid).expect("pblock exists");
+            self.p_inactive.remove(p.tier, p.size, pid);
+            self.reserved_phys -= size;
+            return Err(e);
+        }
+        if self.driver.mem_address_free(va, size).is_err() {
+            self.journal.orphan_vas += 1;
+            self.journal.orphan_va_bytes += size;
+        }
         let p = self.pblocks.remove(pid).expect("pblock exists");
-        debug_assert!(!p.active && p.assigned_to.is_none() && p.referenced_by.is_empty());
         self.p_inactive.remove(p.tier, p.size, pid);
-        self.driver
-            .mem_unmap_range(p.va, p.size)
-            .expect("pblock range was fully mapped");
-        self.driver
-            .mem_release_batch(&p.chunks)
-            .expect("chunks owned by pblock");
-        self.driver
-            .mem_address_free(p.va, p.size)
-            .expect("reservation exists and is empty");
-        self.reserved_phys -= p.size;
+        self.reserved_phys -= size;
+        Ok(())
     }
 
     fn register_allocation(
@@ -709,9 +888,13 @@ impl GmLakeAllocator {
                     // Splitting performs driver work, so it counts against
                     // convergence.
                     self.iter_non_exact += 1;
-                    let (left, right) = self.split_pblock(pid, aligned);
-                    if self.config.cache_split_halves {
-                        self.stitch(vec![left, right]);
+                    let (left, right) = self
+                        .split_pblock(pid, aligned)
+                        .map_err(|e| AllocError::driver_fault("split_pblock", e))?;
+                    if self.config.cache_split_halves && self.stitch_enabled {
+                        // Caching the halves is an optimization; a faulted
+                        // stitch (already unwound) must not fail the alloc.
+                        let _ = self.stitch(vec![left, right]);
                     }
                     let (va, size) = (self.pblocks[left].va, self.pblocks[left].size);
                     Ok(self.register_allocation(Target::P(left), va, size, req.size))
@@ -725,6 +908,14 @@ impl GmLakeAllocator {
                 }
             }
             BestFit::Multiple { mut ids, sum } => {
+                if !self.stitch_enabled {
+                    // Circuit breaker open: serve S3 with a whole fresh
+                    // block instead of a stitched view.
+                    self.counters.record(AllocState::MultiBlock);
+                    self.iter_non_exact += 1;
+                    self.emit(EventKind::StitchDecision, aligned, 3, 0);
+                    return self.allocate_unstitched(aligned, req);
+                }
                 self.counters.record(AllocState::MultiBlock);
                 self.iter_non_exact += 1;
                 self.emit(EventKind::StitchDecision, aligned, 3, ids.len() as u64);
@@ -749,16 +940,24 @@ impl GmLakeAllocator {
                     let need = aligned - rest_sum;
                     debug_assert!(need > 0 && need <= last_size);
                     if last_size - need >= self.config.frag_limit.max(self.chunk) {
-                        let (left, right) = self.split_pblock(last, need);
-                        if self.config.cache_split_halves {
-                            self.stitch(vec![left, right]);
+                        match self.split_pblock(last, need) {
+                            Ok((left, right)) => {
+                                if self.config.cache_split_halves {
+                                    let _ = self.stitch(vec![left, right]);
+                                }
+                                ids.push(left);
+                            }
+                            // Split faulted (and rolled back): degrade to
+                            // using the block whole; the sBlock is oversized.
+                            Err(_) => ids.push(last),
                         }
-                        ids.push(left);
                     } else {
                         ids.push(last); // keep whole; sBlock will be oversized
                     }
                 }
-                let sid = self.stitch(ids);
+                let sid = self
+                    .stitch(ids)
+                    .map_err(|e| AllocError::driver_fault("stitch", e))?;
                 let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                 Ok(self.register_allocation(Target::S(sid), va, size, req.size))
             }
@@ -774,28 +973,64 @@ impl GmLakeAllocator {
                     );
                 }
                 debug_assert!(sum < aligned);
+                if !self.stitch_enabled && !ids.is_empty() {
+                    // Circuit breaker open: ignore the stitchable leftovers
+                    // and serve the request whole.
+                    return self.allocate_unstitched(aligned, req);
+                }
                 let new_size = aligned - sum;
-                let new_pid = match self.alloc_new_pblock(new_size) {
-                    Ok(pid) => pid,
-                    Err(DriverError::OutOfMemory { requested, .. }) => {
-                        return Err(AllocError::OutOfMemory {
-                            requested,
-                            reserved: self.stats.reserved_bytes,
-                            capacity: self.driver.capacity(),
-                        })
-                    }
-                    Err(e) => return Err(AllocError::Driver(e.to_string())),
-                };
+                let new_pid = self
+                    .alloc_new_pblock(new_size)
+                    .map_err(|e| self.map_pblock_err(e))?;
                 if ids.is_empty() {
                     let (va, size) = (self.pblocks[new_pid].va, self.pblocks[new_pid].size);
                     Ok(self.register_allocation(Target::P(new_pid), va, size, req.size))
                 } else {
                     ids.push(new_pid);
-                    let sid = self.stitch(ids);
+                    let sid = match self.stitch(ids) {
+                        Ok(sid) => sid,
+                        Err(e) => {
+                            // Roll the fresh physical allocation back; if
+                            // even the teardown faults the block stays
+                            // cached (state is still consistent).
+                            let _ = self.destroy_pblock(new_pid);
+                            self.sync_reserved();
+                            return Err(AllocError::driver_fault("stitch", e));
+                        }
+                    };
                     let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                     Ok(self.register_allocation(Target::S(sid), va, size, req.size))
                 }
             }
+        }
+    }
+
+    /// Degraded (circuit-breaker) S3/S4 path: serve the request with a
+    /// single fresh pBlock, ignoring stitchable cached blocks. Used while
+    /// stitching is disabled after repeated stitch-path faults.
+    fn allocate_unstitched(
+        &mut self,
+        aligned: u64,
+        req: AllocRequest,
+    ) -> Result<Allocation, AllocError> {
+        let pid = self
+            .alloc_new_pblock(aligned)
+            .map_err(|e| self.map_pblock_err(e))?;
+        let (va, size) = (self.pblocks[pid].va, self.pblocks[pid].size);
+        Ok(self.register_allocation(Target::P(pid), va, size, req.size))
+    }
+
+    /// Maps a failed `Alloc` driver call: a genuine device OOM keeps its
+    /// dedicated variant (it drives the release-cached retry); anything
+    /// else was injected/unexpected and surfaces as a rolled-back fault.
+    fn map_pblock_err(&self, e: DriverError) -> AllocError {
+        match e {
+            DriverError::OutOfMemory { requested, .. } => AllocError::OutOfMemory {
+                requested,
+                reserved: self.stats.reserved_bytes,
+                capacity: self.driver.capacity(),
+            },
+            other => AllocError::driver_fault("alloc_new_pblock", other),
         }
     }
 
@@ -811,7 +1046,9 @@ impl GmLakeAllocator {
             .map(|(sid, _)| sid)
             .collect();
         for sid in unassigned {
-            self.destroy_sblock(sid);
+            // A faulted teardown leaves the view intact; skip it, later
+            // rescue passes will retry.
+            let _ = self.destroy_sblock(sid);
         }
         let idle: Vec<PBlockId> = self
             .pblocks
@@ -821,8 +1058,10 @@ impl GmLakeAllocator {
             .collect();
         let mut released = 0;
         for pid in idle {
-            released += self.pblocks[pid].size;
-            self.destroy_pblock(pid);
+            let size = self.pblocks[pid].size;
+            if self.destroy_pblock(pid).is_ok() {
+                released += size;
+            }
         }
         released += self.small.release_cached();
         self.sync_reserved();
@@ -1176,9 +1415,15 @@ impl AllocatorCore for GmLakeAllocator {
                 }
             }
             Target::Small(inner) => {
-                self.small
-                    .deallocate(inner)
-                    .map_err(|e| AllocError::Driver(format!("small pool: {e}")))?;
+                if let Err(e) = self.small.deallocate(inner) {
+                    // Keep the allocation live so a rolled-back fault can be
+                    // retried; anything else still indicates a bug.
+                    self.live.insert(id, (target, size));
+                    return Err(match e {
+                        AllocError::DriverFault { .. } => e,
+                        other => AllocError::Driver(format!("small pool: {other}")),
+                    });
+                }
             }
         }
         self.stats.on_free(size);
@@ -1214,6 +1459,10 @@ impl AllocatorCore for GmLakeAllocator {
         self.release_cached_impl()
     }
 
+    fn set_stitch_enabled(&mut self, enabled: bool) {
+        self.stitch_enabled = enabled;
+    }
+
     /// GMLake's proactive defrag pass, gentler than the OOM fallback:
     ///
     /// 1. **sPool GC** — destroys unassigned sBlock structures that are
@@ -1240,8 +1489,9 @@ impl AllocatorCore for GmLakeAllocator {
             .map(|(sid, _)| sid)
             .collect();
         for sid in blocked {
-            self.destroy_sblock(sid);
-            self.counters.evictions += 1;
+            if self.destroy_sblock(sid).is_ok() {
+                self.counters.evictions += 1;
+            }
         }
         let dead: Vec<PBlockId> = self
             .pblocks
@@ -1256,8 +1506,10 @@ impl AllocatorCore for GmLakeAllocator {
             .collect();
         let mut released = 0;
         for pid in dead {
-            released += self.pblocks[pid].size;
-            self.destroy_pblock(pid);
+            let size = self.pblocks[pid].size;
+            if self.destroy_pblock(pid).is_ok() {
+                released += size;
+            }
         }
         self.sync_reserved();
         self.emit(EventKind::Defrag, released, 0, 0);

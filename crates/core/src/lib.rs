@@ -47,5 +47,5 @@ mod slab;
 #[cfg(test)]
 mod tests;
 
-pub use allocator::GmLakeAllocator;
+pub use allocator::{FaultJournal, GmLakeAllocator};
 pub use config::{AllocState, GmLakeConfig, StateCounters};

@@ -650,6 +650,117 @@ fn slab_slots_are_recycled_after_destroy() {
     l.validate().unwrap();
 }
 
+mod fault_injection {
+    //! Property: under a random program with one random transient driver
+    //! fault injected at a random point, every operation either succeeds
+    //! or rolls back completely — `validate()` holds and `MemStats`
+    //! reconciles against the test's own ledger after *every* step, and
+    //! the fault journal shows no leaked reservations at the end
+    //! (`mem_address_free` past a commit point may orphan exactly one VA
+    //! reservation; see `docs/fault-model.md`).
+
+    use super::*;
+    use gmlake_gpu_sim::{FaultOp, FaultPlan};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Alloc(u64),
+        Free(usize),
+        Compact,
+        ReleaseCached,
+        Boundary,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            6 => (1u64..16 * 1024 * 1024).prop_map(Op::Alloc),
+            5 => any::<usize>().prop_map(Op::Free),
+            1 => Just(Op::Compact),
+            1 => Just(Op::ReleaseCached),
+            1 => Just(Op::Boundary),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn single_fault_rolls_back_cleanly(
+            ops in proptest::collection::vec(op_strategy(), 1..100),
+            op_idx in 0usize..FaultOp::COUNT,
+            nth in 1u64..24,
+        ) {
+            let dev = DeviceConfig::small_test()
+                .with_capacity(mib(64))
+                .with_backing(false);
+            let mut l = lake_with(dev, test_config().with_max_sblocks(12));
+            let fault_op = FaultOp::ALL[op_idx];
+            l.driver().set_fault_plan(FaultPlan::new().fail_nth(fault_op, nth));
+
+            // The test's own ledger of live tensors: id and rounded size.
+            let mut live: Vec<(AllocationId, u64)> = Vec::new();
+            let mut expected_active: u64 = 0;
+            for op in &ops {
+                match op {
+                    Op::Alloc(size) => match l.allocate(AllocRequest::new(*size)) {
+                        Ok(a) => {
+                            expected_active += a.size;
+                            live.push((a.id, a.size));
+                        }
+                        Err(AllocError::OutOfMemory { .. })
+                        | Err(AllocError::DriverFault { .. }) => {}
+                        Err(e) => panic!("unexpected allocator error: {e}"),
+                    },
+                    Op::Free(n) => {
+                        if !live.is_empty() {
+                            let (id, size) = live.swap_remove(n % live.len());
+                            match l.deallocate(id) {
+                                Ok(()) => expected_active -= size,
+                                Err(AllocError::DriverFault { .. }) => {
+                                    // Rolled back: the tensor is still live.
+                                    live.push((id, size));
+                                }
+                                Err(e) => panic!("unexpected free error: {e}"),
+                            }
+                        }
+                    }
+                    Op::Compact => {
+                        l.compact();
+                    }
+                    Op::ReleaseCached => {
+                        l.release_cached();
+                    }
+                    Op::Boundary => l.iteration_boundary(),
+                }
+                l.validate().unwrap();
+                prop_assert_eq!(l.stats().active_bytes, expected_active);
+            }
+
+            // Drain with faults off: the transient fault is consumed (or
+            // never fired), so full teardown must reconcile to zero.
+            l.driver().clear_fault_plan();
+            for (id, _) in live.drain(..) {
+                l.deallocate(id).unwrap();
+            }
+            l.release_cached();
+            l.validate().unwrap();
+            prop_assert_eq!(l.stats().active_bytes, 0);
+            let journal = l.fault_journal();
+            if fault_op == FaultOp::AddressFree {
+                prop_assert!(journal.orphan_vas <= 1 && journal.orphan_chunks == 0,
+                    "{:?}", journal);
+            } else {
+                prop_assert!(journal.is_leak_free(),
+                    "single {:?} fault leaked: {:?}", fault_op, journal);
+            }
+            if journal.orphan_vas == 0 {
+                prop_assert_eq!(l.stats().reserved_bytes, l.driver().phys_in_use());
+            }
+        }
+    }
+}
+
 mod bestfit_oracle {
     //! Differential oracle: after every step of a random allocator program,
     //! the indexed `BestFit` must agree *exactly* with the retained

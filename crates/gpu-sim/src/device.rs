@@ -130,6 +130,11 @@ pub struct DriverStats {
     pub event_sync: ApiStats,
     /// Asynchronous kernel/work launches (`stream_launch`).
     pub launch: ApiStats,
+    /// Faults injected by an installed [`FaultPlan`](crate::FaultPlan).
+    /// Injected calls are rejected before mutating the device, so they are
+    /// **not** counted in the per-API [`ApiStats`] above or in
+    /// [`DriverStats::total_calls`].
+    pub injected_faults: u64,
 }
 
 impl DriverStats {

@@ -20,6 +20,7 @@ use crate::clock::SimClock;
 use crate::device::{DeviceConfig, DeviceSnapshot, DriverStats};
 use crate::error::{DriverError, DriverResult};
 use crate::event::EventEngine;
+use crate::fault::{FaultOp, FaultPlan, FaultState};
 use crate::vaspace::VaSpace;
 
 /// Alignment of native (`cudaMalloc`) allocations.
@@ -40,6 +41,8 @@ struct Inner {
     /// Optional telemetry sink: every costed driver call feeds its
     /// simulated latency into the pool's `driver_ns` histogram.
     telemetry: Option<Arc<gmlake_telemetry::PoolTelemetry>>,
+    /// Armed fault schedule; `None` when no plan is installed.
+    fault: Option<FaultState>,
 }
 
 impl Inner {
@@ -51,6 +54,35 @@ impl Inner {
             if t.is_enabled() {
                 t.driver_ns().record(ns);
                 t.note_now(self.clock.now_ns());
+            }
+        }
+    }
+
+    /// Consults the armed fault plan for `op`. On a hit the injected error
+    /// is returned *before any device mutation* — the call stays atomic —
+    /// and the injection is counted in `stats.injected_faults` plus traced
+    /// as a [`FaultInjected`](gmlake_telemetry::EventKind::FaultInjected)
+    /// record when a telemetry sink is attached.
+    fn inject(&mut self, op: FaultOp) -> DriverResult<()> {
+        let Some(f) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        match f.check(op) {
+            None => Ok(()),
+            Some(e) => {
+                self.stats.injected_faults += 1;
+                if let Some(t) = self.telemetry.as_ref() {
+                    if t.is_enabled() {
+                        t.record_at(
+                            self.clock.now_ns(),
+                            gmlake_telemetry::EventKind::FaultInjected,
+                            0,
+                            op.index() as u64,
+                            self.stats.injected_faults,
+                        );
+                    }
+                }
+                Err(e)
             }
         }
     }
@@ -96,6 +128,7 @@ impl CudaDriver {
                 events: EventEngine::default(),
                 native: std::collections::HashMap::new(),
                 telemetry: None,
+                fault: None,
             })),
         }
     }
@@ -144,6 +177,25 @@ impl CudaDriver {
         self.inner.lock().telemetry = Some(telemetry);
     }
 
+    /// Installs a fault-injection schedule, replacing any previous one.
+    /// Per-op call counters restart at zero, so deterministic rules are
+    /// counted from this moment. An empty plan is equivalent to
+    /// [`CudaDriver::clear_fault_plan`]. Clones of this driver share the
+    /// plan (it is device state, like the clock).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        let mut g = self.inner.lock();
+        g.fault = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+    }
+
+    /// Removes the installed fault plan; subsequent calls never inject.
+    pub fn clear_fault_plan(&self) {
+        self.inner.lock().fault = None;
+    }
+
     /// Occupancy snapshot.
     pub fn snapshot(&self) -> DeviceSnapshot {
         let g = self.inner.lock();
@@ -181,6 +233,7 @@ impl CudaDriver {
     /// [`DriverError::ZeroSize`] for empty requests.
     pub fn mem_alloc(&self, size: u64) -> DriverResult<VirtAddr> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::MemAlloc)?;
         if size == 0 {
             return Err(DriverError::ZeroSize);
         }
@@ -211,6 +264,7 @@ impl CudaDriver {
     /// with the same implicit device synchronization as the allocation path.
     pub fn mem_free(&self, va: VirtAddr) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::MemFree)?;
         let (h, size) = g
             .native
             .get(&va.as_u64())
@@ -244,6 +298,7 @@ impl CudaDriver {
     /// address space (must be a multiple of the granularity).
     pub fn mem_address_reserve(&self, size: u64) -> DriverResult<VirtAddr> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::AddressReserve)?;
         Self::check_aligned(size, g.config.granularity)?;
         let granularity = g.config.granularity;
         let va = g.va.reserve(size, granularity)?;
@@ -257,6 +312,7 @@ impl CudaDriver {
     /// mappings).
     pub fn mem_address_free(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::AddressFree)?;
         g.va.address_free(va, size)?;
         let ns = g.config.cost.address_free_ns();
         g.charge(ns);
@@ -268,6 +324,7 @@ impl CudaDriver {
     /// (multiple of the granularity) and returns its handle.
     pub fn mem_create(&self, size: u64) -> DriverResult<PhysHandle> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Create)?;
         Self::check_aligned(size, g.config.granularity)?;
         let backing = g.config.backing;
         let capacity = g.config.capacity;
@@ -287,6 +344,7 @@ impl CudaDriver {
     /// [`CostModel::create_batch_ns`](crate::CostModel::create_batch_ns)).
     pub fn mem_create_batch(&self, chunk_size: u64, count: usize) -> DriverResult<Vec<PhysHandle>> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Create)?;
         if chunk_size == 0 || count == 0 {
             return Err(DriverError::ZeroSize);
         }
@@ -324,6 +382,7 @@ impl CudaDriver {
     /// is freed once no mapping references it.
     pub fn mem_release(&self, h: PhysHandle) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Release)?;
         g.phys.release(h)?;
         let ns = g.config.cost.release_ns();
         g.charge(ns);
@@ -337,6 +396,7 @@ impl CudaDriver {
     /// reservation and be unmapped. Access starts disabled.
     pub fn mem_map(&self, va: VirtAddr, size: u64, offset: u64, h: PhysHandle) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Map)?;
         let gran = g.config.granularity;
         Self::check_aligned(va.as_u64(), gran)?;
         Self::check_aligned(size, gran)?;
@@ -378,6 +438,7 @@ impl CudaDriver {
         handles: &[PhysHandle],
     ) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Map)?;
         if handles.is_empty() || chunk_size == 0 {
             return Err(DriverError::ZeroSize);
         }
@@ -426,6 +487,7 @@ impl CudaDriver {
     /// mappings.
     pub fn mem_unmap(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Unmap)?;
         let handles = g.va.unmap(va, size)?;
         let n = handles.len() as u64;
         for h in handles {
@@ -447,6 +509,7 @@ impl CudaDriver {
     /// chunk.
     pub fn mem_unmap_range(&self, va: VirtAddr, size: u64) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Unmap)?;
         let handles = g.va.unmap(va, size)?;
         let n = handles.len() as u64;
         for h in handles {
@@ -467,6 +530,7 @@ impl CudaDriver {
     /// `release` call.
     pub fn mem_release_batch(&self, handles: &[PhysHandle]) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::Release)?;
         if handles.is_empty() {
             return Err(DriverError::ZeroSize);
         }
@@ -491,6 +555,7 @@ impl CudaDriver {
     /// the paper's Table 1 accounting.
     pub fn mem_set_access(&self, va: VirtAddr, size: u64, enable: bool) -> DriverResult<()> {
         let mut g = self.inner.lock();
+        g.inject(FaultOp::SetAccess)?;
         let lens = g.va.set_access(va, size, enable)?;
         let mut ns = 0;
         for len in &lens {
@@ -545,9 +610,27 @@ impl CudaDriver {
     /// `cuEventRecord`: drops a completion marker into `stream`'s queue and
     /// returns its id. The event completes once all work enqueued on the
     /// stream before this call has finished.
+    ///
+    /// # Fault injection
+    ///
+    /// The API is infallible, so an injected [`FaultOp::EventRecord`]
+    /// cannot surface as an error. Instead the call degrades to the safe
+    /// synchronous fallback a runtime uses when event machinery fails: it
+    /// waits out the stream's in-flight work (advancing the clock to the
+    /// stream frontier) and returns a marker that is already complete at
+    /// record time. Anything guarded by the returned event has genuinely
+    /// finished — degraded, never unsafe.
     pub fn event_record(&self, stream: StreamId) -> EventId {
         let mut g = self.inner.lock();
         let now = g.clock.now_ns();
+        if g.inject(FaultOp::EventRecord).is_err() {
+            let wait = g.events.frontier(stream, now) - now;
+            let ns = wait + g.config.cost.event_record_ns();
+            g.charge(ns);
+            g.stats.event_record.record(ns);
+            let caught_up = g.clock.now_ns();
+            return g.events.record(stream, caught_up).0;
+        }
         let (event, _ready_at) = g.events.record(stream, now);
         let ns = g.config.cost.event_record_ns();
         g.charge(ns);
@@ -565,6 +648,15 @@ impl CudaDriver {
     pub fn event_record_if_pending(&self, stream: StreamId) -> Option<EventId> {
         let mut g = self.inner.lock();
         let now = g.clock.now_ns();
+        if g.inject(FaultOp::EventRecord).is_err() {
+            // Same degraded fallback as `event_record`: synchronize the
+            // stream, then truthfully report "nothing left to wait for".
+            let wait = g.events.frontier(stream, now) - now;
+            let ns = wait + g.config.cost.event_record_ns();
+            g.charge(ns);
+            g.stats.event_record.record(ns);
+            return None;
+        }
         let result = if g.events.frontier(stream, now) > now {
             Some(g.events.record(stream, now).0)
         } else {
@@ -1233,6 +1325,95 @@ mod tests {
         assert!(src.query(ev));
         src.synchronize(ev);
         assert_eq!(d.stats().event_record.calls, 1);
+    }
+
+    #[test]
+    fn injected_fault_leaves_device_untouched_and_counts() {
+        let d = test_driver();
+        let gran = d.granularity();
+        d.set_fault_plan(
+            crate::FaultPlan::new()
+                .fail_nth(crate::FaultOp::AddressReserve, 2)
+                .fail_nth(crate::FaultOp::Map, 1),
+        );
+        let _va = d.mem_address_reserve(gran).unwrap();
+        let before = d.snapshot();
+        let err = d.mem_address_reserve(gran).unwrap_err();
+        assert_eq!(
+            err,
+            DriverError::Injected {
+                op: "mem_address_reserve"
+            }
+        );
+        assert_eq!(d.snapshot(), before, "injection mutated nothing");
+        // The map fault fires on the batched variant too (shared op).
+        let h = d.mem_create(gran).unwrap();
+        let va2 = d.mem_address_reserve(gran).unwrap();
+        assert!(matches!(
+            d.mem_map_range(va2, gran, &[h]).unwrap_err(),
+            DriverError::Injected { op: "mem_map" }
+        ));
+        assert_eq!(d.stats().injected_faults, 2);
+        // Injected calls are not counted as successful API calls.
+        assert_eq!(d.stats().map.calls, 0);
+        assert_eq!(d.stats().address_reserve.calls, 2);
+        // Clearing the plan stops injection.
+        d.clear_fault_plan();
+        d.mem_map_range(va2, gran, &[h]).unwrap();
+    }
+
+    #[test]
+    fn persistent_fault_keeps_failing_until_cleared() {
+        let d = test_driver();
+        let gran = d.granularity();
+        d.set_fault_plan(crate::FaultPlan::new().fail_from(crate::FaultOp::Create, 1));
+        for _ in 0..3 {
+            assert!(d.mem_create(gran).is_err());
+        }
+        d.clear_fault_plan();
+        assert!(d.mem_create(gran).is_ok());
+        assert_eq!(d.stats().injected_faults, 3);
+    }
+
+    #[test]
+    fn event_record_fault_degrades_to_stream_synchronize() {
+        let cfg = DeviceConfig::small_test().with_cost(crate::cost::CostModel::calibrated());
+        let d = CudaDriver::new(cfg);
+        let s = StreamId(0);
+        d.set_fault_plan(crate::FaultPlan::new().fail_from(crate::FaultOp::EventRecord, 1));
+        d.stream_launch(s, 1_000_000);
+        let frontier = d.stream_frontier_ns(s);
+        let ev = d.event_record(s);
+        // Degraded path: the host synchronized the stream, so the returned
+        // marker is complete and untracked — a safe answer, never a stale one.
+        assert!(d.now_ns() >= frontier, "record waited out the stream");
+        assert_eq!(d.outstanding_events(), 0);
+        assert!(d.event_query(ev));
+        // try_record degrades to None ("caught up") the same way.
+        d.stream_launch(s, 1_000_000);
+        assert!(d.event_record_if_pending(s).is_none());
+        assert_eq!(d.device_synchronize(), 0, "stream was drained");
+        assert_eq!(d.stats().injected_faults, 2);
+    }
+
+    #[test]
+    fn chosen_error_surfaces_through_the_driver() {
+        let d = test_driver();
+        let gran = d.granularity();
+        d.set_fault_plan(crate::FaultPlan::new().fail_nth_with(
+            crate::FaultOp::Create,
+            1,
+            DriverError::OutOfMemory {
+                requested: gran,
+                in_use: 0,
+                capacity: mib(256),
+            },
+        ));
+        assert!(matches!(
+            d.mem_create(gran).unwrap_err(),
+            DriverError::OutOfMemory { .. }
+        ));
+        assert!(d.mem_create(gran).is_ok(), "transient: retry succeeds");
     }
 
     #[test]

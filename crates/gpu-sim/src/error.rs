@@ -61,6 +61,15 @@ pub enum DriverError {
     },
     /// Data-path operation on a device configured without byte backing.
     BackingDisabled,
+    /// A fault injected by an installed
+    /// [`FaultPlan`](crate::FaultPlan) — no real-hardware analog. The
+    /// failing call left the device untouched, exactly like every other
+    /// rejection.
+    Injected {
+        /// Driver entry point the fault was injected at (see
+        /// [`FaultOp::as_str`](crate::FaultOp::as_str)).
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for DriverError {
@@ -111,6 +120,7 @@ impl fmt::Display for DriverError {
                 f,
                 "data-path operation on a device configured without byte backing"
             ),
+            DriverError::Injected { op } => write!(f, "injected fault at {op}"),
         }
     }
 }
@@ -152,6 +162,7 @@ mod tests {
                 size: 4,
             },
             DriverError::BackingDisabled,
+            DriverError::Injected { op: "mem_create" },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -46,6 +46,7 @@ mod device;
 mod driver;
 mod error;
 mod event;
+mod fault;
 mod native;
 mod vaspace;
 
@@ -56,4 +57,5 @@ pub use device::{ApiStats, DeviceConfig, DeviceSnapshot, DriverStats};
 pub use driver::CudaDriver;
 pub use error::{DriverError, DriverResult};
 pub use event::{EventId, EventSource};
+pub use fault::{FaultMode, FaultOp, FaultPlan, FaultRule};
 pub use native::NativeAllocator;

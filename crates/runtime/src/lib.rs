@@ -126,12 +126,14 @@
 mod background;
 mod error;
 mod profiler;
+mod recovery;
 mod scheduler;
 mod service;
 
 pub use background::BackgroundDefragger;
 pub use error::RuntimeError;
 pub use profiler::MemoryProfiler;
+pub use recovery::{FaultPolicy, FaultRecoveryStats};
 pub use scheduler::{
     DefragAction, DefragPolicy, DefragScheduler, DefragStats, FragThresholdPolicy,
     OomPressurePolicy, PeriodicPolicy, PoolObservation,

@@ -13,9 +13,10 @@ use gmlake_alloc_api::{
     AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, DeviceAllocator,
     DeviceAllocatorConfig, MemStats, StreamId,
 };
-use gmlake_telemetry::PoolTelemetry;
+use gmlake_telemetry::{EventKind, PoolTelemetry};
 
 use crate::error::RuntimeError;
+use crate::recovery::{BreakerState, FaultPolicy, FaultRecoveryStats};
 use crate::scheduler::{apply_action, DefragAction, DefragScheduler, PoolObservation};
 
 /// Identifies one device (one memory pool) within a [`PoolService`].
@@ -49,6 +50,8 @@ struct PoolEntry {
     /// registered with the same affinity so an OOM rescue on one can
     /// release the others' caches. `None` = the pool's device is its own.
     affinity: Option<u64>,
+    /// Stitch circuit breaker and fault-recovery counters.
+    breaker: Mutex<BreakerState>,
 }
 
 /// What one [`PoolService::defrag_sweep`] pass did.
@@ -66,6 +69,7 @@ pub struct SweepOutcome {
 struct ServiceInner {
     pools: Mutex<BTreeMap<DeviceId, Arc<PoolEntry>>>,
     scheduler: Option<Arc<DefragScheduler>>,
+    policy: FaultPolicy,
 }
 
 /// A thread-safe registry mapping [`DeviceId`]s to memory pools.
@@ -104,20 +108,32 @@ impl Default for PoolService {
 impl PoolService {
     /// Creates an empty service without a defrag scheduler.
     pub fn new() -> Self {
-        PoolService {
-            inner: Arc::new(ServiceInner {
-                pools: Mutex::new(BTreeMap::new()),
-                scheduler: None,
-            }),
-        }
+        Self::build(None, FaultPolicy::default())
     }
 
     /// Creates an empty service whose pools are supervised by `scheduler`.
     pub fn with_scheduler(scheduler: DefragScheduler) -> Self {
+        Self::build(Some(scheduler), FaultPolicy::default())
+    }
+
+    /// Creates an empty service with a custom [`FaultPolicy`] and no
+    /// defrag scheduler.
+    pub fn with_fault_policy(policy: FaultPolicy) -> Self {
+        Self::build(None, policy)
+    }
+
+    /// Creates an empty service with both a supervising scheduler and a
+    /// custom [`FaultPolicy`].
+    pub fn with_scheduler_and_policy(scheduler: DefragScheduler, policy: FaultPolicy) -> Self {
+        Self::build(Some(scheduler), policy)
+    }
+
+    fn build(scheduler: Option<DefragScheduler>, policy: FaultPolicy) -> Self {
         PoolService {
             inner: Arc::new(ServiceInner {
                 pools: Mutex::new(BTreeMap::new()),
-                scheduler: Some(Arc::new(scheduler)),
+                scheduler: scheduler.map(Arc::new),
+                policy,
             }),
         }
     }
@@ -125,6 +141,11 @@ impl PoolService {
     /// The supervising scheduler, if any.
     pub fn scheduler(&self) -> Option<&DefragScheduler> {
         self.inner.scheduler.as_deref()
+    }
+
+    /// The fault-recovery policy shared by every pool of this service.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.inner.policy
     }
 
     /// Registers an allocator core as the pool for `device` and returns a
@@ -239,6 +260,7 @@ impl PoolService {
             iterations: AtomicU64::new(0),
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
             affinity,
+            breaker: Mutex::new(BreakerState::default()),
         });
         pools.insert(device, Arc::clone(&entry));
         Ok(self.make_handle(device, entry))
@@ -483,10 +505,20 @@ impl PoolHandle {
     /// [`DeviceAllocator`], so ranks driving different streams never
     /// serialize on a lock.
     ///
-    /// On out-of-memory — after the front-end's own flush-and-retry, which
-    /// drains **every** stream's cache — the service's defrag policy may
-    /// rescue the allocation: apply an action across the pools cohabiting
-    /// this pool's physical device, then retry once.
+    /// Failures are recovered in two ways, both bounded by the service's
+    /// [`FaultPolicy`]:
+    ///
+    /// * a rolled-back [`AllocError::DriverFault`] is retried with
+    ///   exponential backoff; repeated consecutive faults trip a circuit
+    ///   breaker that disables stitching on the pool for a cooldown and
+    ///   re-probes it afterwards (the pool degrades to split/native
+    ///   allocation meanwhile);
+    /// * out-of-memory — after the front-end's own flush-and-retry, which
+    ///   drains **every** stream's cache — runs the staged rescue
+    ///   pipeline: flush shard caches, drain pending event rings, compact,
+    ///   then the defrag policy's cross-pool rescue spanning the pools
+    ///   cohabiting this pool's physical device, retrying after every
+    ///   stage that reclaimed anything.
     ///
     /// # Errors
     ///
@@ -496,26 +528,166 @@ impl PoolHandle {
         req: AllocRequest,
         stream: StreamId,
     ) -> Result<Allocation, AllocError> {
-        let result = self.entry.alloc.alloc_on_stream(req, stream);
-        let Err(AllocError::OutOfMemory { .. }) = &result else {
-            return result;
-        };
-        // OOM-pressure path: let the policy rescue the allocation. No pool
-        // lock is held while the policy deliberates, and the rescue spans
-        // the pools cohabiting this pool's physical device (same
-        // registration affinity) — their caches may hold the memory the
-        // failing allocator's own fallback cannot release.
-        let Some(scheduler) = self.scheduler() else {
-            return result;
-        };
-        let scheduler = Arc::clone(scheduler);
-        let action = scheduler.decide_oom(&self.observation());
-        if action == DefragAction::None {
-            return result;
+        self.breaker_tick();
+        let policy = self.service.policy;
+        let mut attempt = 0u32;
+        loop {
+            match self.entry.alloc.alloc_on_stream(req, stream) {
+                Ok(a) => {
+                    self.note_alloc_success();
+                    return Ok(a);
+                }
+                Err(e @ AllocError::DriverFault { .. }) => {
+                    self.note_fault();
+                    if attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.entry.breaker.lock().retries += 1;
+                    let backoff = policy.backoff_for(attempt);
+                    if backoff > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(backoff));
+                    }
+                }
+                Err(e @ AllocError::OutOfMemory { .. }) => {
+                    return self.rescue_oom(req, stream, e);
+                }
+                Err(other) => return Err(other),
+            }
         }
-        let bytes = self.rescue_same_device(action);
-        scheduler.record_oom_rescue(action, bytes);
-        self.entry.alloc.alloc_on_stream(req, stream)
+    }
+
+    /// The staged OOM rescue pipeline: each stage tries to reclaim memory
+    /// with a progressively wider hammer, and the allocation is retried
+    /// after every stage that actually freed something. Stages 1–3 are
+    /// local to this pool; stage 4 spans the pools cohabiting this pool's
+    /// physical device via the defrag policy (see
+    /// [`PoolHandle::rescue_same_device`]'s affinity rule). No pool lock
+    /// is held between stages. Every stage emits an
+    /// [`EventKind::RescueStage`] trace record when telemetry is enabled.
+    fn rescue_oom(
+        &self,
+        req: AllocRequest,
+        stream: StreamId,
+        original: AllocError,
+    ) -> Result<Allocation, AllocError> {
+        let mut last = original;
+        for stage in 1u64..=4 {
+            let bytes = match stage {
+                // Flush every stream's shard cache into the core and
+                // release the core's cached structures.
+                1 => {
+                    self.entry.alloc.flush();
+                    self.entry.alloc.release_cached()
+                }
+                // Drain the pending cross-stream event rings (returns
+                // blocks promoted, not bytes — any progress counts).
+                2 => self.entry.alloc.process_events(),
+                // Proactive compaction: sPool GC + dead-fragment release.
+                3 => self.entry.alloc.compact(),
+                // Cross-pool policy rescue on the cohabiting pools.
+                4 => {
+                    let Some(scheduler) = self.scheduler() else {
+                        break;
+                    };
+                    let scheduler = Arc::clone(scheduler);
+                    let action = scheduler.decide_oom(&self.observation());
+                    if action == DefragAction::None {
+                        break;
+                    }
+                    let bytes = self.rescue_same_device(action);
+                    scheduler.record_oom_rescue(action, bytes);
+                    bytes
+                }
+                _ => unreachable!(),
+            };
+            if bytes == 0 {
+                self.emit(EventKind::RescueStage, 0, stage, 0);
+                continue;
+            }
+            match self.entry.alloc.alloc_on_stream(req, stream) {
+                Ok(a) => {
+                    self.emit(EventKind::RescueStage, bytes, stage, 1);
+                    self.note_alloc_success();
+                    self.entry.breaker.lock().rescues += 1;
+                    return Ok(a);
+                }
+                Err(e) => {
+                    self.emit(EventKind::RescueStage, bytes, stage, 0);
+                    if matches!(e, AllocError::DriverFault { .. }) {
+                        self.note_fault();
+                    }
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Records a pool trace event when telemetry is attached and enabled.
+    fn emit(&self, kind: EventKind, bytes: u64, a: u64, b: u64) {
+        if let Some(t) = self.entry.alloc.telemetry() {
+            if t.is_enabled() {
+                t.record(kind, bytes, a, b);
+            }
+        }
+    }
+
+    /// Per-attempt breaker bookkeeping: while open, counts the cooldown
+    /// down and — at zero — re-probes stitching (half-open: the breaker
+    /// closes, but one more fault re-opens it immediately; one success
+    /// closes it fully).
+    fn breaker_tick(&self) {
+        let threshold = self.service.policy.breaker_threshold;
+        let mut b = self.entry.breaker.lock();
+        if !b.open {
+            return;
+        }
+        b.cooldown_left = b.cooldown_left.saturating_sub(1);
+        if b.cooldown_left == 0 {
+            b.open = false;
+            b.consecutive = threshold.saturating_sub(1);
+            drop(b);
+            self.entry.alloc.set_stitch_enabled(true);
+            self.emit(EventKind::BreakerTrip, 0, 0, 0);
+        }
+    }
+
+    /// Counts a driver-faulted allocation attempt; trips the breaker open
+    /// (disabling stitching on the pool) after
+    /// [`FaultPolicy::breaker_threshold`] consecutive faults.
+    fn note_fault(&self) {
+        let policy = self.service.policy;
+        let mut b = self.entry.breaker.lock();
+        b.faults += 1;
+        b.consecutive += 1;
+        if !b.open && b.consecutive >= policy.breaker_threshold {
+            b.open = true;
+            b.cooldown_left = policy.breaker_cooldown.max(1);
+            b.trips += 1;
+            let consecutive = b.consecutive;
+            drop(b);
+            self.entry.alloc.set_stitch_enabled(false);
+            self.emit(EventKind::BreakerTrip, 0, 1, consecutive as u64);
+        }
+    }
+
+    fn note_alloc_success(&self) {
+        self.entry.breaker.lock().consecutive = 0;
+    }
+
+    /// Snapshot of this pool's fault-recovery counters: faults survived,
+    /// retries issued, breaker trips and state, allocations saved by the
+    /// staged rescue pipeline.
+    pub fn fault_stats(&self) -> FaultRecoveryStats {
+        let b = self.entry.breaker.lock();
+        FaultRecoveryStats {
+            faults: b.faults,
+            retries: b.retries,
+            breaker_trips: b.trips,
+            breaker_open: b.open,
+            rescues: b.rescues,
+        }
     }
 
     /// Releases the allocation identified by `id` from the default stream.
@@ -1095,5 +1267,112 @@ mod tests {
         fn assert_send<T: Send + Clone>() {}
         assert_send::<PoolHandle>();
         assert_send::<PoolService>();
+    }
+
+    #[test]
+    fn transient_driver_fault_is_retried_and_absorbed() {
+        use gmlake_gpu_sim::{FaultOp, FaultPlan};
+        let service = PoolService::with_fault_policy(FaultPolicy {
+            backoff_us: 0,
+            ..FaultPolicy::default()
+        });
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let pool = service
+            .register(
+                DeviceId(0),
+                Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default().with_frag_limit(mib(2)),
+                )),
+            )
+            .unwrap();
+        // The next map-family driver call fails once; the service's bounded
+        // retry must absorb it without surfacing an error.
+        driver.set_fault_plan(FaultPlan::new().fail_nth(FaultOp::Map, 1));
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        assert_eq!(a.size, mib(8));
+        let fs = pool.fault_stats();
+        assert_eq!(fs.faults, 1);
+        assert_eq!(fs.retries, 1);
+        assert_eq!(fs.breaker_trips, 0);
+        assert!(!fs.breaker_open);
+        assert_eq!(driver.stats().injected_faults, 1);
+        pool.deallocate(a.id).unwrap();
+        pool.with_allocator(|core| {
+            let lake = core
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<GmLakeAllocator>())
+                .expect("gmlake core");
+            assert_eq!(lake.validate(), Ok(()));
+            assert!(lake.fault_journal().is_leak_free());
+        });
+    }
+
+    #[test]
+    fn breaker_degrades_to_unstitched_and_recovers_after_cooldown() {
+        use gmlake_gpu_sim::{FaultOp, FaultPlan};
+        let service = PoolService::with_fault_policy(FaultPolicy {
+            max_retries: 0, // surface each fault so the breaker sees them
+            backoff_us: 0,
+            breaker_threshold: 2,
+            breaker_cooldown: 2,
+        });
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let pool = service
+            .register(
+                DeviceId(0),
+                Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default().with_frag_limit(mib(2)),
+                )),
+            )
+            .unwrap();
+        // Build a stitchable pool state: two freed blocks of 4 and 6 MiB.
+        let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+        let b = pool.allocate(AllocRequest::new(mib(6))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        pool.deallocate(b.id).unwrap();
+        // The next two map-family calls fault: two consecutive stitch
+        // attempts fail and trip the breaker.
+        driver.set_fault_plan(
+            FaultPlan::new()
+                .fail_nth(FaultOp::Map, 1)
+                .fail_nth(FaultOp::Map, 2),
+        );
+        for _ in 0..2 {
+            let err = pool.allocate(AllocRequest::new(mib(10))).unwrap_err();
+            assert!(matches!(err, AllocError::DriverFault { .. }), "{err}");
+        }
+        assert!(pool.fault_stats().breaker_open, "breaker tripped");
+        assert_eq!(pool.fault_stats().breaker_trips, 1);
+        // Degraded mode: the same S3-shaped request is served by a whole
+        // fresh pBlock — no stitching, new physical memory.
+        let phys_before = driver.phys_in_use();
+        let c = pool.allocate(AllocRequest::new(mib(10))).unwrap();
+        assert!(
+            driver.phys_in_use() > phys_before,
+            "degraded path allocated fresh physical memory instead of stitching"
+        );
+        pool.deallocate(c.id).unwrap();
+        // The cooldown (2 attempts) has elapsed after one more allocation:
+        // the breaker re-probes and stitching comes back.
+        let d = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+        pool.deallocate(d.id).unwrap();
+        assert!(!pool.fault_stats().breaker_open, "breaker closed again");
+        pool.with_allocator(|core| {
+            let lake = core
+                .as_any_mut()
+                .and_then(|a| a.downcast_mut::<GmLakeAllocator>())
+                .expect("gmlake core");
+            assert!(lake.stitch_is_enabled(), "stitching re-enabled");
+            assert_eq!(lake.validate(), Ok(()));
+            assert!(lake.fault_journal().is_leak_free());
+        });
+        // And it is actually used again: a 14 MiB request stitches cached
+        // blocks without growing physical memory.
+        let phys = driver.phys_in_use();
+        let e = pool.allocate(AllocRequest::new(mib(14))).unwrap();
+        assert_eq!(driver.phys_in_use(), phys, "stitched from cache");
+        pool.deallocate(e.id).unwrap();
     }
 }

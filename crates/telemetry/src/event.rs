@@ -39,11 +39,22 @@ pub enum EventKind {
     Evict,
     /// A defrag/compact pass ran. `bytes` = bytes released.
     Defrag,
+    /// The driver's fault-injection layer fired. `a` = faulted-op index
+    /// (`FaultOp::index`), `b` = cumulative injected-fault count.
+    FaultInjected,
+    /// One stage of the runtime's staged OOM-rescue pipeline ran.
+    /// `bytes` = bytes released by the stage, `a` = stage index
+    /// (1 flush, 2 drain, 3 compact, 4 cross-pool), `b` = 1 when the
+    /// subsequent retry succeeded.
+    RescueStage,
+    /// The stitch circuit breaker changed state. `a` = 1 opened (stitching
+    /// disabled), 0 closed (re-enabled); `b` = consecutive faults observed.
+    BreakerTrip,
 }
 
 impl EventKind {
     /// Every kind, in declaration order (schema validation walks this).
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 14] = [
         EventKind::Alloc,
         EventKind::Free,
         EventKind::ShardHit,
@@ -55,6 +66,9 @@ impl EventKind {
         EventKind::Split,
         EventKind::Evict,
         EventKind::Defrag,
+        EventKind::FaultInjected,
+        EventKind::RescueStage,
+        EventKind::BreakerTrip,
     ];
 
     /// Stable wire name used in snapshots and chrome traces.
@@ -71,6 +85,9 @@ impl EventKind {
             EventKind::Split => "split",
             EventKind::Evict => "evict",
             EventKind::Defrag => "defrag",
+            EventKind::FaultInjected => "fault_injected",
+            EventKind::RescueStage => "rescue_stage",
+            EventKind::BreakerTrip => "breaker_trip",
         }
     }
 

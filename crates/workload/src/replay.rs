@@ -19,6 +19,12 @@ pub struct ReplayOptions {
     /// Stop at the first out-of-memory failure (the paper's runs terminate
     /// on OOM). When `false`, failed allocations are skipped and counted.
     pub stop_on_oom: bool,
+    /// Tolerate rolled-back driver faults
+    /// ([`AllocError::DriverFault`]): the allocation is skipped and counted
+    /// in [`ReplayReport::faulted_allocs`] and the replay continues — the
+    /// fault-injection (chaos) harness runs with this on. When `false`
+    /// (default) a driver fault is a harness bug and panics.
+    pub skip_on_fault: bool,
 }
 
 impl Default for ReplayOptions {
@@ -27,6 +33,7 @@ impl Default for ReplayOptions {
             record_series: false,
             series_stride: 8,
             stop_on_oom: true,
+            skip_on_fault: false,
         }
     }
 }
@@ -91,6 +98,9 @@ pub struct ReplayReport {
     /// Allocations that failed and were skipped (only with
     /// `stop_on_oom = false`).
     pub skipped_allocs: u64,
+    /// Allocations that failed with a rolled-back driver fault and were
+    /// skipped (only with `skip_on_fault = true`).
+    pub faulted_allocs: u64,
     /// Memory-over-time samples (empty unless `record_series`).
     pub series: Vec<Sample>,
     /// Statistics of the trace that was replayed.
@@ -181,6 +191,7 @@ impl Replayer {
         let mut first_iter_t = None;
         let mut iter_end_ts: Vec<u64> = Vec::new();
         let mut skipped = 0u64;
+        let mut faulted = 0u64;
         let mut series = Vec::new();
         let mut since_sample = 0usize;
 
@@ -209,14 +220,26 @@ impl Replayer {
                             }
                             skipped += 1;
                         }
+                        Err(AllocError::DriverFault { .. }) if self.options.skip_on_fault => {
+                            faulted += 1;
+                        }
                         Err(e) => panic!("replay hit a non-OOM allocator error: {e}"),
                     }
                 }
                 TraceEvent::Free { key, stream } => {
                     if let Some((id, _)) = ids.remove(&key) {
-                        alloc
-                            .free_on_stream(id, stream)
-                            .expect("replayer frees only live allocations");
+                        match alloc.free_on_stream(id, stream) {
+                            Ok(()) => {}
+                            Err(AllocError::DriverFault { .. }) if self.options.skip_on_fault => {
+                                // The core rolled the free back, so the
+                                // tensor is still live; park it for the
+                                // final drain (the fault, if transient,
+                                // is consumed by then).
+                                faulted += 1;
+                                ids.insert(key, (id, stream));
+                            }
+                            Err(e) => panic!("replayer frees only live allocations: {e}"),
+                        }
                     }
                 }
                 // Compute is launched ASYNCHRONOUSLY on the default stream,
@@ -269,7 +292,11 @@ impl Replayer {
         // Release surviving allocations so the allocator can be reused (the
         // trace itself frees everything unless it was cut short by OOM).
         for (_, (id, stream)) in ids.drain() {
-            let _ = alloc.free_on_stream(id, stream);
+            // One retry absorbs a transient fault consumed by the first
+            // attempt; anything else is best-effort cleanup.
+            if alloc.free_on_stream(id, stream).is_err() {
+                let _ = alloc.free_on_stream(id, stream);
+            }
         }
 
         let stats = alloc.stats();
@@ -312,6 +339,7 @@ impl Replayer {
             allocator_ns,
             throughput,
             skipped_allocs: skipped,
+            faulted_allocs: faulted,
             series,
             trace_stats: trace.stats(),
         }
@@ -364,7 +392,7 @@ mod tests {
         let opts = ReplayOptions {
             record_series: true,
             series_stride: 4,
-            stop_on_oom: true,
+            ..ReplayOptions::default()
         };
         let report = Replayer::new(driver)
             .with_options(opts)

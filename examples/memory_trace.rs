@@ -19,7 +19,7 @@ fn main() {
     let opts = ReplayOptions {
         record_series: true,
         series_stride: 32,
-        stop_on_oom: true,
+        ..ReplayOptions::default()
     };
 
     // Both allocators run behind the concurrent `DeviceAllocator` front-end

@@ -29,8 +29,10 @@ pub mod prelude {
     };
     pub use gmlake_caching::CachingAllocator;
     pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};
-    pub use gmlake_gpu_sim::{CudaDriver, DeviceConfig, NativeAllocator};
-    pub use gmlake_runtime::{DefragScheduler, DeviceId, MemoryProfiler, PoolHandle, PoolService};
+    pub use gmlake_gpu_sim::{CudaDriver, DeviceConfig, FaultOp, FaultPlan, NativeAllocator};
+    pub use gmlake_runtime::{
+        DefragScheduler, DeviceId, FaultPolicy, MemoryProfiler, PoolHandle, PoolService,
+    };
     pub use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
     pub use gmlake_workload::{
         ConcurrentReplayer, ModelSpec, Platform, RankSpec, Replayer, StrategySet, TrainConfig,

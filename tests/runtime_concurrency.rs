@@ -216,3 +216,59 @@ fn background_defragger_runs_alongside_replay() {
     assert!(report.all_completed());
     assert!(sweeps > 0, "the sweeper actually ran during the replay");
 }
+
+/// A panic inside a closure holding the pool's allocator lock must not
+/// wedge the pool for everyone else. The workspace's `parking_lot` shim
+/// recovers poisoned `std::sync` locks instead of propagating the poison
+/// as an error, so surviving threads keep allocating and the allocator's
+/// invariants still hold (see `docs/fault-model.md` — the panicking
+/// closure must not have left a *logical* half-update behind, which the
+/// transactional core guarantees for its own operations).
+#[test]
+fn pool_survives_a_panicking_lock_holder() {
+    let service = PoolService::new();
+    let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+    let pool = service
+        .register(
+            DeviceId(0),
+            Box::new(GmLakeAllocator::new(
+                driver.clone(),
+                GmLakeConfig::default().with_frag_limit(mib(2)),
+            )),
+        )
+        .unwrap();
+
+    let warm = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+
+    // Panic while holding the pool mutex (with_allocator locks the core).
+    let crashed = std::thread::scope(|s| {
+        let pool = pool.clone();
+        s.spawn(move || {
+            pool.with_allocator(|_core| panic!("simulated user-callback crash"));
+        })
+        .join()
+    });
+    assert!(crashed.is_err(), "the panic must reach join()");
+
+    // The lock recovered: every other user proceeds normally.
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let pool = pool.clone();
+            s.spawn(move || {
+                for _ in 0..16 {
+                    let a = pool.allocate(AllocRequest::new(mib(1 + t))).unwrap();
+                    pool.deallocate(a.id).unwrap();
+                }
+            });
+        }
+    });
+    pool.deallocate(warm.id).unwrap();
+    assert_eq!(pool.stats().active_bytes, 0);
+    pool.with_allocator(|core| {
+        let lake = core
+            .as_any_mut()
+            .and_then(|a| a.downcast_mut::<GmLakeAllocator>())
+            .expect("gmlake core");
+        lake.validate().unwrap();
+    });
+}

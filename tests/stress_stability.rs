@@ -23,7 +23,7 @@ fn reserved_memory_plateaus_for_both_allocators() {
     let opts = ReplayOptions {
         record_series: true,
         series_stride: 16,
-        stop_on_oom: true,
+        ..ReplayOptions::default()
     };
 
     for which in ["caching", "gmlake"] {
