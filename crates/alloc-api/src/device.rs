@@ -1369,6 +1369,13 @@ impl DeviceAllocator {
         self.inner.core.lock().set_stitch_enabled(enabled);
     }
 
+    /// Forwards [`AllocatorCore::fault_journal_stats`] to the wrapped core
+    /// without flushing the shard caches (journal counters live in the core
+    /// and are unaffected by parked shard blocks).
+    pub fn fault_journal_stats(&self) -> crate::stats::FaultJournalStats {
+        self.inner.core.lock().fault_journal_stats()
+    }
+
     /// Typed variant of [`DeviceAllocator::with_core`]: runs `f` on the
     /// wrapped core if it is a `T` (via [`AllocatorCore::as_any_mut`]),
     /// e.g. to read `GmLakeAllocator::state_counters` behind the
@@ -1436,6 +1443,10 @@ impl AllocatorCore for DeviceAllocator {
 
     fn set_stitch_enabled(&mut self, enabled: bool) {
         DeviceAllocator::set_stitch_enabled(self, enabled)
+    }
+
+    fn fault_journal_stats(&self) -> crate::stats::FaultJournalStats {
+        DeviceAllocator::fault_journal_stats(self)
     }
 }
 

@@ -35,6 +35,22 @@ pub enum AllocError {
     /// rendered message. This indicates a bug in the allocator, not a
     /// recoverable condition.
     Driver(String),
+    /// A tenant-scoped allocation would push the tenant past its byte
+    /// quota. Emitted by multi-tenant front-ends (the `gmlake-serving`
+    /// crate) *before* the device is consulted, so one tenant exhausting
+    /// its budget never manifests as a device-level
+    /// [`AllocError::OutOfMemory`] for everyone else. Recoverable: the
+    /// tenant can free memory and retry, or the caller can shed load.
+    QuotaExceeded {
+        /// Opaque tenant identifier (the serving layer's `TenantId`).
+        tenant: u64,
+        /// Bytes the tenant asked for.
+        requested: u64,
+        /// Bytes the tenant currently has live.
+        used: u64,
+        /// The tenant's byte quota.
+        quota: u64,
+    },
     /// A driver call failed mid-operation and the allocator rolled the
     /// operation back transactionally: partial create/map work was
     /// unwound, the allocator's invariants hold, and the request simply
@@ -84,6 +100,20 @@ impl PartialEq for AllocError {
             (UnknownAllocation(a), UnknownAllocation(b)) => a == b,
             (InvalidConfig(a), InvalidConfig(b)) => a == b,
             (Driver(a), Driver(b)) => a == b,
+            (
+                QuotaExceeded {
+                    tenant: t1,
+                    requested: r1,
+                    used: u1,
+                    quota: q1,
+                },
+                QuotaExceeded {
+                    tenant: t2,
+                    requested: r2,
+                    used: u2,
+                    quota: q2,
+                },
+            ) => t1 == t2 && r1 == r2 && u1 == u2 && q1 == q2,
             (DriverFault { op: o1, source: s1 }, DriverFault { op: o2, source: s2 }) => {
                 o1 == o2 && s1.to_string() == s2.to_string()
             }
@@ -112,6 +142,16 @@ impl fmt::Display for AllocError {
             }
             AllocError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             AllocError::Driver(msg) => write!(f, "driver error: {msg}"),
+            AllocError::QuotaExceeded {
+                tenant,
+                requested,
+                used,
+                quota,
+            } => write!(
+                f,
+                "tenant {} quota exceeded: requested {} bytes with {} of {} already used",
+                tenant, requested, used, quota
+            ),
             AllocError::DriverFault { op, source } => {
                 write!(f, "driver fault during {op} (rolled back): {source}")
             }
@@ -164,6 +204,32 @@ mod tests {
         let e = AllocError::InvalidConfig("streams must be >= 1".to_owned());
         assert!(e.to_string().contains("invalid configuration"));
         assert!(e.to_string().contains("streams"));
+    }
+
+    #[test]
+    fn quota_exceeded_names_tenant_and_budget() {
+        let e = AllocError::QuotaExceeded {
+            tenant: 7,
+            requested: 64,
+            used: 90,
+            quota: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("tenant 7"));
+        assert!(s.contains("64"));
+        assert!(s.contains("90"));
+        assert!(s.contains("128"));
+        assert_eq!(e.clone(), e);
+        assert_ne!(
+            e,
+            AllocError::QuotaExceeded {
+                tenant: 8,
+                requested: 64,
+                used: 90,
+                quota: 128,
+            }
+        );
+        assert_ne!(e, AllocError::ZeroSize);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use device::{
 pub use error::AllocError;
 pub use events::{EventSource, ImmediateEvents, ManualEvents};
 pub use request::{AllocRequest, Allocation};
-pub use stats::{MemStats, StatsDelta};
+pub use stats::{FaultJournalStats, MemStats, StatsDelta};
 pub use traits::AllocatorCore;
 #[allow(deprecated)]
 pub use traits::{share, GpuAllocator, SharedAllocator};

@@ -96,6 +96,34 @@ impl fmt::Display for MemStats {
     }
 }
 
+/// Post-rollback driver-fault residue counters, mirrored from the concrete
+/// allocator's fault journal (GMLake's transactional recovery bookkeeping)
+/// into the implementation-neutral API so profilers and snapshots can
+/// surface orphan accounting without downcasting the core.
+///
+/// All counters are cumulative over the allocator's lifetime. A leak-free
+/// allocator reports zero orphans; `failed_ops` alone merely counts faults
+/// that were rolled back cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultJournalStats {
+    /// Driver operations that faulted and were rolled back.
+    pub failed_ops: u64,
+    /// Virtual-address reservations the rollback could not return.
+    pub orphan_vas: u64,
+    /// Bytes of virtual address space held by orphaned reservations.
+    pub orphan_va_bytes: u64,
+    /// Physical chunks the rollback could not return to the device.
+    pub orphan_chunks: u64,
+}
+
+impl FaultJournalStats {
+    /// `true` when no rollback left residue behind (orphan counters zero).
+    pub fn is_leak_free(&self) -> bool {
+        self.orphan_vas == 0 && self.orphan_va_bytes == 0 && self.orphan_chunks == 0
+    }
+}
+
 /// Difference between two snapshots, for per-phase accounting in the
 /// replayer and benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

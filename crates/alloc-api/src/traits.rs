@@ -9,7 +9,7 @@ use parking_lot::Mutex;
 
 use crate::error::AllocError;
 use crate::request::{AllocRequest, Allocation};
-use crate::stats::MemStats;
+use crate::stats::{FaultJournalStats, MemStats};
 use crate::types::{AllocationId, StreamId};
 
 /// A GPU memory allocator *backend* as seen by the tensor layer of a DL
@@ -164,6 +164,15 @@ pub trait AllocatorCore {
     /// (the default is a no-op).
     fn set_stitch_enabled(&mut self, _enabled: bool) {}
 
+    /// Cumulative driver-fault residue counters (rolled-back operations and
+    /// any orphaned VA/chunk bookkeeping the rollback could not undo).
+    /// Allocators without a fault journal report all-zero counters — the
+    /// default — which also reads as "leak-free". Profilers use this to put
+    /// orphan accounting into memory snapshots without downcasting.
+    fn fault_journal_stats(&self) -> FaultJournalStats {
+        FaultJournalStats::default()
+    }
+
     /// Mutable [`Any`](std::any::Any) view of the concrete allocator, for
     /// implementation-specific telemetry behind a type-erased front-end
     /// (see
@@ -233,6 +242,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for &mut A {
         (**self).set_stitch_enabled(enabled)
     }
 
+    fn fault_journal_stats(&self) -> FaultJournalStats {
+        (**self).fault_journal_stats()
+    }
+
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         (**self).as_any_mut()
     }
@@ -292,6 +305,10 @@ impl<A: AllocatorCore + ?Sized> AllocatorCore for Box<A> {
 
     fn set_stitch_enabled(&mut self, enabled: bool) {
         (**self).set_stitch_enabled(enabled)
+    }
+
+    fn fault_journal_stats(&self) -> FaultJournalStats {
+        (**self).fault_journal_stats()
     }
 
     fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
@@ -414,6 +431,10 @@ impl AllocatorCore for SharedAllocator {
 
     fn set_stitch_enabled(&mut self, enabled: bool) {
         self.inner.lock().set_stitch_enabled(enabled)
+    }
+
+    fn fault_journal_stats(&self) -> FaultJournalStats {
+        self.inner.lock().fault_journal_stats()
     }
 }
 

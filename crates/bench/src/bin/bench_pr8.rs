@@ -1,0 +1,188 @@
+//! Perf snapshot for the PR 8 multi-tenant serving subsystem: alloc
+//! latency tails and admission behaviour under tenant churn.
+//!
+//! One seeded [`ServingPlan`] (geometric arrivals, heterogeneous model
+//! shards from the corpus, geometric lifetimes, per-step KV-cache-style
+//! request churn) replayed through a [`ServingService`] over a GMLake
+//! pool on a simulated A100-80G. The replayer wall-clocks every
+//! allocation; the snapshot records the p50/p99/p999 tail, the admission
+//! counters, and the end-of-run per-tenant fragmentation.
+//!
+//! Results are written as machine-readable `BENCH_PR8.json` (committed,
+//! uploaded as a CI artifact) plus an uncommitted `serving_profile.json`
+//! memory-profiler snapshot of the pool after the run. `bench_pr8
+//! --check` re-runs the sweep and fails when serving *structurally*
+//! regresses: peak concurrency below [`MIN_PEAK_TENANTS`] simultaneous
+//! tenants, any device-level OOM leaking through the rescue ladder, or
+//! an order-of-magnitude p99 rise against the committed snapshot; a p99
+//! above [`WARN_REGRESSION`]× the snapshot only warns (host noise).
+
+use gmlake_alloc_api::gib;
+use gmlake_bench::report;
+use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+use gmlake_runtime::{DeviceId, MemoryProfiler, PoolService};
+use gmlake_serving::{AdmissionPolicy, ServingConfig, ServingService};
+use gmlake_workload::{ServingPlan, ServingReplayer, ServingReport, ServingWorkloadConfig};
+
+use gmlake_alloc_api::mib;
+
+/// Seed of the churn plan; fixed so CI replays the identical workload.
+const SEED: u64 = 0x5E12_B008;
+/// Service steps the plan spans.
+const STEPS: u64 = 192;
+/// Expected tenant arrivals per step.
+const ARRIVALS_PER_STEP: f64 = 2.0;
+/// Expected tenant lifetime in steps.
+const MEAN_LIFETIME: u64 = 96;
+/// The acceptance floor on peak simultaneous tenants: the subsystem must
+/// sustain at least this much multiplexing on one device.
+const MIN_PEAK_TENANTS: u64 = 100;
+/// p99 drift against the committed snapshot that earns a warning; the
+/// hard gate stays at [`report::MAX_REGRESSION`]×.
+const WARN_REGRESSION: f64 = 2.0;
+
+fn run_once() -> (ServingReport, String) {
+    let driver = CudaDriver::new(DeviceConfig::a100_80g().with_backing(false));
+    let service = PoolService::new();
+    let pool = service
+        .register(
+            DeviceId(0),
+            Box::new(GmLakeAllocator::new(
+                driver,
+                GmLakeConfig::default().with_frag_limit(mib(32)),
+            )),
+        )
+        .expect("fresh service");
+    let serving = ServingService::new(
+        pool,
+        ServingConfig::new(gib(80))
+            .with_overcommit(1.5)
+            .with_policy(AdmissionPolicy::Shed)
+            .with_idle_after(8)
+            .with_streams(4),
+    );
+    let plan = ServingPlan::generate(ServingWorkloadConfig {
+        seed: SEED,
+        steps: STEPS,
+        arrivals_per_step: ARRIVALS_PER_STEP,
+        mean_lifetime_steps: MEAN_LIFETIME,
+        shard_range: (32, 128),
+        requests_per_step: (1, 4),
+    });
+    let profiler = MemoryProfiler::new(&service);
+    profiler.start();
+    let report = ServingReplayer::new(plan).run(&serving);
+    profiler.sample();
+    let snapshot = profiler.dump().to_json();
+    (report, snapshot)
+}
+
+fn render_json(r: &ServingReport) -> String {
+    let s = r.latency_summary();
+    let mut json = String::from("{\n  \"schema\": \"gmlake-bench-pr8/v1\",\n");
+    json.push_str(&format!(
+        "  \"peak_tenants\": {},\n  \"offered\": {},\n  \"admitted\": {},\n  \
+         \"departed\": {},\n  \"attempts\": {},\n",
+        r.peak_tenants, r.offered, r.admitted, r.departed, r.attempts
+    ));
+    json.push_str(&format!(
+        "  \"alloc_p50_ns\": {},\n  \"alloc_p99_ns\": {},\n  \"alloc_p999_ns\": {},\n  \
+         \"alloc_mean_ns\": {:.0},\n",
+        s.p50_ns, s.p99_ns, s.p999_ns, s.mean_ns
+    ));
+    json.push_str(&format!(
+        "  \"quota_rejections\": {},\n  \"oom_failures\": {},\n  \
+         \"mean_tenant_fragmentation\": {:.4},\n",
+        r.quota_rejections, r.oom_failures, r.mean_tenant_fragmentation
+    ));
+    json.push_str(&format!(
+        "  \"notes\": \"seeded serving churn plan (seed {SEED:#x}, {STEPS} steps, \
+         ~{ARRIVALS_PER_STEP} arrivals/step, mean lifetime {MEAN_LIFETIME} steps, model \
+         shards 1/32-1/128 of corpus fp16 footprints, 1-4 KV-style requests per tenant \
+         per step) replayed through a ServingService (80 GiB, 1.5x overcommit, shed \
+         policy, idle horizon 8 steps, 4 streams) over a GMLake pool on the simulated \
+         A100-80G. Latencies are wall-clock per allocation attempt. Acceptance: \
+         peak_tenants >= {MIN_PEAK_TENANTS}, oom_failures == 0\"\n}}\n"
+    ));
+    json
+}
+
+fn check_against(committed: &str, r: &ServingReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    if r.peak_tenants < MIN_PEAK_TENANTS {
+        failures.push(format!(
+            "peak concurrent tenants fell to {} (floor {MIN_PEAK_TENANTS})",
+            r.peak_tenants
+        ));
+    }
+    if r.oom_failures > 0 {
+        failures.push(format!(
+            "{} device-level OOMs leaked through the tenant rescue ladder",
+            r.oom_failures
+        ));
+    }
+    let s = r.latency_summary();
+    failures.extend(report::latency_guard(
+        committed,
+        "alloc_p99_ns",
+        s.p99_ns as f64,
+        "serving alloc p99 under churn",
+    ));
+    failures.extend(report::latency_guard(
+        committed,
+        "alloc_p999_ns",
+        s.p999_ns as f64,
+        "serving alloc p999 under churn",
+    ));
+    if let Some(baseline) = report::extract_field(committed, "alloc_p99_ns") {
+        let p99 = s.p99_ns as f64;
+        if p99 > baseline * WARN_REGRESSION && p99 <= baseline * report::MAX_REGRESSION {
+            eprintln!(
+                "warning: serving alloc p99 {p99:.0} ns is {:.1}x the committed snapshot \
+                 ({baseline:.0} ns) — below the hard {:.0}x gate, likely host noise",
+                p99 / baseline,
+                report::MAX_REGRESSION
+            );
+        }
+    }
+    failures
+}
+
+fn main() {
+    eprintln!(
+        "serving churn sweep: {STEPS} steps, ~{ARRIVALS_PER_STEP} arrivals/step, \
+         mean lifetime {MEAN_LIFETIME} steps"
+    );
+    let (report, profile) = run_once();
+    let s = report.latency_summary();
+    eprintln!(
+        "  tenants: peak {} concurrent ({} offered, {} admitted, {} departed)",
+        report.peak_tenants, report.offered, report.admitted, report.departed
+    );
+    eprintln!(
+        "  alloc latency: p50 {:>7} ns, p99 {:>8} ns, p999 {:>8} ns over {} attempts \
+         ({} quota rejections, {} OOMs)",
+        s.p50_ns,
+        s.p99_ns,
+        s.p999_ns,
+        report.attempts,
+        report.quota_rejections,
+        report.oom_failures
+    );
+    std::fs::write("serving_profile.json", &profile)
+        .unwrap_or_else(|e| panic!("write serving_profile.json: {e}"));
+    eprintln!("wrote serving_profile.json (uncommitted profiler artifact)");
+
+    report::finish(
+        "BENCH_PR8.json",
+        || render_json(&report),
+        |committed| check_against(committed, &report),
+        || {
+            format!(
+                "peak {} tenants, alloc p99 {} ns / p999 {} ns, {} OOMs",
+                report.peak_tenants, s.p99_ns, s.p999_ns, report.oom_failures
+            )
+        },
+    );
+}

@@ -680,12 +680,52 @@ impl GmLakeAllocator {
         Ok(sid)
     }
 
-    /// `StitchFree` (§3.3.2): evicts least-recently-used *inactive* sBlock
-    /// structures while the sPool exceeds its capacity. Victims come
-    /// straight off the `(lru_tick, id)` eviction index.
+    /// Picks the next `StitchFree` victim: scans the first
+    /// `evict_scan_window` entries of the LRU-ordered eviction index and
+    /// prefers the view with the fewest *uniquely referenced* parts — a
+    /// pBlock referenced only by its own view drops to the unreferenced
+    /// tier on eviction, so destroying such a view cannibalizes cached
+    /// exact-match coverage that a later request would have to re-stitch,
+    /// while a view whose parts are mostly woven into other cached views
+    /// is near-free to drop. Ties (and a window of 1) fall back to pure
+    /// `(lru_tick, id)` LRU.
+    fn pick_stitchfree_victim(&self) -> Option<(u64, SBlockId)> {
+        let window = self.config.evict_scan_window.max(1);
+        let mut best: Option<((u64, SBlockId), usize)> = None;
+        for &key in self.s_evictable.iter().take(window) {
+            let (_, sid) = key;
+            let unique = self.sblocks[sid]
+                .parts
+                .iter()
+                .filter(|&&pid| {
+                    self.pblocks
+                        .get(pid)
+                        .expect("part exists")
+                        .referenced_by
+                        .len()
+                        <= 1
+                })
+                .count();
+            if unique == 0 {
+                // Every part survives in some other view: a free eviction,
+                // and LRU-first among such candidates since the scan runs
+                // in eviction-index order.
+                return Some(key);
+            }
+            if best.is_none_or(|(_, b)| unique < b) {
+                best = Some((key, unique));
+            }
+        }
+        best.map(|(key, _)| key)
+    }
+
+    /// `StitchFree` (§3.3.2): evicts *inactive* sBlock structures while the
+    /// sPool exceeds its capacity. Victims come from a bounded scan of the
+    /// `(lru_tick, id)` eviction index (see
+    /// [`GmLakeAllocator::pick_stitchfree_victim`]).
     fn enforce_spool_capacity(&mut self) {
         while self.sblocks.len() > self.config.max_sblocks {
-            match self.s_evictable.first().copied() {
+            match self.pick_stitchfree_victim() {
                 Some((_, sid)) => {
                     let size = self.sblocks[sid].size;
                     if self.destroy_sblock(sid).is_err() {
@@ -1461,6 +1501,15 @@ impl AllocatorCore for GmLakeAllocator {
 
     fn set_stitch_enabled(&mut self, enabled: bool) {
         self.stitch_enabled = enabled;
+    }
+
+    fn fault_journal_stats(&self) -> gmlake_alloc_api::FaultJournalStats {
+        gmlake_alloc_api::FaultJournalStats {
+            failed_ops: self.journal.failed_ops,
+            orphan_vas: self.journal.orphan_vas,
+            orphan_va_bytes: self.journal.orphan_va_bytes,
+            orphan_chunks: self.journal.orphan_chunks,
+        }
     }
 
     /// GMLake's proactive defrag pass, gentler than the OOM fallback:

@@ -30,6 +30,14 @@ pub struct GmLakeConfig {
     /// an undersized sPool causes perpetual evict/re-stitch churn, so the
     /// default is sized above one steady-state iteration's working set.
     pub max_sblocks: usize,
+    /// How many LRU-ordered eviction candidates `StitchFree` inspects
+    /// before destroying one. Within the window the victim with the
+    /// fewest *uniquely referenced* parts wins (its pBlocks live on in
+    /// other cached views, so destroying it cannibalizes the least
+    /// exact-match coverage); ties fall back to LRU order. `1` recovers
+    /// the pure `(lru_tick, id)` LRU of the paper's §3.3.2. The window is
+    /// a full scan of each candidate's parts, so keep it small.
+    pub evict_scan_window: usize,
     /// Whether every `Split` additionally caches an sBlock stitching the two
     /// halves (the behaviour illustrated in the paper's Figure 9 S2), so a
     /// future request of the original size exact-matches. Under workloads
@@ -48,6 +56,7 @@ impl Default for GmLakeConfig {
             small_threshold: mib(2),
             frag_limit: mib(4),
             max_sblocks: 8192,
+            evict_scan_window: 8,
             cache_split_halves: false,
             small_config: BfcConfig::default(),
         }
@@ -73,6 +82,13 @@ impl GmLakeConfig {
     #[must_use]
     pub fn with_small_threshold(mut self, small_threshold: u64) -> Self {
         self.small_threshold = small_threshold;
+        self
+    }
+
+    /// Sets the `StitchFree` victim-scan window (`1` = pure LRU).
+    #[must_use]
+    pub fn with_evict_scan_window(mut self, evict_scan_window: usize) -> Self {
+        self.evict_scan_window = evict_scan_window;
         self
     }
 

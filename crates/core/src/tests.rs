@@ -839,3 +839,95 @@ mod bestfit_oracle {
         }
     }
 }
+
+/// Defrag-aware `StitchFree` (PR 8): builds a converged pool holding three
+/// evictable views — `S_uniq` (LRU-oldest, over *uniquely referenced*
+/// parts), and `S_extra`/`S_donor` (newer, sharing all of `S_extra`'s parts)
+/// — then triggers one eviction with a stitch over disjoint fresh parts.
+/// Pure LRU (`evict_scan_window = 1`) destroys `S_uniq` and the follow-up
+/// request must rebuild the destroyed view; the shared-parts-aware window
+/// evicts `S_extra` (whose parts all live on inside `S_donor`) for free.
+fn cannibalization_scenario(window: usize) -> GmLakeAllocator {
+    let cfg = GmLakeConfig::default()
+        .with_frag_limit(mib(2))
+        .with_max_sblocks(3)
+        .with_evict_scan_window(window);
+    let mut l = lake_with(DeviceConfig::small_test(), cfg);
+    // Raw material, all held live so BestFit cannot mix the groups:
+    // a* become S_uniq's parts, b* S_donor's, c* the trigger's.
+    let a1 = l.allocate(AllocRequest::new(mib(2))).unwrap();
+    let a2 = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    let bs: Vec<_> = [4, 4, 4, 2]
+        .iter()
+        .map(|&m| l.allocate(AllocRequest::new(mib(m))).unwrap())
+        .collect();
+    let cs: Vec<_> = (0..4)
+        .map(|_| l.allocate(AllocRequest::new(mib(4))).unwrap())
+        .collect();
+    // S_uniq [4, 2]: its parts are referenced by no other view, ever.
+    l.deallocate(a1.id).unwrap();
+    l.deallocate(a2.id).unwrap();
+    let u = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    // S_donor [4, 4, 4, 2], then S_extra [4, 4, 4] re-stitching three of
+    // S_donor's freed parts (S_uniq's parts are active behind `u`, the
+    // trigger material behind `cs`).
+    for b in &bs {
+        l.deallocate(b.id).unwrap();
+    }
+    let d = l.allocate(AllocRequest::new(mib(14))).unwrap();
+    l.deallocate(d.id).unwrap();
+    let e = l.allocate(AllocRequest::new(mib(12))).unwrap();
+    assert_eq!(l.state_counters().stitches, 3, "S_uniq, S_donor, S_extra");
+    // Free order fixes LRU recency: S_uniq oldest, then S_extra; an exact
+    // re-use refresh makes S_donor the most recent.
+    l.deallocate(u.id).unwrap();
+    l.deallocate(e.id).unwrap();
+    let g = l.allocate(AllocRequest::new(mib(14))).unwrap();
+    assert_eq!(l.state_counters().exact, 1, "refresh hit S_donor exactly");
+    l.deallocate(g.id).unwrap();
+    // Trigger: a 16 MiB stitch over the four fresh 4 MiB c-parts pushes the
+    // sPool to 4 > max_sblocks=3 and forces exactly one StitchFree pass
+    // while S_uniq, S_extra and S_donor are all evictable.
+    for c in &cs {
+        l.deallocate(c.id).unwrap();
+    }
+    let t = l.allocate(AllocRequest::new(mib(16))).unwrap();
+    assert_eq!(l.state_counters().stitches, 4, "trigger stitch");
+    assert_eq!(l.state_counters().evictions, 1, "one StitchFree eviction");
+    assert_eq!(l.sblock_count(), 3);
+    l.deallocate(t.id).unwrap();
+    l.validate().unwrap();
+    l
+}
+
+#[test]
+fn stitchfree_window_prefers_shared_part_victims() {
+    let mut l = cannibalization_scenario(8);
+    let exact_before = l.state_counters().exact;
+    // S_extra was the victim (every part survives inside S_donor), so the
+    // converged 6 MiB request still exact-matches S_uniq: zero driver work.
+    let r = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    assert_eq!(l.state_counters().exact, exact_before + 1);
+    assert_eq!(l.state_counters().stitches, 4, "no re-stitch");
+    assert_eq!(l.state_counters().evictions, 1, "no further eviction");
+    l.deallocate(r.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn stitchfree_pure_lru_cannibalizes_converged_views() {
+    let mut l = cannibalization_scenario(1);
+    let exact_before = l.state_counters().exact;
+    // Pure LRU evicted S_uniq, so the same 6 MiB request has to rebuild the
+    // destroyed view from its now-unreferenced parts — a stitch (and a
+    // knock-on eviction) the wider scan window avoids entirely.
+    let r = l.allocate(AllocRequest::new(mib(6))).unwrap();
+    assert_eq!(l.state_counters().exact, exact_before, "no exact match");
+    assert_eq!(
+        l.state_counters().stitches,
+        5,
+        "S_uniq had to be re-stitched"
+    );
+    l.deallocate(r.id).unwrap();
+    l.validate().unwrap();
+}

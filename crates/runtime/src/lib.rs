@@ -133,7 +133,7 @@ mod service;
 pub use background::BackgroundDefragger;
 pub use error::RuntimeError;
 pub use profiler::MemoryProfiler;
-pub use recovery::{FaultPolicy, FaultRecoveryStats};
+pub use recovery::{FaultPolicy, FaultRecoveryStats, RescueHook};
 pub use scheduler::{
     DefragAction, DefragPolicy, DefragScheduler, DefragStats, FragThresholdPolicy,
     OomPressurePolicy, PeriodicPolicy, PoolObservation,

@@ -1,7 +1,7 @@
 //! The [`MemoryProfiler`] facade: start/stop/dump memory-timeline
 //! profiling over a [`PoolService`]'s pools.
 
-use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
+use gmlake_telemetry::{FaultSnapshot, MemorySnapshot, PoolTelemetry};
 
 use crate::service::{fragmentation_of, DeviceId, PoolHandle, PoolService};
 
@@ -150,7 +150,25 @@ impl MemoryProfiler {
                 tel.disable();
             }
             let label = format!("{} ({})", device, handle.name());
-            pools.push(tel.snapshot(&label, stats.reserved_bytes, stats.active_bytes));
+            let mut snap = tel.snapshot(&label, stats.reserved_bytes, stats.active_bytes);
+            // Fault-recovery counters live in the service (breaker) and the
+            // allocator core (transaction journal), not in the telemetry
+            // sink — attach them here so chaos and serving artifacts carry
+            // orphan accounting alongside the timeline.
+            let recovery = handle.fault_stats();
+            let journal = handle.allocator().fault_journal_stats();
+            snap.fault = Some(FaultSnapshot {
+                faults: recovery.faults,
+                retries: recovery.retries,
+                breaker_trips: recovery.breaker_trips,
+                breaker_open: recovery.breaker_open,
+                rescues: recovery.rescues,
+                journal_failed_ops: journal.failed_ops,
+                orphan_vas: journal.orphan_vas,
+                orphan_va_bytes: journal.orphan_va_bytes,
+                orphan_chunks: journal.orphan_chunks,
+            });
+            pools.push(snap);
         }
         MemorySnapshot { pools }
     }
@@ -164,5 +182,47 @@ impl MemoryProfiler {
             cache.pending_bytes,
             fragmentation_of(&stats),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlake_alloc_api::{mib, AllocRequest};
+    use gmlake_core::{GmLakeAllocator, GmLakeConfig};
+    use gmlake_gpu_sim::{CudaDriver, DeviceConfig, FaultOp, FaultPlan};
+
+    #[test]
+    fn dump_attaches_fault_recovery_and_journal_counters() {
+        let service = PoolService::new();
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let pool = service
+            .register(
+                DeviceId(0),
+                Box::new(GmLakeAllocator::new(
+                    driver.clone(),
+                    GmLakeConfig::default(),
+                )),
+            )
+            .unwrap();
+        let profiler = MemoryProfiler::new(&service);
+        profiler.start();
+        // One injected map fault, absorbed by the service's bounded retry:
+        // the snapshot must carry it even though the caller never saw it.
+        driver.set_fault_plan(FaultPlan::new().fail_nth(FaultOp::Map, 1));
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        profiler.stop();
+        let snap = profiler.dump();
+        let fault = snap.pools[0].fault.expect("fault section attached");
+        assert_eq!(fault.faults, 1);
+        assert_eq!(fault.retries, 1);
+        assert!(!fault.breaker_open);
+        assert_eq!(fault.journal_failed_ops, 1, "journal reached the dump");
+        assert_eq!(fault.orphan_vas + fault.orphan_chunks, 0, "leak-free");
+        // The enriched snapshot still validates and round-trips.
+        let json = snap.to_json();
+        MemorySnapshot::validate_json(&json).unwrap();
+        assert_eq!(MemorySnapshot::from_json(&json).unwrap(), snap);
     }
 }

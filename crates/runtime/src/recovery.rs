@@ -17,7 +17,8 @@
 //!   is re-probed (half-open: one more fault re-opens immediately, one
 //!   success closes fully);
 //! * **out-of-memory** runs a staged rescue pipeline — flush the shard
-//!   caches, drain the pending event rings, compact, then the cross-pool
+//!   caches, drain the pending event rings, compact, run the
+//!   owner-installed tenant [`RescueHook`] (if any), then the cross-pool
 //!   policy rescue — retrying after every stage that reclaimed anything.
 
 /// Tuning knobs for the pool service's fault recovery (one per
@@ -64,6 +65,26 @@ impl FaultPolicy {
     pub(crate) fn backoff_for(&self, attempt: u32) -> u64 {
         self.backoff_us << attempt.saturating_sub(1).min(6)
     }
+}
+
+/// A pool-owner-supplied reclamation stage in the staged OOM rescue
+/// pipeline (installed via
+/// [`PoolHandle::set_rescue_hook`](crate::PoolHandle::set_rescue_hook)).
+///
+/// The service's built-in stages (flush, drain, compact) only see
+/// *memory*; layers above the pool — the serving subsystem's tenant
+/// registry in particular — know which cached bytes belong to *whom* and
+/// can release idle tenants' working sets before an out-of-memory error
+/// reaches an active one. The hook runs as stage 4, after the pool-local
+/// stages and before the cross-pool scheduler rescue.
+///
+/// `needed` is the size of the failing request in bytes. Return the
+/// number of bytes the hook released (an estimate is fine — any non-zero
+/// return triggers a retry of the allocation). Must not allocate on the
+/// pool it rescues and must not block: the failing caller is waiting.
+pub trait RescueHook: Send + Sync + std::fmt::Debug {
+    /// Tries to release at least `needed` bytes; returns bytes released.
+    fn rescue(&self, needed: u64) -> u64;
 }
 
 /// Per-pool circuit-breaker and recovery bookkeeping (behind the pool

@@ -16,7 +16,7 @@ use gmlake_alloc_api::{
 use gmlake_telemetry::{EventKind, PoolTelemetry};
 
 use crate::error::RuntimeError;
-use crate::recovery::{BreakerState, FaultPolicy, FaultRecoveryStats};
+use crate::recovery::{BreakerState, FaultPolicy, FaultRecoveryStats, RescueHook};
 use crate::scheduler::{apply_action, DefragAction, DefragScheduler, PoolObservation};
 
 /// Identifies one device (one memory pool) within a [`PoolService`].
@@ -52,6 +52,9 @@ struct PoolEntry {
     affinity: Option<u64>,
     /// Stitch circuit breaker and fault-recovery counters.
     breaker: Mutex<BreakerState>,
+    /// Owner-supplied tenant-level reclamation stage of the OOM rescue
+    /// pipeline (see [`RescueHook`]). `None` until installed.
+    rescue_hook: Mutex<Option<Arc<dyn RescueHook>>>,
 }
 
 /// What one [`PoolService::defrag_sweep`] pass did.
@@ -261,6 +264,7 @@ impl PoolService {
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
             affinity,
             breaker: Mutex::new(BreakerState::default()),
+            rescue_hook: Mutex::new(None),
         });
         pools.insert(device, Arc::clone(&entry));
         Ok(self.make_handle(device, entry))
@@ -516,9 +520,10 @@ impl PoolHandle {
     /// * out-of-memory — after the front-end's own flush-and-retry, which
     ///   drains **every** stream's cache — runs the staged rescue
     ///   pipeline: flush shard caches, drain pending event rings, compact,
-    ///   then the defrag policy's cross-pool rescue spanning the pools
-    ///   cohabiting this pool's physical device, retrying after every
-    ///   stage that reclaimed anything.
+    ///   the owner-installed tenant [`RescueHook`] (if any), then the
+    ///   defrag policy's cross-pool rescue spanning the pools cohabiting
+    ///   this pool's physical device, retrying after every stage that
+    ///   reclaimed anything.
     ///
     /// # Errors
     ///
@@ -560,10 +565,11 @@ impl PoolHandle {
     /// The staged OOM rescue pipeline: each stage tries to reclaim memory
     /// with a progressively wider hammer, and the allocation is retried
     /// after every stage that actually freed something. Stages 1–3 are
-    /// local to this pool; stage 4 spans the pools cohabiting this pool's
-    /// physical device via the defrag policy (see
-    /// [`PoolHandle::rescue_same_device`]'s affinity rule). No pool lock
-    /// is held between stages. Every stage emits an
+    /// local to this pool; stage 4 is the owner-installed tenant
+    /// [`RescueHook`] (skipped when none is installed); stage 5 spans the
+    /// pools cohabiting this pool's physical device via the defrag policy
+    /// (see [`PoolHandle::rescue_same_device`]'s affinity rule). No pool
+    /// lock is held between stages. Every stage that runs emits an
     /// [`EventKind::RescueStage`] trace record when telemetry is enabled.
     fn rescue_oom(
         &self,
@@ -572,7 +578,7 @@ impl PoolHandle {
         original: AllocError,
     ) -> Result<Allocation, AllocError> {
         let mut last = original;
-        for stage in 1u64..=4 {
+        for stage in 1u64..=5 {
             let bytes = match stage {
                 // Flush every stream's shard cache into the core and
                 // release the core's cached structures.
@@ -585,8 +591,16 @@ impl PoolHandle {
                 2 => self.entry.alloc.process_events(),
                 // Proactive compaction: sPool GC + dead-fragment release.
                 3 => self.entry.alloc.compact(),
-                // Cross-pool policy rescue on the cohabiting pools.
+                // Tenant-level reclamation by the owner-installed hook.
                 4 => {
+                    let hook = self.entry.rescue_hook.lock().clone();
+                    match hook {
+                        Some(hook) => hook.rescue(req.size),
+                        None => continue,
+                    }
+                }
+                // Cross-pool policy rescue on the cohabiting pools.
+                5 => {
                     let Some(scheduler) = self.scheduler() else {
                         break;
                     };
@@ -674,6 +688,19 @@ impl PoolHandle {
 
     fn note_alloc_success(&self) {
         self.entry.breaker.lock().consecutive = 0;
+    }
+
+    /// Installs `hook` as the pool's tenant-level OOM rescue stage
+    /// (stage 4 of the pipeline documented on
+    /// [`PoolHandle::alloc_on_stream`]), replacing any previous hook.
+    /// Every handle to the pool shares the installed hook.
+    pub fn set_rescue_hook(&self, hook: Arc<dyn RescueHook>) {
+        *self.entry.rescue_hook.lock() = Some(hook);
+    }
+
+    /// Removes the pool's tenant-level rescue hook, returning it.
+    pub fn clear_rescue_hook(&self) -> Option<Arc<dyn RescueHook>> {
+        self.entry.rescue_hook.lock().take()
     }
 
     /// Snapshot of this pool's fault-recovery counters: faults survived,
@@ -1260,6 +1287,58 @@ mod tests {
         assert_eq!(big.size, mib(200));
         assert_eq!(service.scheduler().unwrap().stats().oom_rescues, 1);
         pool.free_on_stream(big.id, StreamId(1)).unwrap();
+    }
+
+    /// A [`RescueHook`] that releases a sibling pool's idle cache — memory
+    /// the failing pool's own flush/drain/compact stages cannot reach.
+    #[derive(Debug)]
+    struct FlushSibling(PoolHandle);
+
+    impl RescueHook for FlushSibling {
+        fn rescue(&self, _needed: u64) -> u64 {
+            self.0.release_cached()
+        }
+    }
+
+    #[test]
+    fn rescue_hook_runs_as_stage_four_and_saves_the_allocation() {
+        // No scheduler and no affinity: stages 1–3 find nothing (the
+        // failing pool is empty) and stage 5 cannot run, so only the
+        // installed hook can save the 200 MiB request from the hoarder's
+        // 160 MiB of idle cache on the shared 256 MiB device.
+        let service = PoolService::new();
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        let hoarder = service
+            .register(DeviceId(0), Box::new(CachingAllocator::new(driver.clone())))
+            .unwrap();
+        let pool = service
+            .register(DeviceId(1), Box::new(CachingAllocator::new(driver.clone())))
+            .unwrap();
+        let ids: Vec<_> = (0..4)
+            .map(|_| hoarder.allocate(AllocRequest::new(mib(40))).unwrap().id)
+            .collect();
+        for id in ids {
+            hoarder.deallocate(id).unwrap();
+        }
+        assert!(driver.phys_in_use() >= mib(160), "sibling cache retained");
+        pool.set_rescue_hook(Arc::new(FlushSibling(hoarder.clone())));
+        let big = pool.allocate(AllocRequest::new(mib(200))).unwrap();
+        assert_eq!(big.size, mib(200));
+        assert_eq!(hoarder.stats().reserved_bytes, 0, "hook flushed sibling");
+        assert_eq!(pool.fault_stats().rescues, 1, "rescue pipeline saved it");
+        pool.deallocate(big.id).unwrap();
+        pool.release_cached();
+        // Without the hook the same pressure surfaces as OOM again.
+        let hook = pool.clear_rescue_hook();
+        assert!(hook.is_some(), "installed hook handed back");
+        let refill: Vec<_> = (0..4)
+            .map(|_| hoarder.allocate(AllocRequest::new(mib(40))).unwrap().id)
+            .collect();
+        for id in refill {
+            hoarder.deallocate(id).unwrap();
+        }
+        let err = pool.allocate(AllocRequest::new(mib(200))).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Step-cadence defragmentation for serving pools: a periodic compaction
+//! plus an aggressive mode keyed to tenant churn and fragmentation.
+//!
+//! Training loops defragment at iteration boundaries (the runtime's
+//! `DefragScheduler`); a serving pool has no iterations, but it does have
+//! a step cadence and — unlike training — *churn*: tenants arriving and
+//! departing reshape the size distribution, stranding cached blocks sized
+//! for jobs that no longer exist. The manager runs a cheap periodic
+//! `compact` on a fixed cadence and escalates to an aggressive pass
+//! (drain event rings, compact, release the cache) while churn or
+//! fragmentation is high.
+
+use gmlake_runtime::PoolHandle;
+
+/// Tuning knobs of the serving layer's defrag manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefragConfig {
+    /// Run a periodic `compact` every this many steps (`0` disables the
+    /// periodic mode).
+    pub period_steps: u64,
+    /// Sliding window, in steps, over which churn is counted.
+    pub churn_window_steps: u64,
+    /// Tenant arrivals + departures within the window at or above which
+    /// the manager escalates to the aggressive pass.
+    pub aggressive_churn: u64,
+    /// Pool fragmentation at or above which the manager escalates
+    /// regardless of churn.
+    pub aggressive_frag: f64,
+}
+
+impl Default for DefragConfig {
+    fn default() -> Self {
+        DefragConfig {
+            period_steps: 64,
+            churn_window_steps: 32,
+            aggressive_churn: 8,
+            aggressive_frag: 0.5,
+        }
+    }
+}
+
+/// Cumulative counters of the manager's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DefragManagerStats {
+    /// Periodic `compact` passes run.
+    pub periodic_passes: u64,
+    /// Aggressive (drain + compact + release) passes run.
+    pub aggressive_passes: u64,
+    /// Physical bytes reclaimed across all passes.
+    pub bytes_reclaimed: u64,
+}
+
+/// Step-driven defrag driver for one serving pool. Not thread-safe on its
+/// own — the owning [`ServingService`](crate::ServingService) calls it
+/// from behind its step lock, once per step.
+#[derive(Debug)]
+pub(crate) struct DefragManager {
+    cfg: DefragConfig,
+    /// Churn events per recent step, oldest first (bounded ring of
+    /// `churn_window_steps` entries).
+    window: std::collections::VecDeque<u64>,
+    stats: DefragManagerStats,
+}
+
+impl DefragManager {
+    pub fn new(cfg: DefragConfig) -> Self {
+        DefragManager {
+            cfg,
+            window: std::collections::VecDeque::new(),
+            stats: DefragManagerStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> DefragManagerStats {
+        self.stats
+    }
+
+    /// Churn events (arrivals + departures) inside the sliding window.
+    pub fn churn_in_window(&self) -> u64 {
+        self.window.iter().sum()
+    }
+
+    /// Advances the manager by one step that saw `churn_events` tenant
+    /// arrivals + departures, running whichever pass the cadence and the
+    /// pool's state call for. Returns the bytes reclaimed this step.
+    pub fn on_step(&mut self, step: u64, churn_events: u64, pool: &PoolHandle) -> u64 {
+        self.window.push_back(churn_events);
+        while self.window.len() as u64 > self.cfg.churn_window_steps.max(1) {
+            self.window.pop_front();
+        }
+        let mut reclaimed = 0;
+        let aggressive = self.churn_in_window() >= self.cfg.aggressive_churn
+            || pool.fragmentation() >= self.cfg.aggressive_frag;
+        if aggressive {
+            // Promote parked cross-stream blocks first so the compaction
+            // and release below see them, then drop the whole idle cache:
+            // under heavy churn the cached shapes belong to departed
+            // tenants and will not recur.
+            pool.process_events();
+            reclaimed += pool.compact();
+            reclaimed += pool.release_cached();
+            self.stats.aggressive_passes += 1;
+        } else if self.cfg.period_steps > 0 && step.is_multiple_of(self.cfg.period_steps) {
+            reclaimed += pool.compact();
+            self.stats.periodic_passes += 1;
+        }
+        self.stats.bytes_reclaimed += reclaimed;
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmlake_alloc_api::{mib, AllocRequest};
+    use gmlake_caching::CachingAllocator;
+    use gmlake_gpu_sim::{CudaDriver, DeviceConfig};
+    use gmlake_runtime::{DeviceId, PoolService};
+
+    fn pool() -> PoolHandle {
+        let driver = CudaDriver::new(DeviceConfig::small_test().with_backing(false));
+        PoolService::new()
+            .register(DeviceId(0), Box::new(CachingAllocator::new(driver)))
+            .unwrap()
+    }
+
+    #[test]
+    fn periodic_pass_fires_on_cadence_only() {
+        let pool = pool();
+        let mut m = DefragManager::new(DefragConfig {
+            period_steps: 4,
+            churn_window_steps: 8,
+            aggressive_churn: u64::MAX,
+            aggressive_frag: 1.1,
+        });
+        for step in 1..=8 {
+            m.on_step(step, 0, &pool);
+        }
+        assert_eq!(m.stats().periodic_passes, 2, "steps 4 and 8");
+        assert_eq!(m.stats().aggressive_passes, 0);
+    }
+
+    #[test]
+    fn churn_burst_escalates_and_reclaims_the_idle_cache() {
+        let pool = pool();
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert!(pool.stats().reserved_bytes >= mib(8), "cache warm");
+        let mut m = DefragManager::new(DefragConfig {
+            period_steps: 0,
+            churn_window_steps: 4,
+            aggressive_churn: 6,
+            aggressive_frag: 1.1, // never by fragmentation
+        });
+        assert_eq!(m.on_step(1, 2, &pool), 0, "churn 2 < 6: quiet");
+        let got = m.on_step(2, 4, &pool);
+        assert!(got >= mib(8), "churn 6 >= 6: aggressive pass released");
+        assert_eq!(pool.stats().reserved_bytes, 0);
+        assert_eq!(m.stats().aggressive_passes, 1);
+        // The window slides: after 4 quiet steps the burst ages out.
+        for step in 3..=6 {
+            m.on_step(step, 0, &pool);
+        }
+        assert_eq!(m.churn_in_window(), 0);
+        assert_eq!(
+            m.stats().aggressive_passes,
+            3,
+            "steps 3 and 4 still saw the burst in the window; 5 and 6 did not"
+        );
+    }
+
+    #[test]
+    fn fragmentation_alone_escalates() {
+        let pool = pool();
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert!(pool.fragmentation() > 0.9, "all-cache pool is fragmented");
+        let mut m = DefragManager::new(DefragConfig {
+            period_steps: 0,
+            churn_window_steps: 4,
+            aggressive_churn: u64::MAX,
+            aggressive_frag: 0.5,
+        });
+        assert!(m.on_step(1, 0, &pool) >= mib(8));
+        assert_eq!(m.stats().aggressive_passes, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gmlake-serving — multi-tenant serving over GMLake pools
+//!
+//! Training jobs own a whole device; serving fleets do not. Hundreds of
+//! inference jobs — heterogeneous model footprints, bursty lifetimes —
+//! multiplex one GPU, and the memory pool underneath them must keep the
+//! tenants isolated *logically* (one tenant's appetite must never surface
+//! as another tenant's OOM) while sharing the physical pool as
+//! aggressively as GMLake's stitching allows.
+//!
+//! This crate is that front-end, one [`ServingService`] per device pool:
+//!
+//! * [`TenantRegistry`] — per-tenant byte quotas with exact two-phase
+//!   charge accounting (reserve before the pool call, settle the rounded
+//!   size after), live-allocation books, idle tracking;
+//! * [`AdmissionPolicy`] — arrivals commit quota against
+//!   `capacity × overcommit`; over the ceiling they are rejected, queued
+//!   with a bounded wait, or admitted by shedding idle tenants;
+//! * tenant-aware OOM rescue — the service installs a stage-4
+//!   [`RescueHook`](gmlake_runtime::RescueHook) that drops *idle*
+//!   tenants' working sets (oldest-idle first) before an active tenant
+//!   can see a device-level OOM;
+//! * [`DefragConfig`] — a step-cadence defrag manager compacting
+//!   periodically and escalating under tenant churn or fragmentation.
+//!
+//! Quota violations surface as the recoverable
+//! [`AllocError::QuotaExceeded`](gmlake_alloc_api::AllocError::QuotaExceeded)
+//! with exact `requested`/`used`/`quota` numbers, refused before the
+//! device is consulted.
+//!
+//! See `docs/serving.md` for the design narrative and
+//! `gmlake-workload`'s serving generator + `bench_pr8` for the churn
+//! workloads and p99/p999 latency gates built on top of this crate.
+
+#![warn(missing_docs)]
+
+mod admission;
+mod defrag;
+mod service;
+mod tenant;
+
+pub use admission::{AdmissionPolicy, AdmissionStats, AdmissionVerdict};
+pub use defrag::{DefragConfig, DefragManagerStats};
+pub use service::{ServingConfig, ServingService, ServingStats, StepOutcome};
+pub use tenant::{TenantId, TenantRegistry, TenantUsage};

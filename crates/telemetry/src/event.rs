@@ -44,17 +44,28 @@ pub enum EventKind {
     FaultInjected,
     /// One stage of the runtime's staged OOM-rescue pipeline ran.
     /// `bytes` = bytes released by the stage, `a` = stage index
-    /// (1 flush, 2 drain, 3 compact, 4 cross-pool), `b` = 1 when the
-    /// subsequent retry succeeded.
+    /// (1 flush, 2 drain, 3 compact, 4 tenant rescue hook, 5 cross-pool),
+    /// `b` = 1 when the subsequent retry succeeded.
     RescueStage,
     /// The stitch circuit breaker changed state. `a` = 1 opened (stitching
     /// disabled), 0 closed (re-enabled); `b` = consecutive faults observed.
     BreakerTrip,
+    /// The serving admission controller ruled on a tenant. `bytes` =
+    /// requested quota, `a` = tenant id, `b` = verdict (0 admitted,
+    /// 1 rejected, 2 queued, 3 shed-then-admitted, 4 queue timeout).
+    TenantAdmission,
+    /// A tenant arrived at or departed from a serving pool. `bytes` =
+    /// tenant quota, `a` = tenant id, `b` = 1 arrival, 0 departure.
+    TenantChurn,
+    /// An idle tenant's resident memory was reclaimed by the tenant-aware
+    /// rescue/shed path. `bytes` = bytes reclaimed, `a` = tenant id,
+    /// `b` = live allocations dropped.
+    TenantEvict,
 }
 
 impl EventKind {
     /// Every kind, in declaration order (schema validation walks this).
-    pub const ALL: [EventKind; 14] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::Alloc,
         EventKind::Free,
         EventKind::ShardHit,
@@ -69,6 +80,9 @@ impl EventKind {
         EventKind::FaultInjected,
         EventKind::RescueStage,
         EventKind::BreakerTrip,
+        EventKind::TenantAdmission,
+        EventKind::TenantChurn,
+        EventKind::TenantEvict,
     ];
 
     /// Stable wire name used in snapshots and chrome traces.
@@ -88,6 +102,9 @@ impl EventKind {
             EventKind::FaultInjected => "fault_injected",
             EventKind::RescueStage => "rescue_stage",
             EventKind::BreakerTrip => "breaker_trip",
+            EventKind::TenantAdmission => "tenant_admission",
+            EventKind::TenantChurn => "tenant_churn",
+            EventKind::TenantEvict => "tenant_evict",
         }
     }
 

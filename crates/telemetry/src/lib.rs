@@ -69,4 +69,4 @@ pub use histogram::{Histogram, HistogramSummary};
 pub use log::Level;
 pub use pool::{PoolTelemetry, TelemetryClock};
 pub use recorder::Recorder;
-pub use snapshot::{MemorySample, MemorySnapshot, PoolSnapshot, SCHEMA};
+pub use snapshot::{FaultSnapshot, MemorySample, MemorySnapshot, PoolSnapshot, SCHEMA};

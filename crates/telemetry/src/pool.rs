@@ -268,6 +268,10 @@ impl PoolTelemetry {
             final_reserved,
             final_active,
             dropped_events: self.recorder.dropped(),
+            // Fault accounting lives in the runtime/allocator, not the
+            // sink; the profiler attaches it after draining (see
+            // `MemoryProfiler::dump`).
+            fault: None,
             samples: self.samples.lock().clone(),
             events: self.recorder.drain(),
             histograms: vec![

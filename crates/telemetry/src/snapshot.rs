@@ -36,6 +36,35 @@ pub struct MemorySample {
     pub fragmentation: f64,
 }
 
+/// Fault-recovery and orphan accounting for one pool: the runtime's
+/// retry/breaker counters merged with the allocator's fault-journal
+/// residue, so chaos and serving runs surface both in one artifact.
+///
+/// Optional in the `gmlake-snapshot/v1` document (`"fault"`): absent for
+/// pools profiled outside a fault-aware runtime, and older snapshots
+/// without the section still parse.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultSnapshot {
+    /// Driver faults observed by the runtime handle.
+    pub faults: u64,
+    /// Retries the fault policy issued.
+    pub retries: u64,
+    /// Times the stitch circuit breaker opened.
+    pub breaker_trips: u64,
+    /// Whether the breaker was open (stitching disabled) at dump time.
+    pub breaker_open: bool,
+    /// Staged OOM-rescue invocations.
+    pub rescues: u64,
+    /// Driver sequences that failed mid-way and were unwound.
+    pub journal_failed_ops: u64,
+    /// VA reservations the unwind could not return.
+    pub orphan_vas: u64,
+    /// Bytes of those orphaned reservations.
+    pub orphan_va_bytes: u64,
+    /// Physical chunk handles the unwind could not release.
+    pub orphan_chunks: u64,
+}
+
 /// Everything recorded for one pool.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PoolSnapshot {
@@ -47,6 +76,9 @@ pub struct PoolSnapshot {
     pub final_active: u64,
     /// Trace records lost to ring-buffer overflow.
     pub dropped_events: u64,
+    /// Fault-recovery and orphan accounting, when profiled through a
+    /// fault-aware runtime (`None` otherwise).
+    pub fault: Option<FaultSnapshot>,
     /// The memory timeline, in non-decreasing `ts_ns` order.
     pub samples: Vec<MemorySample>,
     /// The drained event trace, in non-decreasing `ts_ns` order.
@@ -93,6 +125,20 @@ impl MemorySnapshot {
                 "      \"dropped_events\": {},\n",
                 pool.dropped_events
             ));
+            if let Some(fault) = &pool.fault {
+                out.push_str(&format!(
+                    "      \"fault\": {{\"faults\": {}, \"retries\": {}, \"breaker_trips\": {}, \"breaker_open\": {}, \"rescues\": {}, \"journal_failed_ops\": {}, \"orphan_vas\": {}, \"orphan_va_bytes\": {}, \"orphan_chunks\": {}}},\n",
+                    fault.faults,
+                    fault.retries,
+                    fault.breaker_trips,
+                    fault.breaker_open,
+                    fault.rescues,
+                    fault.journal_failed_ops,
+                    fault.orphan_vas,
+                    fault.orphan_va_bytes,
+                    fault.orphan_chunks
+                ));
+            }
             out.push_str("      \"samples\": [");
             for (i, s) in pool.samples.iter().enumerate() {
                 if i > 0 {
@@ -358,11 +404,29 @@ fn parse_pool(p: &Value) -> Result<PoolSnapshot, String> {
             .collect::<Result<Vec<_>, String>>()?,
         _ => return Err("missing \"histograms\" object".into()),
     };
+    let fault = match p.get("fault") {
+        None => None,
+        Some(f) => Some(FaultSnapshot {
+            faults: field_u64(f, "faults")?,
+            retries: field_u64(f, "retries")?,
+            breaker_trips: field_u64(f, "breaker_trips")?,
+            breaker_open: f
+                .get("breaker_open")
+                .and_then(Value::as_bool)
+                .ok_or("missing or non-boolean \"breaker_open\"")?,
+            rescues: field_u64(f, "rescues")?,
+            journal_failed_ops: field_u64(f, "journal_failed_ops")?,
+            orphan_vas: field_u64(f, "orphan_vas")?,
+            orphan_va_bytes: field_u64(f, "orphan_va_bytes")?,
+            orphan_chunks: field_u64(f, "orphan_chunks")?,
+        }),
+    };
     Ok(PoolSnapshot {
         pool,
         final_reserved: field_u64(p, "final_reserved_bytes")?,
         final_active: field_u64(p, "final_active_bytes")?,
         dropped_events: field_u64(p, "dropped_events")?,
+        fault,
         samples,
         events,
         histograms,
@@ -380,6 +444,17 @@ mod tests {
                 final_reserved: 1 << 30,
                 final_active: 123_456,
                 dropped_events: 2,
+                fault: Some(FaultSnapshot {
+                    faults: 3,
+                    retries: 5,
+                    breaker_trips: 1,
+                    breaker_open: true,
+                    rescues: 2,
+                    journal_failed_ops: 3,
+                    orphan_vas: 0,
+                    orphan_va_bytes: 0,
+                    orphan_chunks: 0,
+                }),
                 samples: vec![
                     MemorySample {
                         ts_ns: 100,
@@ -440,6 +515,31 @@ mod tests {
     fn empty_snapshot_round_trips() {
         let empty = MemorySnapshot::default();
         assert_eq!(MemorySnapshot::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn fault_section_is_optional_and_round_trips() {
+        // With the section: exact round trip (covered by sample_snapshot).
+        let with = sample_snapshot();
+        let parsed = MemorySnapshot::from_json(&with.to_json()).unwrap();
+        assert_eq!(parsed.pools[0].fault, with.pools[0].fault);
+
+        // Without it: the document omits "fault" entirely and still
+        // parses/validates (pre-fault snapshots stay readable).
+        let mut without = sample_snapshot();
+        without.pools[0].fault = None;
+        let json = without.to_json();
+        assert!(!json.contains("\"fault\""));
+        assert_eq!(MemorySnapshot::from_json(&json).unwrap(), without);
+        MemorySnapshot::validate_json(&json).unwrap();
+
+        // A present but malformed section is a strict-parse error.
+        let broken = with
+            .to_json()
+            .replace("\"breaker_open\": true", "\"breaker_open\": 7");
+        assert!(MemorySnapshot::from_json(&broken)
+            .unwrap_err()
+            .contains("breaker_open"));
     }
 
     #[test]

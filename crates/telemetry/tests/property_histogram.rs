@@ -100,6 +100,19 @@ proptest! {
                 final_reserved: samples.last().map_or(0, |s| s.reserved_bytes),
                 final_active: samples.last().map_or(0, |s| s.active_bytes),
                 dropped_events: kind_seed % 13,
+                // Counters stay below 2^53: the JSON shim stores numbers
+                // as f64, and the round trip must be exact.
+                fault: (kind_seed % 2 == 0).then(|| gmlake_telemetry::FaultSnapshot {
+                    faults: kind_seed % 1_000_003,
+                    retries: (kind_seed % 1_000_003) * 2,
+                    breaker_trips: kind_seed % 3,
+                    breaker_open: kind_seed % 4 == 0,
+                    rescues: kind_seed % 5,
+                    journal_failed_ops: kind_seed % 1_000_003,
+                    orphan_vas: kind_seed % 7,
+                    orphan_va_bytes: (kind_seed % 7) << 21,
+                    orphan_chunks: kind_seed % 11,
+                }),
                 samples,
                 events,
                 histograms: vec![(

@@ -18,6 +18,7 @@ pub use gmlake_caching as caching;
 pub use gmlake_core as core;
 pub use gmlake_gpu_sim as gpu_sim;
 pub use gmlake_runtime as runtime;
+pub use gmlake_serving as serving;
 pub use gmlake_telemetry as telemetry;
 pub use gmlake_workload as workload;
 
@@ -33,6 +34,7 @@ pub mod prelude {
     pub use gmlake_runtime::{
         DefragScheduler, DeviceId, FaultPolicy, MemoryProfiler, PoolHandle, PoolService,
     };
+    pub use gmlake_serving::{AdmissionPolicy, ServingConfig, ServingService, TenantId};
     pub use gmlake_telemetry::{MemorySnapshot, PoolTelemetry};
     pub use gmlake_workload::{
         ConcurrentReplayer, ModelSpec, Platform, RankSpec, Replayer, StrategySet, TrainConfig,
