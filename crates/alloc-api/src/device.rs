@@ -17,8 +17,15 @@
 //!   one short shard-lock acquisition each — threads working on different
 //!   size classes never contend, and none of them ever waits behind stitch
 //!   work.
-//! * **Large / stitch traffic** and shard misses fall back to the wrapped
-//!   core behind a single mutex, exactly as before.
+//! * **Large / stitch requests** (at or above the threshold — the traffic
+//!   GMLake exists for) are served from one *large bank* per stream: an
+//!   exact-size, exact-stream hit costs one bank-lock acquisition, misses
+//!   optimistically re-scan the bank while the core's commit-time mutex is
+//!   contended, and cross-stream large frees take the same event guard as
+//!   the small shards (see [`DeviceAllocatorConfig::max_cached_large_per_bank`]).
+//! * **Cold misses** on either route fall back to the wrapped core behind
+//!   a single mutex — the commit-time lock under which splits and stitches
+//!   commit transactionally.
 //!
 //! # Stream-aware routing
 //!
@@ -133,6 +140,13 @@ use crate::types::{mib, AllocationId, EventId, StreamId, VirtAddr};
 /// never collide with a core's sequential ids.
 const FRONT_ID_BASE: u64 = 1 << 63;
 
+/// Marks a front-end id as minted by the *large* route (the per-stream
+/// large banks) rather than a small-path shard. Small ids never reach this
+/// bit (`next_seq << shard_bits` stays far below 2^62), so the three id
+/// spaces — core-sequential, front-end small, front-end large — are
+/// disjoint and a free routes without any shared lookup.
+const LARGE_ID_BIT: u64 = 1 << 62;
+
 /// Smallest size class (bytes): requests below this round up to it.
 const MIN_CLASS: u64 = 512;
 
@@ -222,6 +236,23 @@ pub struct DeviceAllocatorConfig {
     /// [`AllocError::InvalidConfig`] instead of panicking; the infallible
     /// constructors clamp via [`DeviceAllocatorConfig::normalized`].
     pub streams: usize,
+    /// Maximum blocks cached per *stream bank* on the large route (default
+    /// 32). Requests at or above `small_threshold` are served from a
+    /// per-stream large bank: an exact-size, exact-stream hit costs one
+    /// bank-lock acquisition and never touches the core mutex, and a
+    /// same-stream free parks its block in the bank up to this cap.
+    /// Unlike `max_cached_per_class` this cap is per bank across all sizes
+    /// (large sizes are few and big — a handful of parked multi-MiB blocks
+    /// is already a lot of memory).
+    ///
+    /// `0` disables the large route entirely: every large allocation and
+    /// free goes through the core mutex (the pre-PR 9 behaviour, and the
+    /// single-mutex baseline `bench_pr9` compares against). Note
+    /// `small_threshold == 0` also bypasses the large banks — that knob
+    /// documents itself as degenerating to the single-mutex
+    /// `SharedAllocator`, and the large cache would silently break that
+    /// contract for the benches built on it.
+    pub max_cached_large_per_bank: usize,
 }
 
 impl Default for DeviceAllocatorConfig {
@@ -232,6 +263,7 @@ impl Default for DeviceAllocatorConfig {
             max_cached_per_class: 64,
             pending_ring_cap: 64,
             streams: 1,
+            max_cached_large_per_bank: 32,
         }
     }
 }
@@ -278,6 +310,15 @@ impl DeviceAllocatorConfig {
     #[must_use]
     pub fn with_streams(mut self, streams: usize) -> Self {
         self.streams = streams;
+        self
+    }
+
+    /// Sets the per-bank large-route cache capacity (`0` disables the
+    /// large route; see
+    /// [`DeviceAllocatorConfig::max_cached_large_per_bank`]).
+    #[must_use]
+    pub fn with_max_cached_large_per_bank(mut self, max: usize) -> Self {
+        self.max_cached_large_per_bank = max;
         self
     }
 
@@ -379,6 +420,121 @@ struct PendingBlock {
     freed_from: StreamId,
 }
 
+/// A live large allocation handed out under a front-end large id.
+#[derive(Debug, Clone, Copy)]
+struct LiveLarge {
+    block: CachedBlock,
+    /// The exact bytes the caller asked for — the free-list key the block
+    /// returns to on deallocation. The large route reuses only on exact
+    /// requested size (no class rounding above the stitch threshold), so
+    /// the core's `requested` ledger needs no inflation correction.
+    requested: u64,
+}
+
+/// A cross-stream-freed *large* block waiting in its bank's pending ring
+/// for the freeing stream's event to complete (same guard as the small
+/// path's [`PendingBlock`], keyed by requested size instead of class).
+#[derive(Debug, Clone, Copy)]
+struct LargePending {
+    block: CachedBlock,
+    /// Free-list key the block is promoted under (exact requested size).
+    requested: u64,
+    event: EventId,
+    freed_from: StreamId,
+}
+
+/// One per-stream **large bank**: the front-end cache that takes warm
+/// large/stitch traffic off the core mutex. One bank per stream bank, one
+/// lock per bank — threads on different streams never share it, and a warm
+/// exact-size hit or same-stream park costs one bank-lock acquisition with
+/// zero core traffic.
+///
+/// Reuse is exact on `(requested size, StreamId)`: the stream tag is the
+/// *original* id (folded streams share a bank for placement only), and
+/// cross-stream frees go through the same event guard as the small shards
+/// (pend in the ring, or record + synchronize before the core fallback).
+///
+/// `epoch` counts free-list inserts. The allocation miss path records it,
+/// releases the bank lock, and — while the core commit lock is contended —
+/// optimistically re-scans the bank whenever the epoch moved: a concurrent
+/// free can satisfy the request more cheaply than a core split/stitch, and
+/// an unchanged epoch makes the re-check O(1).
+#[derive(Debug, Default)]
+struct LargeBank {
+    /// Free large blocks keyed by exact requested size.
+    free: U64Map<Vec<CachedBlock>>,
+    /// Front-end large id -> live allocation (this is what lets the free
+    /// path know the *allocating* stream of a large block — the
+    /// prerequisite for the cross-stream event guard).
+    live: U64Map<LiveLarge>,
+    /// Cross-stream-freed blocks waiting on event completion.
+    pending: VecDeque<LargePending>,
+    next_seq: u64,
+    stats: ShardStats,
+    /// Bumped on every free-list insert; see the type docs.
+    epoch: u64,
+}
+
+impl LargeBank {
+    /// Mints a fresh front-end large id owned by bank `index`: the bank
+    /// index rides in the low bits, [`LARGE_ID_BIT`] marks the large route,
+    /// and the top bit marks the id as front-end-minted.
+    #[inline]
+    fn mint(&mut self, index: usize, bank_bits: u32) -> u64 {
+        self.next_seq += 1;
+        FRONT_ID_BASE | LARGE_ID_BIT | (self.next_seq << bank_bits) | index as u64
+    }
+
+    /// Takes an exact-size block parked by exactly `stream`, if any.
+    /// A drained stack stays in the map: the same size is about to be
+    /// parked again on the warm cycle, and leaving the entry saves a hash
+    /// remove + re-insert per hit (drains `clear()` the map wholesale).
+    fn take(&mut self, requested: u64, stream: StreamId) -> Option<CachedBlock> {
+        let stack = self.free.get_mut(&requested)?;
+        let pos = stack.iter().rposition(|b| b.stream == stream)?;
+        let block = stack.swap_remove(pos);
+        self.stats.cached_bytes -= block.size;
+        self.stats.cached_blocks -= 1;
+        Some(block)
+    }
+
+    /// Parks `block` in the free list under `requested`, bumping the epoch.
+    fn park(&mut self, block: CachedBlock, requested: u64) {
+        self.stats.cached_bytes += block.size;
+        self.stats.cached_blocks += 1;
+        self.free.entry(requested).or_default().push(block);
+        self.epoch += 1;
+    }
+
+    /// Moves every pending block whose event has completed into its free
+    /// list; returns how many were promoted. Same FIFO-per-freeing-stream
+    /// query discipline as [`Shard::promote_completed`].
+    fn promote_completed(&mut self, events: &dyn EventSource) -> u64 {
+        let mut promoted = 0;
+        let mut stalled: Vec<StreamId> = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &self.pending[i];
+            if stalled.contains(&p.freed_from) {
+                i += 1;
+                continue;
+            }
+            if events.query(p.event) {
+                let p = self.pending.remove(i).expect("index checked");
+                self.stats.pending_bytes -= p.block.size;
+                self.stats.pending_blocks -= 1;
+                self.stats.event_promotions += 1;
+                self.park(p.block, p.requested);
+                promoted += 1;
+            } else {
+                stalled.push(p.freed_from);
+                i += 1;
+            }
+        }
+        promoted
+    }
+}
+
 /// Counters reconciling one shard's fast-path activity with the core's
 /// `MemStats`. Guarded by the shard lock, so the hot path pays no atomic
 /// read-modify-writes; [`DeviceAllocator::stats`] aggregates across shards.
@@ -425,6 +581,27 @@ struct ShardStats {
     pending_bytes: u64,
     /// Blocks currently waiting in this shard's pending ring.
     pending_blocks: u64,
+}
+
+impl ShardStats {
+    /// Adds `s` into `self` field-wise (the aggregation step of
+    /// [`DeviceAllocator::stats`] / [`DeviceAllocator::cache_stats`], also
+    /// used to fold the large banks' counters into the same reconciliation).
+    fn absorb(&mut self, s: &ShardStats) {
+        self.hits += s.hits;
+        self.misses += s.misses;
+        self.fast_frees += s.fast_frees;
+        self.cache_returns += s.cache_returns;
+        self.cross_stream_parked += s.cross_stream_parked;
+        self.cross_stream_fallback += s.cross_stream_fallback;
+        self.event_promotions += s.event_promotions;
+        self.requested += s.requested;
+        self.requested_inflation += s.requested_inflation;
+        self.cached_bytes += s.cached_bytes;
+        self.cached_blocks += s.cached_blocks;
+        self.pending_bytes += s.pending_bytes;
+        self.pending_blocks += s.pending_blocks;
+    }
 }
 
 /// One shard: the free lists of the size classes that hash here, the live
@@ -552,6 +729,12 @@ struct Inner {
     shard_mask: u64,
     shard_bits: u32,
     shards: Box<[Mutex<Shard>]>,
+    /// Per-bank cap of the large route (0 = large route disabled).
+    max_cached_large_per_bank: usize,
+    /// Bits the large-id sequence is shifted past (`log2(stream_banks)`).
+    bank_bits: u32,
+    /// One large bank per stream bank (see [`LargeBank`]).
+    large_banks: Box<[Mutex<LargeBank>]>,
     /// Stream-completion event source backing the cross-stream reuse fast
     /// path; `None` keeps the conservative free-through-the-core rule.
     events: Option<Arc<dyn EventSource>>,
@@ -742,6 +925,9 @@ impl DeviceAllocator {
                 shard_mask: total as u64 - 1,
                 shard_bits: total.trailing_zeros(),
                 shards: (0..total).map(|_| Mutex::default()).collect(),
+                max_cached_large_per_bank: config.max_cached_large_per_bank,
+                bank_bits: stream_banks.trailing_zeros(),
+                large_banks: (0..stream_banks).map(|_| Mutex::default()).collect(),
                 events,
                 telemetry,
             }),
@@ -864,6 +1050,146 @@ impl DeviceAllocator {
         })
     }
 
+    /// The bank index `stream` folds onto (placement only — guard and
+    /// affinity decisions always compare the exact [`StreamId`] tag).
+    #[inline]
+    fn bank_index(&self, stream: StreamId) -> usize {
+        stream.as_u32() as usize & (self.inner.stream_banks - 1)
+    }
+
+    /// Serves a large (at-or-above-threshold) request from `stream`'s large
+    /// bank. BestFit-style candidate selection runs entirely outside the
+    /// core mutex:
+    ///
+    /// 1. **Hit** — an exact-size block parked by this exact stream (with a
+    ///    promote-and-rescan of the bank's pending ring on a first miss)
+    ///    is handed out under one short bank-lock acquisition; the core
+    ///    mutex is never touched.
+    /// 2. **Miss** — the request must go to the core (whose mutex is the
+    ///    *commit-time lock*: splits and stitches commit transactionally
+    ///    under it). While that lock is contended, the miss path
+    ///    optimistically re-scans its bank whenever the bank `epoch` moved:
+    ///    a block freed concurrently by this stream satisfies the request
+    ///    cheaper than waiting to run a core split/stitch. The epoch check
+    ///    makes each revalidation O(1) when nothing changed.
+    ///
+    /// The bank lock and the core lock are never held simultaneously.
+    fn allocate_large(
+        &self,
+        req: AllocRequest,
+        stream: StreamId,
+        tel: Option<&PoolTelemetry>,
+    ) -> Result<Allocation, AllocError> {
+        let index = self.bank_index(stream);
+        let bank = &self.inner.large_banks[index];
+        let mut epoch_seen;
+        {
+            let mut guard = bank.lock();
+            let g = &mut *guard;
+            let mut hit = g.take(req.size, stream);
+            if hit.is_none() && !g.pending.is_empty() {
+                if let Some(events) = &self.inner.events {
+                    if g.promote_completed(&**events) > 0 {
+                        hit = g.take(req.size, stream);
+                    }
+                }
+            }
+            if let Some(block) = hit {
+                return Ok(self.commit_large_hit(g, index, block, req.size, stream, tel));
+            }
+            g.stats.misses += 1;
+            epoch_seen = g.epoch;
+        }
+        if let Some(t) = tel {
+            t.record(EventKind::ShardMiss, req.size, stream.as_u32() as u64, 0);
+        }
+        // Optimistic selection against the commit-time lock: try the core
+        // mutex without blocking; while someone else is committing, watch
+        // the bank epoch for a concurrent free that makes the trip
+        // unnecessary. Neither lock is ever held while taking the other.
+        let first = loop {
+            if let Some(mut core) = self.inner.core.try_lock() {
+                break core.alloc_on_stream(req, stream);
+            }
+            {
+                let mut guard = bank.lock();
+                let g = &mut *guard;
+                if g.epoch != epoch_seen {
+                    epoch_seen = g.epoch;
+                    if let Some(block) = g.take(req.size, stream) {
+                        return Ok(self.commit_large_hit(g, index, block, req.size, stream, tel));
+                    }
+                }
+            }
+            std::thread::yield_now();
+        };
+        let core_alloc = match first {
+            Err(AllocError::OutOfMemory { .. }) => {
+                // Same rescue as `core_allocate`: hand every front-end
+                // cache (small shards AND large banks) back to the core and
+                // retry once behind a plain lock.
+                self.flush();
+                self.inner.core.lock().alloc_on_stream(req, stream)?
+            }
+            other => other?,
+        };
+        // A core-served large allocation carries the same `Alloc` event it
+        // did when the route was disabled and every large request went
+        // straight through the core mutex.
+        if let Some(t) = tel {
+            t.record(EventKind::Alloc, core_alloc.size, stream.as_u32() as u64, 0);
+        }
+        let block = CachedBlock {
+            core_id: core_alloc.id,
+            va: core_alloc.va,
+            size: core_alloc.size,
+            stream,
+        };
+        let mut guard = bank.lock();
+        let g = &mut *guard;
+        let id = g.mint(index, self.inner.bank_bits);
+        g.live.insert(
+            id,
+            LiveLarge {
+                block,
+                requested: req.size,
+            },
+        );
+        Ok(Allocation {
+            id: AllocationId::new(id),
+            va: block.va,
+            size: block.size,
+            requested: req.size,
+        })
+    }
+
+    /// Books a large-bank cache hit under the bank lock: counters, fresh
+    /// front-end id, live entry. (`LargeBank::take` already removed the
+    /// block from the free list and its cached counters.)
+    fn commit_large_hit(
+        &self,
+        g: &mut LargeBank,
+        index: usize,
+        block: CachedBlock,
+        requested: u64,
+        stream: StreamId,
+        tel: Option<&PoolTelemetry>,
+    ) -> Allocation {
+        g.stats.hits += 1;
+        g.stats.requested += requested;
+        let id = g.mint(index, self.inner.bank_bits);
+        g.live.insert(id, LiveLarge { block, requested });
+        if let Some(t) = tel {
+            t.record(EventKind::ShardHit, requested, stream.as_u32() as u64, 0);
+        }
+        Allocation {
+            id: AllocationId::new(id),
+            va: block.va,
+            size: block.size,
+            requested,
+        }
+    }
+
     /// Allocates memory for `req` (see [`AllocatorCore::allocate`] for the
     /// contract) on the default stream. Small requests take the sharded
     /// fast path; everything else goes to the wrapped core.
@@ -897,7 +1223,13 @@ impl DeviceAllocator {
         let start = tel.map(|_| std::time::Instant::now());
         let result = if req.size < self.inner.small_threshold {
             self.allocate_small(req, stream, tel)
+        } else if self.inner.small_threshold > 0 && self.inner.max_cached_large_per_bank > 0 {
+            self.allocate_large(req, stream, tel)
         } else {
+            // Large route disabled (`max_cached_large_per_bank == 0`), or
+            // the whole fast path is off (`small_threshold == 0`, the
+            // single-mutex degeneration the benches baseline against):
+            // straight through the core mutex, core id handed out.
             let result = self.core_allocate(req);
             if let (Some(t), Ok(a)) = (tel, &result) {
                 t.record(EventKind::Alloc, a.size, stream.as_u32() as u64, 0);
@@ -966,11 +1298,15 @@ impl DeviceAllocator {
     ) -> Result<(), AllocError> {
         let raw = id.as_u64();
         if raw < FRONT_ID_BASE {
-            // Large allocation (or an unknown id): the core owns it. Core
-            // ids and front-end ids live in disjoint halves of the id
-            // space, so a double-freed front-end id can never alias a
-            // core allocation.
+            // A core-minted id (the large route or the whole fast path is
+            // disabled, or the id is unknown): the core owns it. Core ids
+            // and front-end ids live in disjoint halves of the id space,
+            // so a double-freed front-end id can never alias a core
+            // allocation.
             return self.inner.core.lock().deallocate(id);
+        }
+        if raw & LARGE_ID_BIT != 0 {
+            return self.free_large(id, stream, tel);
         }
         // The minting shard rides in the id's low bits; its lock covers the
         // live entry, the class free list, and the stats in one acquisition.
@@ -1103,6 +1439,120 @@ impl DeviceAllocator {
         Ok(())
     }
 
+    /// Releases a large allocation minted by [`DeviceAllocator::allocate_large`].
+    /// The owning bank rides in the id's low bits. Same event-guard rule as
+    /// the small shards, with the bank-wide cache cap:
+    ///
+    /// * **same stream**: park in the bank's free list (up to
+    ///   `max_cached_large_per_bank`), else return to the core;
+    /// * **cross-stream**, events configured: pend in the bank's ring, or
+    ///   — when the freeing stream is caught up — collapse straight into
+    ///   the owner's free list; a full ring (or full cache) records the
+    ///   event and **synchronizes it after the bank lock drops, before the
+    ///   core may re-serve the block** (the `drain_to_core` rule — this is
+    ///   the guard large frees used to bypass entirely);
+    /// * **cross-stream**, no events: conservative core fallback (the core
+    ///   mutex is the synchronization point standing in for the event).
+    fn free_large(
+        &self,
+        id: AllocationId,
+        stream: StreamId,
+        tel: Option<&PoolTelemetry>,
+    ) -> Result<(), AllocError> {
+        let raw = id.as_u64();
+        let bank = &self.inner.large_banks[(raw as usize) & (self.inner.stream_banks - 1)];
+        let cap = self.inner.max_cached_large_per_bank;
+        let mut sync_before_core = None;
+        let to_core = {
+            let mut guard = bank.lock();
+            let g = &mut *guard;
+            let Some(entry) = g.live.remove(&raw) else {
+                return Err(AllocError::UnknownAllocation(id));
+            };
+            g.stats.fast_frees += 1;
+            if entry.block.stream != stream {
+                // Cross-stream large free: the block must not be reusable
+                // (by anyone, on any stream) until the freeing stream's
+                // in-flight work is done with it.
+                if let Some(events) = &self.inner.events {
+                    if g.pending.len() < self.inner.pending_ring_cap
+                        && (g.stats.cached_blocks as usize) < cap
+                    {
+                        match events.try_record(stream) {
+                            Some(event) => {
+                                g.stats.cross_stream_parked += 1;
+                                g.stats.pending_bytes += entry.block.size;
+                                g.stats.pending_blocks += 1;
+                                g.pending.push_back(LargePending {
+                                    block: entry.block,
+                                    requested: entry.requested,
+                                    event,
+                                    freed_from: stream,
+                                });
+                                if let Some(t) = tel {
+                                    t.record(
+                                        EventKind::CrossStreamPark,
+                                        entry.requested,
+                                        stream.as_u32() as u64,
+                                        entry.block.stream.as_u32() as u64,
+                                    );
+                                }
+                                return Ok(());
+                            }
+                            None => {
+                                // Caught-up freeing stream: park + promote
+                                // collapse into one step.
+                                g.stats.cross_stream_parked += 1;
+                                g.stats.event_promotions += 1;
+                                g.park(entry.block, entry.requested);
+                                if let Some(t) = tel {
+                                    t.record(
+                                        EventKind::CrossStreamPark,
+                                        entry.requested,
+                                        stream.as_u32() as u64,
+                                        entry.block.stream.as_u32() as u64,
+                                    );
+                                }
+                                return Ok(());
+                            }
+                        }
+                    }
+                    // Ring or cache full: the block goes to the core, but
+                    // the freeing stream is still owed a synchronization —
+                    // record now (the source is a lock-order leaf), wait it
+                    // out after the lock drops, before the core can
+                    // re-serve the block.
+                    sync_before_core = Some(events.record(stream));
+                }
+                g.stats.cross_stream_fallback += 1;
+                g.stats.cache_returns += 1;
+                Some(entry.block)
+            } else {
+                if let Some(t) = tel {
+                    t.record(EventKind::Free, entry.block.size, stream.as_u32() as u64, 0);
+                }
+                if (g.stats.cached_blocks as usize) < cap {
+                    g.park(entry.block, entry.requested);
+                    None
+                } else {
+                    g.stats.cache_returns += 1;
+                    Some(entry.block)
+                }
+            }
+        };
+        if let Some(block) = to_core {
+            if let (Some(event), Some(events)) = (sync_before_core, &self.inner.events) {
+                events.synchronize(event);
+            }
+            self.inner
+                .core
+                .lock()
+                .deallocate(block.core_id)
+                .expect("front-end owns every cached large block");
+        }
+        Ok(())
+    }
+
     /// Drains the free lists **and pending rings** of `shards` and hands
     /// the blocks to the core; returns the bytes handed back.
     ///
@@ -1154,6 +1604,51 @@ impl DeviceAllocator {
         bytes
     }
 
+    /// Large-bank counterpart of [`DeviceAllocator::drain_to_core`]: drains
+    /// the free lists and pending rings of `banks`, synchronizes the
+    /// pending events after the bank locks drop, and hands every block to
+    /// the core; returns the bytes handed back.
+    fn drain_large_to_core(&self, banks: &[Mutex<LargeBank>]) -> u64 {
+        let mut blocks: Vec<CachedBlock> = Vec::new();
+        let mut pending_events: Vec<EventId> = Vec::new();
+        for bank in banks {
+            let mut guard = bank.lock();
+            let g = &mut *guard;
+            for stack in g.free.values_mut() {
+                for block in stack.iter() {
+                    g.stats.cache_returns += 1;
+                    g.stats.cached_bytes -= block.size;
+                    g.stats.cached_blocks -= 1;
+                }
+                blocks.append(stack);
+            }
+            g.free.clear();
+            while let Some(p) = g.pending.pop_front() {
+                g.stats.cache_returns += 1;
+                g.stats.pending_bytes -= p.block.size;
+                g.stats.pending_blocks -= 1;
+                pending_events.push(p.event);
+                blocks.push(p.block);
+            }
+        }
+        if blocks.is_empty() {
+            return 0;
+        }
+        if let Some(events) = &self.inner.events {
+            for event in pending_events {
+                events.synchronize(event);
+            }
+        }
+        let mut bytes = 0;
+        let mut core = self.inner.core.lock();
+        for block in &blocks {
+            bytes += block.size;
+            core.deallocate(block.core_id)
+                .expect("front-end owns every cached large block");
+        }
+        bytes
+    }
+
     /// Sweeps every shard's pending ring, promoting each cross-stream-freed
     /// block whose event has completed into its owning stream's free list;
     /// returns how many blocks were promoted.
@@ -1175,6 +1670,12 @@ impl DeviceAllocator {
                 promoted += guard.promote_completed(&**events);
             }
         }
+        for bank in self.inner.large_banks.iter() {
+            let mut guard = bank.lock();
+            if !guard.pending.is_empty() {
+                promoted += guard.promote_completed(&**events);
+            }
+        }
         if promoted > 0 {
             if let Some(t) = &self.inner.telemetry {
                 // A proactive sweep is rare (iteration boundaries), so it
@@ -1191,9 +1692,10 @@ impl DeviceAllocator {
     /// flushing itself frees no physical memory.
     ///
     /// This is the flush the defrag/OOM paths run: defragmentation must see
-    /// every cached byte, so it can never be scoped to one stream.
+    /// every cached byte, so it can never be scoped to one stream. Drains
+    /// the large banks as well as the small shards.
     pub fn flush(&self) -> u64 {
-        self.drain_to_core(&self.inner.shards)
+        self.drain_to_core(&self.inner.shards) + self.drain_large_to_core(&self.inner.large_banks)
     }
 
     /// Returns the blocks parked in `stream`'s bank (only) to the wrapped
@@ -1208,7 +1710,8 @@ impl DeviceAllocator {
     /// warm cache too. Pass only configured stream ids when you want the
     /// flush to stay targeted.
     pub fn flush_stream(&self, stream: StreamId) -> u64 {
-        self.drain_to_core(self.bank(stream))
+        let large = std::slice::from_ref(&self.inner.large_banks[self.bank_index(stream)]);
+        self.drain_to_core(self.bank(stream)) + self.drain_large_to_core(large)
     }
 
     /// The slice of shards forming `stream`'s bank.
@@ -1223,20 +1726,16 @@ impl DeviceAllocator {
     fn sum_shards(shards: &[Mutex<Shard>]) -> ShardStats {
         let mut total = ShardStats::default();
         for shard in shards {
-            let s = shard.lock().stats;
-            total.hits += s.hits;
-            total.misses += s.misses;
-            total.fast_frees += s.fast_frees;
-            total.cache_returns += s.cache_returns;
-            total.cross_stream_parked += s.cross_stream_parked;
-            total.cross_stream_fallback += s.cross_stream_fallback;
-            total.event_promotions += s.event_promotions;
-            total.requested += s.requested;
-            total.requested_inflation += s.requested_inflation;
-            total.cached_bytes += s.cached_bytes;
-            total.cached_blocks += s.cached_blocks;
-            total.pending_bytes += s.pending_bytes;
-            total.pending_blocks += s.pending_blocks;
+            total.absorb(&shard.lock().stats);
+        }
+        total
+    }
+
+    /// Sums the reconciliation counters of a slice of large banks.
+    fn sum_large_banks(banks: &[Mutex<LargeBank>]) -> ShardStats {
+        let mut total = ShardStats::default();
+        for bank in banks {
+            total.absorb(&bank.lock().stats);
         }
         total
     }
@@ -1244,6 +1743,11 @@ impl DeviceAllocator {
     /// Sums the per-shard reconciliation counters across every stream bank.
     fn shard_totals(&self) -> ShardStats {
         Self::sum_shards(&self.inner.shards)
+    }
+
+    /// Sums the large banks' reconciliation counters.
+    fn large_totals(&self) -> ShardStats {
+        Self::sum_large_banks(&self.inner.large_banks)
     }
 
     /// Memory statistics of the pool: the wrapped core's counters
@@ -1257,7 +1761,17 @@ impl DeviceAllocator {
     /// Peak watermarks are measured at the core, so bytes parked in the
     /// shard caches count toward `peak_active_bytes` (an upper bound).
     pub fn stats(&self) -> MemStats {
-        let fast = self.shard_totals();
+        let mut fast = self.shard_totals();
+        // The large banks reconcile through the same counters: a large hit
+        // never reached the core (`hits`), a parked large free is freed
+        // from the caller's view (`fast_frees` minus `cache_returns`), and
+        // parked/pending large bytes are not active. The large route reuses
+        // only on exact requested size, so `requested_inflation` stays 0 —
+        // a block between selection and commit is counted exactly once
+        // (live at the core, no longer cached here: `LargeBank::take`
+        // removes it and its cached bytes under the same bank-lock
+        // acquisition that books the hit).
+        fast.absorb(&self.large_totals());
         let mut s = self.inner.core.lock().stats();
         s.alloc_count += fast.hits;
         s.free_count = (s.free_count + fast.fast_frees).saturating_sub(fast.cache_returns);
@@ -1286,11 +1800,23 @@ impl DeviceAllocator {
         }
     }
 
-    /// Cache-shard telemetry, aggregated across every stream bank.
+    /// Cache telemetry aggregated across every stream bank — small shards
+    /// **and** large banks (see [`DeviceAllocator::large_cache_stats`] for
+    /// the large route alone).
     pub fn cache_stats(&self) -> DeviceCacheStats {
+        let mut fast = self.shard_totals();
+        fast.absorb(&self.large_totals());
+        Self::cache_stats_of(fast, self.inner.shards.len(), self.inner.stream_banks)
+    }
+
+    /// Cache telemetry of the large route only: the per-stream large banks'
+    /// hits/misses, parked and pending blocks, and event-guard counters
+    /// (`shards` reports the bank count). Empty unless requests at or above
+    /// the threshold ran with `max_cached_large_per_bank > 0`.
+    pub fn large_cache_stats(&self) -> DeviceCacheStats {
         Self::cache_stats_of(
-            self.shard_totals(),
-            self.inner.shards.len(),
+            self.large_totals(),
+            self.inner.large_banks.len(),
             self.inner.stream_banks,
         )
     }
@@ -1306,11 +1832,9 @@ impl DeviceAllocator {
     /// (see the config docs), so the counters reported here are the shared
     /// bank's — they include activity from every stream folded onto it.
     pub fn stream_cache_stats(&self, stream: StreamId) -> DeviceCacheStats {
-        Self::cache_stats_of(
-            Self::sum_shards(self.bank(stream)),
-            self.inner.class_shards,
-            1,
-        )
+        let mut fast = Self::sum_shards(self.bank(stream));
+        fast.absorb(&self.inner.large_banks[self.bank_index(stream)].lock().stats);
+        Self::cache_stats_of(fast, self.inner.class_shards, 1)
     }
 
     /// Backend name, cached at construction (never takes a lock).
@@ -1623,16 +2147,205 @@ mod tests {
 
     #[test]
     fn large_requests_bypass_the_shards() {
+        // Large requests never touch the small size-class shards: they are
+        // served by the per-stream large banks, under ids carrying
+        // LARGE_ID_BIT, and a warm exact-size hit costs no core traffic.
         let pool = DeviceAllocator::new(TestCore::default());
+        let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        assert!(a.id.as_u64() >= FRONT_ID_BASE, "front-end id handed out");
+        assert_ne!(a.id.as_u64() & LARGE_ID_BIT, 0, "large-route id");
+        assert_eq!(pool.cache_stats().misses, 1);
+        pool.deallocate(a.id).unwrap();
+        let large = pool.large_cache_stats();
+        assert_eq!(large.cached_blocks, 1, "parked in the large bank");
+        assert_eq!(pool.shard_totals().cached_blocks, 0, "shards untouched");
+        assert_eq!(
+            pool.deallocate(a.id).unwrap_err(),
+            AllocError::UnknownAllocation(a.id),
+            "large double-free detected by the bank's live table"
+        );
+        let b = pool.allocate(AllocRequest::new(mib(8))).unwrap();
+        assert_eq!(b.va, a.va, "exact-size reuse from the bank");
+        assert_ne!(b.id, a.id, "front-end ids are never reused");
+        assert_eq!(pool.with_core(|c| c.stats().alloc_count), 1, "one miss");
+        pool.deallocate(b.id).unwrap();
+        assert_eq!(pool.flush(), mib(8), "flush drains the large banks");
+    }
+
+    #[test]
+    fn large_route_disabled_hands_out_core_ids() {
+        // max_cached_large_per_bank == 0 is the single-mutex baseline: the
+        // pre-PR 9 behaviour, and what bench_pr9 compares against.
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_max_cached_large_per_bank(0),
+        );
         let a = pool.allocate(AllocRequest::new(mib(8))).unwrap();
         assert!(a.id.as_u64() < FRONT_ID_BASE, "core id handed out");
         pool.deallocate(a.id).unwrap();
-        assert_eq!(pool.cache_stats().cached_blocks, 0);
+        assert_eq!(pool.large_cache_stats().cached_blocks, 0);
         assert_eq!(
             pool.deallocate(a.id).unwrap_err(),
             AllocError::UnknownAllocation(a.id),
             "large double-free detected by the core"
         );
+    }
+
+    #[test]
+    fn cross_stream_large_free_waits_for_its_event_before_reuse() {
+        // Satellite-1 regression pin: a large block freed on a
+        // NON-allocating stream must not be reusable (by any path) until
+        // the freeing stream's event completes — and once it is served
+        // again, no event may still be outstanding.
+        let (pool, events) = event_pool(u64::MAX);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let large = pool.large_cache_stats();
+        assert_eq!(large.cross_stream_parked, 1, "event recorded and parked");
+        assert_eq!(large.pending_blocks, 1);
+        assert_eq!(events.pending(), 1, "the guard event is outstanding");
+        // The owner asks again while the event is incomplete: the bank must
+        // NOT hand the block back; the request goes to the core instead.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+            .unwrap();
+        assert_ne!(b.va, a.va, "pending block must not be re-served");
+        events.complete_all();
+        let c = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+            .unwrap();
+        assert_eq!(c.va, a.va, "promoted after completion and re-served");
+        assert_eq!(events.pending(), 0, "no event outstanding before reuse");
+        assert_eq!(pool.large_cache_stats().event_promotions, 1);
+        pool.free_on_stream(b.id, StreamId(1)).unwrap();
+        pool.free_on_stream(c.id, StreamId(1)).unwrap();
+    }
+
+    #[test]
+    fn cross_stream_large_fallback_synchronizes_before_the_core() {
+        // Ring capacity 0 disables large event parking: the fallback must
+        // still record an event on the freeing stream and synchronize it
+        // before the core dealloc — the drain_to_core rule large frees
+        // used to bypass entirely.
+        let events = Arc::new(ManualEvents::new());
+        let pool = DeviceAllocator::with_config_and_events(
+            TestCore::default(),
+            DeviceAllocatorConfig::default()
+                .with_streams(2)
+                .with_pending_ring_cap(0),
+            events.clone(),
+        );
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(0)).unwrap();
+        let large = pool.large_cache_stats();
+        assert_eq!(large.cross_stream_fallback, 1, "fell back to the core");
+        assert_eq!(
+            events.pending(),
+            0,
+            "the guard event was recorded AND synchronized before the core \
+             could re-serve the block"
+        );
+        assert_eq!(pool.with_core(|c| c.stats().free_count), 1);
+    }
+
+    #[test]
+    fn folded_streams_large_path() {
+        // Satellite-2 pin: streams folded onto the same bank (ids at or
+        // above the configured stream count) share a bank for PLACEMENT
+        // only. Affinity keys on the original StreamId — stream 5's parked
+        // block is invisible to stream 1 even though both live in bank 1 —
+        // and the cross-stream guard fires on original ids too.
+        let (pool, events) = event_pool(u64::MAX); // 2 banks
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(5))
+            .unwrap();
+        pool.free_on_stream(a.id, StreamId(5)).unwrap(); // same stream: parks
+        assert_eq!(pool.stream_cache_stats(StreamId(5)).cached_blocks, 1);
+        // Stream 1 folds onto the same bank but must not receive 5's block.
+        let b = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+            .unwrap();
+        assert_ne!(b.va, a.va, "foreign folded block skipped");
+        // A free of stream-1's block issued from stream 5 is cross-stream
+        // (same bank, different original id): the event guard must fire.
+        pool.free_on_stream(b.id, StreamId(5)).unwrap();
+        let large = pool.large_cache_stats();
+        assert_eq!(large.cross_stream_parked, 1, "guard keyed on original id");
+        assert_eq!(events.pending(), 1);
+        // Stream 5 still reuses its own block.
+        let c = pool
+            .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(5))
+            .unwrap();
+        assert_eq!(c.va, a.va, "affinity keyed on original id");
+        pool.free_on_stream(c.id, StreamId(5)).unwrap();
+        events.complete_all();
+        pool.flush();
+        assert_eq!(events.pending(), 0);
+    }
+
+    #[test]
+    fn large_stats_reconcile_exactly_at_quiescence() {
+        // Satellite-3 pin: hits, parked frees, and in-flight commits of the
+        // large route never double-count as cached+active; at quiescence
+        // the reconciled counters are exact.
+        let pool = DeviceAllocator::new(TestCore::default());
+        for _ in 0..5 {
+            let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+            pool.deallocate(a.id).unwrap();
+        }
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 5);
+        assert_eq!(s.free_count, 5);
+        assert_eq!(s.active_bytes, 0);
+        assert_eq!(s.requested_bytes_total, 5 * mib(4), "exact requested");
+        let large = pool.large_cache_stats();
+        assert_eq!((large.hits, large.misses), (4, 1));
+        assert_eq!(pool.flush(), mib(4));
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 5);
+        assert_eq!(s.free_count, 5);
+        assert_eq!(s.active_bytes, 0);
+        assert_eq!(pool.large_cache_stats().cached_blocks, 0);
+    }
+
+    #[test]
+    fn large_bank_cap_overflows_to_the_core() {
+        let pool = DeviceAllocator::with_config(
+            TestCore::default(),
+            DeviceAllocatorConfig::default().with_max_cached_large_per_bank(2),
+        );
+        let ids: Vec<_> = (0..4)
+            .map(|_| pool.allocate(AllocRequest::new(mib(4))).unwrap().id)
+            .collect();
+        for id in ids {
+            pool.deallocate(id).unwrap();
+        }
+        let large = pool.large_cache_stats();
+        assert_eq!(large.cached_blocks, 2, "bank cap respected");
+        assert_eq!(pool.with_core(|c| c.stats().free_count), 2, "2 overflowed");
+        assert_eq!(pool.stats().active_bytes, 0);
+    }
+
+    #[test]
+    fn large_oom_flushes_the_banks_and_retries() {
+        // Capacity fits exactly one 4 MiB block: the parked large block
+        // must be handed back to the core for the next allocation to
+        // succeed (the flush-and-retry reaches the large banks).
+        let pool = DeviceAllocator::new(TestCore::bounded(mib(4)));
+        let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
+        pool.deallocate(a.id).unwrap();
+        assert_eq!(pool.large_cache_stats().cached_blocks, 1);
+        let b = pool.allocate(AllocRequest::new(mib(3))).unwrap();
+        assert_eq!(b.size, mib(3));
+        pool.deallocate(b.id).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.alloc_count, 2);
+        assert_eq!(s.free_count, 2);
+        assert_eq!(s.active_bytes, 0);
     }
 
     #[test]

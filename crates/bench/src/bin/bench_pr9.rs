@@ -1,0 +1,241 @@
+//! Perf snapshot for the PR 9 concurrent large/stitch path: sweeps warm
+//! *large*-allocation throughput (4 MiB — above the 2 MiB stitch
+//! threshold, i.e. the traffic GMLake exists for) over 1/2/4/8 threads in
+//! three shapes, all over the same GMLake core on a zero-cost device:
+//!
+//! * **mutex** — `max_cached_large_per_bank = 0`: the pre-PR 9 layout,
+//!   every large allocation round-tripping the single core mutex
+//!   regardless of stream — the in-process baseline;
+//! * **large_route** — 8 per-stream large banks, thread *t* allocating and
+//!   freeing on `StreamId(t)`: warm exact-size reuse from the thread's own
+//!   bank, the core mutex reduced to a commit-time lock for misses;
+//! * **cross_stream** — 8 banks, thread *t* allocating on `StreamId(t)`
+//!   but freeing on `StreamId(t + 1)`: every free takes the large-path
+//!   event guard (record on the freeing stream, park, promote), the
+//!   machinery that lets a stitched view freed on stream A be re-served to
+//!   stream B once its event completes.
+//!
+//! Results are written as machine-readable `BENCH_PR9.json` (committed,
+//! uploaded as a CI artifact; the committed snapshot records the 8-thread
+//! large-route path at ≥ 3x the mutex baseline). `bench_pr9 --check`
+//! re-runs the sweep (best of three per point) and fails when the large
+//! route *structurally* regresses: an 8-thread large-route/mutex ratio
+//! below [`MIN_LARGE_OVER_MUTEX_8T`] fails the gate, ratios between it and
+//! [`WARN_LARGE_OVER_MUTEX_8T`] warn once with the measured best-of-3
+//! values (folded into the JSON report so the CI artifact records them),
+//! and order-of-magnitude drops against the committed snapshot fail as in
+//! the other gates.
+
+use std::time::Instant;
+
+use gmlake_alloc_api::{AllocRequest, DeviceAllocator, StreamId};
+use gmlake_bench::perf::{large_pool, LARGE_SWEEP_SIZE};
+use gmlake_bench::report;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const OPS_PER_THREAD: usize = 10_000;
+/// Repetitions per measurement point; the best run is kept (see
+/// `bench_pr4` for the rationale).
+const REPS: usize = 3;
+/// Stream banks of the large-route pools (covers the widest sweep point).
+const STREAMS: usize = 8;
+/// Same-process large-route/mutex floor for `--check` at 8 threads: below
+/// [`WARN_LARGE_OVER_MUTEX_8T`] only warns (oversubscribed runners), below
+/// this the bank route is structurally slower than the single mutex it
+/// replaces and the gate fails.
+const MIN_LARGE_OVER_MUTEX_8T: f64 = 1.0;
+/// Warn threshold: the acceptance target is 3x, but a machine with fewer
+/// cores than sweep threads cannot show real parallel speedup, so the gate
+/// only demands 2x before warning instead of failing.
+const WARN_LARGE_OVER_MUTEX_8T: f64 = 2.0;
+
+/// How each worker maps itself onto streams and which pool shape it runs.
+#[derive(Clone, Copy)]
+enum Shape {
+    /// Pre-PR 9 baseline: large banks disabled, everything on the mutex.
+    Mutex,
+    /// Thread t lives entirely on StreamId(t), banks enabled.
+    LargeRoute,
+    /// Thread t allocates on StreamId(t), frees on StreamId(t + 1).
+    CrossStream,
+}
+
+impl Shape {
+    fn pool(self) -> DeviceAllocator {
+        match self {
+            Shape::Mutex => large_pool(STREAMS, 0),
+            Shape::LargeRoute | Shape::CrossStream => large_pool(STREAMS, 32),
+        }
+    }
+
+    fn streams(self, t: usize) -> (StreamId, StreamId) {
+        match self {
+            Shape::Mutex | Shape::LargeRoute => (StreamId(t as u32), StreamId(t as u32)),
+            Shape::CrossStream => (StreamId(t as u32), StreamId(t as u32 + 1)),
+        }
+    }
+}
+
+/// Best of [`REPS`] runs of [`measure_once`].
+fn measure(threads: usize, shape: Shape) -> f64 {
+    (0..REPS)
+        .map(|_| measure_once(&shape.pool(), threads, shape))
+        .fold(0.0, f64::max)
+}
+
+/// Runs `threads` workers, each doing `OPS_PER_THREAD` warm large
+/// alloc/free cycles under `shape`'s stream mapping; returns aggregate
+/// operations (one alloc + one free = 2 ops) per second.
+fn measure_once(pool: &DeviceAllocator, threads: usize, shape: Shape) -> f64 {
+    // Warm every thread's bank slot (and, for the mutex shape, the core's
+    // inactive pool) so the sweep measures the steady state.
+    for t in 0..threads {
+        let (alloc_stream, free_stream) = shape.streams(t);
+        let a = pool
+            .alloc_on_stream(AllocRequest::new(LARGE_SWEEP_SIZE), alloc_stream)
+            .unwrap();
+        pool.free_on_stream(a.id, free_stream).unwrap();
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = pool.clone();
+            s.spawn(move || {
+                let (alloc_stream, free_stream) = shape.streams(t);
+                for _ in 0..OPS_PER_THREAD {
+                    let a = pool
+                        .alloc_on_stream(AllocRequest::new(LARGE_SWEEP_SIZE), alloc_stream)
+                        .unwrap();
+                    pool.free_on_stream(a.id, free_stream).unwrap();
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    (threads * OPS_PER_THREAD * 2) as f64 / secs
+}
+
+struct SweepPoint {
+    threads: usize,
+    mutex_ops_per_sec: f64,
+    large_route_ops_per_sec: f64,
+    cross_stream_ops_per_sec: f64,
+}
+
+impl SweepPoint {
+    fn large_over_mutex(&self) -> f64 {
+        self.large_route_ops_per_sec / self.mutex_ops_per_sec
+    }
+}
+
+fn run_sweep() -> Vec<SweepPoint> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let point = SweepPoint {
+                threads,
+                mutex_ops_per_sec: measure(threads, Shape::Mutex),
+                large_route_ops_per_sec: measure(threads, Shape::LargeRoute),
+                cross_stream_ops_per_sec: measure(threads, Shape::CrossStream),
+            };
+            eprintln!(
+                "  {threads} thread(s): mutex {:>12.0} ops/s, large-route {:>12.0} ops/s \
+                 ({:.1}x), cross-stream {:>12.0} ops/s",
+                point.mutex_ops_per_sec,
+                point.large_route_ops_per_sec,
+                point.large_over_mutex(),
+                point.cross_stream_ops_per_sec,
+            );
+            point
+        })
+        .collect()
+}
+
+fn render_json(sweep: &[SweepPoint], warnings: &[String]) -> String {
+    let mut json = String::from("{\n  \"schema\": \"gmlake-bench-pr9/v1\",\n");
+    json.push_str(&report::warnings_json(warnings));
+    json.push_str("  \"large_sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"mutex_ops_per_sec\": {:.0}, \
+             \"large_route_ops_per_sec\": {:.0}, \"cross_stream_ops_per_sec\": {:.0}, \
+             \"large_over_mutex\": {:.2}}}{}\n",
+            p.threads,
+            p.mutex_ops_per_sec,
+            p.large_route_ops_per_sec,
+            p.cross_stream_ops_per_sec,
+            p.large_over_mutex(),
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    let eight = sweep.last().expect("sweep is non-empty");
+    json.push_str(&format!(
+        "  \"large_over_mutex_8t\": {:.2},\n",
+        eight.large_over_mutex()
+    ));
+    json.push_str(
+        "  \"notes\": \"warm 4 MiB (above-stitch-threshold) alloc+free cycles through a \
+         shared GMLake pool on a zero-cost device; mutex = large banks disabled \
+         (max_cached_large_per_bank 0, the pre-PR 9 single-mutex layout); large_route = 8 \
+         per-stream large banks, thread t on StreamId(t); cross_stream = alloc on \
+         StreamId(t) / free on StreamId(t+1), every free taking the large-path event \
+         guard\"\n}\n",
+    );
+    json
+}
+
+/// Compares a freshly measured sweep against the committed snapshot;
+/// returns `(hard failures, warnings)`.
+fn check_against(committed: &str, sweep: &[SweepPoint]) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    let eight = sweep.last().expect("sweep is non-empty");
+    // Same-process acceptance: at 8 threads the per-stream large banks
+    // must beat the single mutex they replace.
+    if eight.large_over_mutex() < MIN_LARGE_OVER_MUTEX_8T {
+        failures.push(format!(
+            "8-thread large-route throughput fell below the mutex baseline ({:.2}x, floor \
+             {MIN_LARGE_OVER_MUTEX_8T}x)",
+            eight.large_over_mutex()
+        ));
+    } else if eight.large_over_mutex() < WARN_LARGE_OVER_MUTEX_8T {
+        warnings.push(format!(
+            "8-thread large-route/mutex ratio {:.2}x is below the {WARN_LARGE_OVER_MUTEX_8T}x \
+             target (best of {REPS}: large-route {:.0} ops/s vs mutex {:.0} ops/s) — too few \
+             cores for real 8-way parallelism on this runner?",
+            eight.large_over_mutex(),
+            eight.large_route_ops_per_sec,
+            eight.mutex_ops_per_sec,
+        ));
+    }
+    // First sweep entry in the snapshot is the 1-thread point; compare the
+    // same-shape quantity: current 1-thread large-route throughput.
+    failures.extend(report::throughput_guard(
+        committed,
+        "large_route_ops_per_sec",
+        sweep[0].large_route_ops_per_sec,
+        "1-thread large-route throughput",
+        "ops/s",
+    ));
+    (failures, warnings)
+}
+
+fn main() {
+    eprintln!("large-path sweep, {OPS_PER_THREAD} alloc/free cycles per thread:");
+    let sweep = run_sweep();
+
+    report::finish_with_warnings(
+        "BENCH_PR9.json",
+        |warnings| render_json(&sweep, warnings),
+        |committed| check_against(committed, &sweep),
+        || {
+            let eight = sweep.last().unwrap();
+            format!(
+                "8-thread large-route/mutex {:.2}x, cross-stream {:.0} ops/s",
+                eight.large_over_mutex(),
+                eight.cross_stream_ops_per_sec
+            )
+        },
+    );
+}

@@ -179,6 +179,59 @@ pub fn stream_pool_with_telemetry(streams: usize, enabled: bool) -> DeviceAlloca
     .expect("default config with a valid stream count")
 }
 
+// ---------------------------------------------------------------------
+// Large-path sweep harness (PR 9), shared by the `bench_pr9` snapshot/
+// CI-gate binary.
+// ---------------------------------------------------------------------
+
+/// Size every thread of the large sweep allocates: comfortably above the
+/// 2 MiB stitch threshold, so every request takes the GMLake large path —
+/// the traffic that used to serialize on the core mutex regardless of
+/// stream.
+pub const LARGE_SWEEP_SIZE: u64 = mib(4);
+
+/// Inactive pBlocks the large pool is primed with before the sweep runs.
+/// An empty core makes the mutex baseline unrealistically cheap: real
+/// GMLake pools carry a populated inactive index, and the pre-PR 9 design
+/// ran `BestFit` + tier maintenance over it *inside the mutex* for every
+/// warm large request — precisely the per-op work the bank route's warm
+/// hits never do.
+pub const LARGE_POOL_PRIMED_BLOCKS: usize = 256;
+
+/// Builds the large sweep's shared pool: a GMLake core on a zero-cost
+/// device, primed with [`LARGE_POOL_PRIMED_BLOCKS`] assorted inactive
+/// blocks (6–12 MiB), behind a front-end with `streams` large banks and a
+/// clone of the driver as the [`EventSource`] (cross-stream large frees
+/// park behind real driver events). `cap` is `max_cached_large_per_bank`:
+/// 0 disables the per-stream large banks entirely, reproducing the
+/// pre-PR 9 layout where every above-threshold allocation round-trips the
+/// core mutex — the sweep's in-process baseline.
+///
+/// [`EventSource`]: gmlake_alloc_api::EventSource
+pub fn large_pool(streams: usize, cap: usize) -> DeviceAllocator {
+    let driver = CudaDriver::new(
+        DeviceConfig::a100_80g()
+            .with_cost(CostModel::zero())
+            .with_capacity(gib(8)),
+    );
+    let mut lake = GmLakeAllocator::new(driver.clone(), GmLakeConfig::default());
+    let mut held = Vec::with_capacity(LARGE_POOL_PRIMED_BLOCKS);
+    for i in 0..LARGE_POOL_PRIMED_BLOCKS {
+        let size = mib(6 + 2 * (i % 4) as u64);
+        held.push(lake.allocate(AllocRequest::new(size)).expect("capacity").id);
+    }
+    for id in held {
+        lake.deallocate(id).expect("live");
+    }
+    DeviceAllocator::with_config_and_events(
+        lake,
+        DeviceAllocatorConfig::default()
+            .with_streams(streams)
+            .with_max_cached_large_per_bank(cap),
+        std::sync::Arc::new(driver),
+    )
+}
+
 /// Minimal field extractor for the committed `BENCH_PR<n>.json` snapshots
 /// used by the `--check` CI gates: finds the first `"name": <number>`
 /// occurrence. The snapshots are machine-written by the bench binaries

@@ -35,7 +35,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use gmlake_alloc_api::{
-    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, VirtAddr,
+    AllocError, AllocRequest, Allocation, AllocationId, AllocatorCore, MemStats, StreamId, VirtAddr,
 };
 use gmlake_caching::CachingAllocator;
 use gmlake_gpu_sim::{CudaDriver, DriverError, PhysHandle};
@@ -145,6 +145,11 @@ pub struct GmLakeAllocator {
     iter_allocs: u64,
     converged_streak: u64,
     non_exact_history: Vec<u64>,
+    /// Stream of the in-flight `alloc_on_stream`/`free_on_stream` call, if
+    /// any. Set for the duration of the call so `register_allocation` and
+    /// `deallocate` can stamp `last_stream` on the touched blocks, and so
+    /// exact-match `BestFit` results can prefer same-stream candidates.
+    current_stream: Option<StreamId>,
 }
 
 impl GmLakeAllocator {
@@ -190,6 +195,7 @@ impl GmLakeAllocator {
             iter_allocs: 0,
             converged_streak: 0,
             non_exact_history: Vec::new(),
+            current_stream: None,
         }
     }
 
@@ -835,10 +841,11 @@ impl GmLakeAllocator {
         match target {
             Target::P(pid) => {
                 self.set_pblock_active(pid, true);
-                self.pblocks
-                    .get_mut(pid)
-                    .expect("pblock exists")
-                    .assigned_to = Some(id);
+                let p = self.pblocks.get_mut(pid).expect("pblock exists");
+                p.assigned_to = Some(id);
+                if self.current_stream.is_some() {
+                    p.last_stream = self.current_stream;
+                }
             }
             Target::S(sid) => {
                 let parts = self.sblocks[sid].parts.clone();
@@ -850,6 +857,9 @@ impl GmLakeAllocator {
                 debug_assert_eq!(s.active_parts, s.parts.len(), "assigning a partial sblock");
                 s.assigned_to = Some(id);
                 s.lru_tick = tick;
+                if self.current_stream.is_some() {
+                    s.last_stream = self.current_stream;
+                }
             }
             Target::Small(_) => {}
         }
@@ -871,6 +881,50 @@ impl GmLakeAllocator {
             self.register_allocation(Target::Small(inner.id), inner.va, inner.size, req.size);
         Ok(alloc)
     }
+
+    /// Per-stream affinity refinement for S1 pBlock matches: among exact
+    /// candidates of the same size *and* stitch-cost tier (which Algorithm 1
+    /// treats as equivalent — same state, same cost), prefer one last used
+    /// by the requesting stream. Bounded scan; no-op for streamless calls,
+    /// so `BestFit`'s classification and the reference oracle are untouched.
+    fn prefer_stream_pblock(&self, chosen: PBlockId) -> PBlockId {
+        let Some(stream) = self.current_stream else {
+            return chosen;
+        };
+        let p = &self.pblocks[chosen];
+        if p.last_stream == Some(stream) {
+            return chosen;
+        }
+        self.p_inactive
+            .equal_size_in_tier(p.tier, p.size)
+            .take(Self::AFFINITY_SCAN_LIMIT)
+            .find(|&pid| self.pblocks[pid].last_stream == Some(stream))
+            .unwrap_or(chosen)
+    }
+
+    /// Per-stream affinity refinement for S1 sBlock matches (all inactive
+    /// sBlocks of the exact size are equivalent to Algorithm 1).
+    fn prefer_stream_sblock(&self, chosen: SBlockId) -> SBlockId {
+        let Some(stream) = self.current_stream else {
+            return chosen;
+        };
+        let s = &self.sblocks[chosen];
+        if s.last_stream == Some(stream) {
+            return chosen;
+        }
+        let size = s.size;
+        self.s_inactive
+            .range((size, 0)..=(size, u64::MAX))
+            .take(Self::AFFINITY_SCAN_LIMIT)
+            .map(|&(_, sid)| sid)
+            .find(|&sid| self.sblocks[sid].last_stream == Some(stream))
+            .unwrap_or(chosen)
+    }
+
+    /// Cap on the equal-size candidate scan in the affinity refinements:
+    /// affinity is a locality hint, not a correctness requirement, so it
+    /// must never turn an `O(log n)` exact match into an `O(n)` sweep.
+    const AFFINITY_SCAN_LIMIT: usize = 32;
 
     /// One attempt at a large allocation; OOM from `Alloc` is surfaced so the
     /// caller can run the release-cached fallback and retry. Wraps the
@@ -896,12 +950,14 @@ impl GmLakeAllocator {
             self.config.frag_limit,
         ) {
             BestFit::ExactS(sid) => {
+                let sid = self.prefer_stream_sblock(sid);
                 self.counters.record(AllocState::ExactMatch);
                 self.emit(EventKind::StitchDecision, aligned, 1, 1);
                 let (va, size) = (self.sblocks[sid].va, self.sblocks[sid].size);
                 Ok(self.register_allocation(Target::S(sid), va, size, req.size))
             }
             BestFit::ExactP(pid) => {
+                let pid = self.prefer_stream_pblock(pid);
                 self.counters.record(AllocState::ExactMatch);
                 self.emit(EventKind::StitchDecision, aligned, 1, 1);
                 let (va, size) = (self.pblocks[pid].va, self.pblocks[pid].size);
@@ -1431,6 +1487,29 @@ impl AllocatorCore for GmLakeAllocator {
         result
     }
 
+    fn alloc_on_stream(
+        &mut self,
+        req: AllocRequest,
+        stream: StreamId,
+    ) -> Result<Allocation, AllocError> {
+        // Pin the stream for the duration of the call: exact-match BestFit
+        // results prefer same-stream candidates, and the block handed out is
+        // stamped as last used by `stream`.
+        self.current_stream = Some(stream);
+        let result = self.allocate(req);
+        self.current_stream = None;
+        result
+    }
+
+    fn free_on_stream(&mut self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
+        // The freeing stream is the block's last user: stamp it so the next
+        // exact match from that stream finds its own warm block.
+        self.current_stream = Some(stream);
+        let result = self.deallocate(id);
+        self.current_stream = None;
+        result
+    }
+
     fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
         let (target, size) = self
             .live
@@ -1439,7 +1518,11 @@ impl AllocatorCore for GmLakeAllocator {
         self.driver.advance_clock(self.host_op_ns);
         match target {
             Target::P(pid) => {
-                self.pblocks.get_mut(pid).expect("live pblock").assigned_to = None;
+                let p = self.pblocks.get_mut(pid).expect("live pblock");
+                p.assigned_to = None;
+                if self.current_stream.is_some() {
+                    p.last_stream = self.current_stream;
+                }
                 self.set_pblock_active(pid, false);
             }
             Target::S(sid) => {
@@ -1448,6 +1531,9 @@ impl AllocatorCore for GmLakeAllocator {
                     let s = self.sblocks.get_mut(sid).expect("live sblock");
                     s.assigned_to = None;
                     s.lru_tick = tick;
+                    if self.current_stream.is_some() {
+                        s.last_stream = self.current_stream;
+                    }
                     s.parts.clone()
                 };
                 for pid in parts {

@@ -108,6 +108,23 @@ impl TieredPIndex {
         self.tiers.iter().map(|t| t.len()).sum()
     }
 
+    /// All pBlocks of exactly `size` bytes within one tier, in id order.
+    ///
+    /// Exact-match candidates of the same size *and* tier are equivalent to
+    /// Algorithm 1 — the allocator uses this to apply per-stream affinity
+    /// (prefer the candidate last used by the requesting stream) *after*
+    /// [`best_fit_indexed`] has chosen a state, without perturbing the
+    /// classification the reference implementation must agree with.
+    pub fn equal_size_in_tier(
+        &self,
+        tier: StitchCost,
+        size: u64,
+    ) -> impl Iterator<Item = PBlockId> + '_ {
+        self.tiers[tier as usize]
+            .range((size, 0)..=(size, u64::MAX))
+            .map(|&(_, pid)| pid)
+    }
+
     /// The tier a pid of `size` currently sits in, if any (validation).
     pub fn tier_of(&self, size: u64, pid: PBlockId) -> Option<StitchCost> {
         StitchCost::ALL

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeSet;
 
-use gmlake_alloc_api::{AllocationId, VirtAddr};
+use gmlake_alloc_api::{AllocationId, StreamId, VirtAddr};
 use gmlake_gpu_sim::PhysHandle;
 
 use crate::bestfit::StitchCost;
@@ -41,6 +41,11 @@ pub(crate) struct PBlock {
     /// allocator as references and sBlock availability change, so `BestFit`
     /// never has to re-derive it.
     pub tier: StitchCost,
+    /// Stream that last held this block (stamped on stream-aware allocate
+    /// and free). Exact-match `BestFit` prefers candidates last used by the
+    /// requesting stream, so warm blocks stay stream-local without any
+    /// ordering or correctness impact on streamless callers (`None`).
+    pub last_stream: Option<StreamId>,
 }
 
 impl PBlock {
@@ -53,6 +58,7 @@ impl PBlock {
             assigned_to: None,
             referenced_by: BTreeSet::new(),
             tier: StitchCost::Unreferenced,
+            last_stream: None,
         }
     }
 }
@@ -73,6 +79,8 @@ pub(crate) struct SBlock {
     /// maintained incrementally so activity flips never re-scan the part
     /// list.
     pub active_parts: usize,
+    /// Stream that last held this stitched view (see `PBlock::last_stream`).
+    pub last_stream: Option<StreamId>,
 }
 
 impl SBlock {
@@ -84,6 +92,7 @@ impl SBlock {
             assigned_to: None,
             lru_tick: tick,
             active_parts: 0,
+            last_stream: None,
         }
     }
 }

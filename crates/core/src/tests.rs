@@ -931,3 +931,73 @@ fn stitchfree_pure_lru_cannibalizes_converged_views() {
     l.deallocate(r.id).unwrap();
     l.validate().unwrap();
 }
+
+#[test]
+fn exact_match_prefers_same_stream_pblock() {
+    use gmlake_alloc_api::StreamId;
+    let mut l = lake();
+    // Two equal-size pBlocks, last used by streams 1 and 2 respectively.
+    // Ids are sequential, so a plain exact match would always hand out the
+    // first (lowest-id) block.
+    let a = l
+        .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+        .unwrap();
+    let b = l
+        .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(2))
+        .unwrap();
+    l.free_on_stream(a.id, StreamId(1)).unwrap();
+    l.free_on_stream(b.id, StreamId(2)).unwrap();
+    // Stream 2 gets its own warm block even though stream 1's has the
+    // lower id; stream 1 still gets its own.
+    let c = l
+        .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(2))
+        .unwrap();
+    assert_eq!(c.va, b.va, "stream-2 affinity");
+    let d = l
+        .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+        .unwrap();
+    assert_eq!(d.va, a.va, "stream-1 affinity");
+    // Streamless callers are untouched by affinity: lowest id wins.
+    l.free_on_stream(c.id, StreamId(2)).unwrap();
+    l.free_on_stream(d.id, StreamId(1)).unwrap();
+    let e = l.allocate(AllocRequest::new(mib(4))).unwrap();
+    assert_eq!(e.va, a.va, "streamless exact match takes the lowest id");
+    l.deallocate(e.id).unwrap();
+    l.validate().unwrap();
+}
+
+#[test]
+fn exact_match_prefers_same_stream_sblock() {
+    use gmlake_alloc_api::StreamId;
+    let mut l = lake();
+    // Build two identical 10 MiB stitched views (4+6 each), freed on
+    // streams 1 and 2.
+    let mut views = Vec::new();
+    for stream in [StreamId(1), StreamId(2)] {
+        let a = l
+            .alloc_on_stream(AllocRequest::new(mib(4)), stream)
+            .unwrap();
+        let b = l
+            .alloc_on_stream(AllocRequest::new(mib(6)), stream)
+            .unwrap();
+        l.free_on_stream(a.id, stream).unwrap();
+        l.free_on_stream(b.id, stream).unwrap();
+        let v = l
+            .alloc_on_stream(AllocRequest::new(mib(10)), stream)
+            .unwrap();
+        views.push(v);
+    }
+    let stitches = l.state_counters().stitches;
+    for (v, stream) in views.iter().zip([StreamId(1), StreamId(2)]) {
+        l.free_on_stream(v.id, stream).unwrap();
+    }
+    // Stream 2's request exact-matches its *own* cached view, not the
+    // lower-id one stitched for stream 1.
+    let r = l
+        .alloc_on_stream(AllocRequest::new(mib(10)), StreamId(2))
+        .unwrap();
+    assert_eq!(r.va, views[1].va, "stream-2 sBlock affinity");
+    assert_eq!(l.state_counters().stitches, stitches, "pure reuse");
+    l.free_on_stream(r.id, StreamId(2)).unwrap();
+    l.validate().unwrap();
+}

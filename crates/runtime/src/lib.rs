@@ -16,7 +16,8 @@
 //! * [`PoolHandle`] — a cheap, cloneable front end to one pool, `&self` on
 //!   every call. Small allocations ride the front-end's sharded
 //!   per-size-class caches without touching the pool mutex; large/stitch
-//!   traffic falls back to the wrapped core. `PoolHandle` also implements
+//!   traffic runs through per-stream large banks whose misses take a
+//!   commit-time lock on the wrapped core. `PoolHandle` also implements
 //!   [`AllocatorCore`], so trait-generic code (like `gmlake-workload`'s
 //!   `Replayer`) drives a shared pool unmodified.
 //! * [`DefragScheduler`] — evaluates a [`DefragPolicy`] ([`PeriodicPolicy`],
@@ -26,7 +27,8 @@
 //!   (apply-and-retry-once). Proactive defrag calls the allocators'
 //!   [`AllocatorCore::compact`] hook; the nuclear option is
 //!   [`AllocatorCore::release_cached`]. Either way the front-end's shard
-//!   caches are flushed first, so defrag always sees every cached byte.
+//!   caches *and* per-stream large banks are flushed first, so defrag
+//!   always sees every cached byte.
 //! * [`BackgroundDefragger`] — a sweep thread for deployments with no
 //!   natural iteration boundary.
 //!

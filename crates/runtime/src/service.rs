@@ -1118,6 +1118,10 @@ mod tests {
         let b = pool.allocate(AllocRequest::new(mib(6))).unwrap();
         pool.deallocate(a.id).unwrap();
         pool.deallocate(b.id).unwrap();
+        // Freed large blocks park in the front-end's per-stream banks;
+        // flushing hands them to the core's stitcher (what every defrag
+        // sweep does before compacting).
+        pool.allocator().flush();
         let before = driver.phys_in_use();
         let c = pool.allocate(AllocRequest::new(mib(10))).unwrap();
         assert_eq!(driver.phys_in_use(), before, "stitched, no new physical");
@@ -1406,11 +1410,14 @@ mod tests {
                 )),
             )
             .unwrap();
-        // Build a stitchable pool state: two freed blocks of 4 and 6 MiB.
+        // Build a stitchable pool state: two freed blocks of 4 and 6 MiB,
+        // flushed out of the front-end's large banks so the core's
+        // stitcher sees them.
         let a = pool.allocate(AllocRequest::new(mib(4))).unwrap();
         let b = pool.allocate(AllocRequest::new(mib(6))).unwrap();
         pool.deallocate(a.id).unwrap();
         pool.deallocate(b.id).unwrap();
+        pool.allocator().flush();
         // The next two map-family calls fault: two consecutive stitch
         // attempts fail and trip the breaker.
         driver.set_fault_plan(
@@ -1448,7 +1455,9 @@ mod tests {
             assert!(lake.fault_journal().is_leak_free());
         });
         // And it is actually used again: a 14 MiB request stitches cached
-        // blocks without growing physical memory.
+        // blocks without growing physical memory (flush first — the 10 and
+        // 4 MiB blocks freed above are parked in the large banks).
+        pool.allocator().flush();
         let phys = driver.phys_in_use();
         let e = pool.allocate(AllocRequest::new(mib(14))).unwrap();
         assert_eq!(driver.phys_in_use(), phys, "stitched from cache");

@@ -267,3 +267,77 @@ fn pool_service_soak_absorbs_transient_faults() {
         );
     });
 }
+
+/// A `MemMap` fault landing *inside an optimistic large commit* (PR 9):
+/// the front-end's per-stream large bank misses, takes the commit-time
+/// core lock, and the stitch it commits faults on its map call. The
+/// rollback doctrine must hold exactly as it does under the plain mutex:
+/// the fault surfaces as `AllocError::DriverFault`, the compensating
+/// unwind leaves the core valid and leak-free, the bank's live table has
+/// no ghost entry, and the same request succeeds once the fault clears.
+#[test]
+fn memmap_fault_inside_optimistic_large_commit_rolls_back() {
+    use gmlake_alloc_api::DeviceAllocatorConfig;
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let lake = GmLakeAllocator::new(
+        driver.clone(),
+        GmLakeConfig::default().with_frag_limit(mib(2)),
+    );
+    let pool = DeviceAllocator::with_config_and_events(
+        lake,
+        DeviceAllocatorConfig::default().with_streams(4),
+        std::sync::Arc::new(driver.clone()),
+    );
+    // Prime a 4 + 6 MiB inactive pair *in the core* (flush moves the
+    // bank-parked blocks down), so a 10 MiB request classifies S3 and the
+    // commit under the core lock is a real stitch.
+    let a = pool
+        .alloc_on_stream(AllocRequest::new(mib(4)), StreamId(1))
+        .unwrap();
+    let b = pool
+        .alloc_on_stream(AllocRequest::new(mib(6)), StreamId(1))
+        .unwrap();
+    pool.free_on_stream(a.id, StreamId(1)).unwrap();
+    pool.free_on_stream(b.id, StreamId(1)).unwrap();
+    pool.flush();
+    let stats_before = pool.stats();
+
+    // Arm: the next map call is the stitch's, inside the commit.
+    driver.set_fault_plan(FaultPlan::new().fail_nth(FaultOp::Map, 1));
+    let err = pool
+        .alloc_on_stream(AllocRequest::new(mib(10)), StreamId(2))
+        .unwrap_err();
+    assert!(
+        matches!(err, AllocError::DriverFault { .. }),
+        "commit fault must surface with its source chain, got {err:?}"
+    );
+    assert!(driver.stats().injected_faults > 0, "schedule never fired");
+
+    // Rollback doctrine: core valid + leak-free, no ghost bank entry.
+    driver.clear_fault_plan();
+    pool.with_core_as::<GmLakeAllocator, _>(|lake| {
+        lake.validate().unwrap();
+        let journal = lake.fault_journal();
+        assert!(journal.is_leak_free(), "commit unwind leaked: {journal:?}");
+        assert_eq!(journal.failed_ops, 1, "exactly the faulted stitch");
+    })
+    .expect("gmlake core");
+    let s = pool.stats();
+    assert_eq!(s.active_bytes, stats_before.active_bytes, "no ghost bytes");
+    assert_eq!(
+        s.alloc_count, stats_before.alloc_count,
+        "failed alloc uncounted"
+    );
+
+    // Same request, fault cleared: the stitch commits and reconciles.
+    let c = pool
+        .alloc_on_stream(AllocRequest::new(mib(10)), StreamId(2))
+        .unwrap();
+    assert_eq!(c.size, mib(10));
+    pool.free_on_stream(c.id, StreamId(2)).unwrap();
+    pool.flush();
+    pool.with_core_as::<GmLakeAllocator, _>(|lake| lake.validate().unwrap())
+        .expect("gmlake core");
+    assert_eq!(pool.stats().active_bytes, 0);
+    assert_eq!(driver.outstanding_events(), 0, "leaked driver events");
+}

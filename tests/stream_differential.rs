@@ -24,7 +24,13 @@
 //!
 //! Program sizes are powers of two, so the front-end's size-class rounding
 //! is the identity and any divergence is a real routing/accounting bug, not
-//! a rounding artifact.
+//! a rounding artifact. Sizes range up to 8 MiB — well above the 2 MiB
+//! stitch threshold — so programs mix small-shard traffic with the PR 9
+//! per-stream *large-bank* route (exact-size reuse, large event guard,
+//! optimistic commit), and the oracle equivalence covers both id spaces and
+//! their interleavings. (Large reuse is exact-requested-size by design,
+//! so the oracle's after-every-op `active_bytes`/`requested_bytes_total`
+//! assertions stay bit-exact on the large path too.)
 
 use std::sync::Arc;
 
@@ -58,7 +64,7 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        8 => ((9u32..20), (0u32..STREAMS)).prop_map(|(size_log2, stream)| Op::Alloc {
+        8 => ((9u32..24), (0u32..STREAMS)).prop_map(|(size_log2, stream)| Op::Alloc {
             size_log2,
             stream,
         }),
@@ -173,8 +179,10 @@ fn run_differential(ops: &[Op], capacity: u64) {
             .with_streams(STREAMS as usize)
             // Small caps: exercise free-list overflow returns AND
             // pending-ring overflow (the cross-stream fallback, which
-            // synchronizes its event before the core sees the block).
+            // synchronizes its event before the core sees the block) on
+            // both the small shards and the large banks.
             .with_max_cached_per_class(4)
+            .with_max_cached_large_per_bank(2)
             .with_pending_ring_cap(4),
         events.clone(),
     );
@@ -272,7 +280,8 @@ proptest! {
     fn stream_front_end_matches_single_mutex_oracle_with_oom(
         ops in prop::collection::vec(op_strategy(), 1..80)
     ) {
-        // ~16 x 512 KiB ceiling: programs regularly cross it.
+        // ~16 x 512 KiB (or two 4 MiB large tensors): programs regularly
+        // cross it, and the largest (8 MiB) request fills it exactly.
         run_differential(&ops, 8 << 20);
     }
 
