@@ -1,0 +1,289 @@
+//! The offline planner and its output, [`MemoryPlan`].
+//!
+//! Placement is classic first-fit-decreasing over a linear address space:
+//! intervals are sorted by size (descending, ties broken by alloc tick so
+//! the plan is deterministic), and each is placed at the lowest offset
+//! where it fits next to every already-placed interval it overlaps *in
+//! time*. Two intervals may share address space if and only if their
+//! lifetimes are disjoint — that is the whole trick: the planned capacity
+//! tracks the measured peak of the transient working set, not its sum.
+//!
+//! Plans serialize to a hand-rolled JSON document (`gmlake-plan/v1`) so
+//! the profiler can export them and tests can pin the format without any
+//! external serde dependency.
+
+use gmlake_telemetry::json::{self, Value};
+
+use crate::recorder::LifetimeInterval;
+
+/// Schema tag embedded in every serialized plan.
+pub const PLAN_SCHEMA: &str = "gmlake-plan/v1";
+
+/// One placed lifetime: `size` bytes at `offset` from the arena base,
+/// live during `[alloc_tick, free_tick)` on `stream`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSlot {
+    /// Byte offset from the arena base.
+    pub offset: u64,
+    /// Slot size in bytes (exact requested size — no rounding).
+    pub size: u64,
+    /// Raw id of the stream the recorded alloc was issued on.
+    pub stream: u32,
+    /// Recorded alloc tick (defines serving order within a size class).
+    pub alloc_tick: u64,
+    /// Recorded free tick.
+    pub free_tick: u64,
+}
+
+impl PlanSlot {
+    fn interval(&self) -> LifetimeInterval {
+        LifetimeInterval {
+            alloc_tick: self.alloc_tick,
+            free_tick: self.free_tick,
+            size: self.size,
+            stream: self.stream,
+        }
+    }
+
+    /// True when the two slots' address ranges intersect.
+    pub fn overlaps_space(&self, other: &PlanSlot) -> bool {
+        self.offset < other.offset + other.size && other.offset < self.offset + self.size
+    }
+}
+
+/// A static placement for one steady-state iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryPlan {
+    /// Linear address space the slots are packed into, in bytes (the
+    /// measured peak of the planned transients, not their sum).
+    pub capacity: u64,
+    /// Placed slots, in recorded alloc-tick order.
+    pub slots: Vec<PlanSlot>,
+}
+
+impl MemoryPlan {
+    /// Computes a plan for `intervals` by first-fit-decreasing.
+    ///
+    /// Deterministic: the same intervals always produce the same plan
+    /// (ties in size break by alloc tick). The returned slot list is
+    /// sorted back into alloc-tick order, which is the order the serving
+    /// queues hand slots out in.
+    pub fn build(intervals: &[LifetimeInterval]) -> MemoryPlan {
+        let mut order: Vec<usize> = (0..intervals.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(intervals[i].size),
+                intervals[i].alloc_tick,
+            )
+        });
+
+        let mut placed: Vec<PlanSlot> = Vec::with_capacity(intervals.len());
+        let mut capacity = 0u64;
+        for &i in &order {
+            let iv = intervals[i];
+            // Occupied ranges among time-overlapping, already-placed slots.
+            let mut busy: Vec<(u64, u64)> = placed
+                .iter()
+                .filter(|s| s.interval().overlaps_time(&iv))
+                .map(|s| (s.offset, s.offset + s.size))
+                .collect();
+            busy.sort_unstable();
+            let mut offset = 0u64;
+            for (lo, hi) in busy {
+                if offset + iv.size <= lo {
+                    break;
+                }
+                offset = offset.max(hi);
+            }
+            capacity = capacity.max(offset + iv.size);
+            placed.push(PlanSlot {
+                offset,
+                size: iv.size,
+                stream: iv.stream,
+                alloc_tick: iv.alloc_tick,
+                free_tick: iv.free_tick,
+            });
+        }
+        placed.sort_by_key(|s| s.alloc_tick);
+        MemoryPlan {
+            capacity,
+            slots: placed,
+        }
+    }
+
+    /// Checks the planner invariants:
+    ///
+    /// * every slot fits: `offset + size <= capacity`;
+    /// * no two slots overlap in space *and* time;
+    /// * every slot has a positive size and a well-formed lifetime.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.size == 0 {
+                return Err(format!("slot {i}: zero size"));
+            }
+            if s.free_tick <= s.alloc_tick {
+                return Err(format!(
+                    "slot {i}: degenerate lifetime [{}, {})",
+                    s.alloc_tick, s.free_tick
+                ));
+            }
+            if s.offset + s.size > self.capacity {
+                return Err(format!(
+                    "slot {i}: {}+{} exceeds capacity {}",
+                    s.offset, s.size, self.capacity
+                ));
+            }
+            for (j, t) in self.slots.iter().enumerate().skip(i + 1) {
+                if s.overlaps_space(t) && s.interval().overlaps_time(&t.interval()) {
+                    return Err(format!("slots {i} and {j} overlap in space and time"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum of all slot sizes (what the transients would cost unshared).
+    pub fn total_slot_bytes(&self) -> u64 {
+        self.slots.iter().map(|s| s.size).sum()
+    }
+
+    /// Serializes the plan as a `gmlake-plan/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.slots.len() * 80);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{PLAN_SCHEMA}\",\n"));
+        out.push_str(&format!("  \"capacity\": {},\n", self.capacity));
+        out.push_str("  \"slots\": [\n");
+        for (i, s) in self.slots.iter().enumerate() {
+            let comma = if i + 1 == self.slots.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"offset\": {}, \"size\": {}, \"stream\": {}, \"alloc_tick\": {}, \"free_tick\": {}}}{comma}\n",
+                s.offset, s.size, s.stream, s.alloc_tick, s.free_tick
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `gmlake-plan/v1` document produced by
+    /// [`MemoryPlan::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem: bad JSON,
+    /// wrong schema tag, or a missing/ill-typed field.
+    pub fn from_json(text: &str) -> Result<MemoryPlan, String> {
+        let doc = json::parse(text).map_err(|e| format!("plan JSON: {e}"))?;
+        if !matches!(&doc, Value::Obj(_)) {
+            return Err("plan JSON: top level is not an object".into());
+        }
+        match doc.get("schema").and_then(Value::as_str) {
+            Some(PLAN_SCHEMA) => {}
+            other => return Err(format!("plan JSON: bad schema tag {other:?}")),
+        }
+        let capacity = doc
+            .get("capacity")
+            .and_then(Value::as_u64)
+            .ok_or("plan JSON: `capacity` is not a non-negative integer")?;
+        let raw_slots = doc
+            .get("slots")
+            .and_then(Value::as_arr)
+            .ok_or("plan JSON: `slots` is not an array")?;
+        let mut slots = Vec::with_capacity(raw_slots.len());
+        for (i, item) in raw_slots.iter().enumerate() {
+            let field = |name: &str| -> Result<u64, String> {
+                item.get(name).and_then(Value::as_u64).ok_or_else(|| {
+                    format!("plan JSON: slot {i} field `{name}` missing or ill-typed")
+                })
+            };
+            slots.push(PlanSlot {
+                offset: field("offset")?,
+                size: field("size")?,
+                stream: field("stream")? as u32,
+                alloc_tick: field("alloc_tick")?,
+                free_tick: field("free_tick")?,
+            });
+        }
+        Ok(MemoryPlan { capacity, slots })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(alloc_tick: u64, free_tick: u64, size: u64, stream: u32) -> LifetimeInterval {
+        LifetimeInterval {
+            alloc_tick,
+            free_tick,
+            size,
+            stream,
+        }
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_address_space() {
+        // Two 100-byte transients that never coexist pack into 100 bytes.
+        let plan = MemoryPlan::build(&[iv(0, 1, 100, 0), iv(2, 3, 100, 0)]);
+        plan.validate().unwrap();
+        assert_eq!(plan.capacity, 100);
+        assert_eq!(plan.slots[0].offset, plan.slots[1].offset);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_disjoint_offsets() {
+        let plan = MemoryPlan::build(&[iv(0, 3, 100, 0), iv(1, 2, 50, 0)]);
+        plan.validate().unwrap();
+        assert_eq!(plan.capacity, 150);
+    }
+
+    #[test]
+    fn first_fit_reuses_gaps() {
+        // Big long-lived block at 0; a short one after it dies fits at 0
+        // again rather than growing the arena.
+        let plan = MemoryPlan::build(&[iv(0, 2, 64, 0), iv(1, 3, 32, 0), iv(2, 4, 64, 0)]);
+        plan.validate().unwrap();
+        assert_eq!(plan.capacity, 96);
+    }
+
+    #[test]
+    fn json_round_trip_is_identical() {
+        let plan = MemoryPlan::build(&[iv(0, 3, 4096, 1), iv(1, 2, 1024, 0), iv(4, 5, 4096, 1)]);
+        let back = MemoryPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(MemoryPlan::from_json("[]").is_err());
+        assert!(
+            MemoryPlan::from_json("{\"schema\": \"nope\", \"capacity\": 0, \"slots\": []}")
+                .is_err()
+        );
+        assert!(MemoryPlan::from_json("{\"schema\": \"gmlake-plan/v1\", \"slots\": []}").is_err());
+    }
+
+    #[test]
+    fn validate_catches_space_time_overlap() {
+        let bad = MemoryPlan {
+            capacity: 100,
+            slots: vec![
+                PlanSlot {
+                    offset: 0,
+                    size: 60,
+                    stream: 0,
+                    alloc_tick: 0,
+                    free_tick: 4,
+                },
+                PlanSlot {
+                    offset: 40,
+                    size: 60,
+                    stream: 0,
+                    alloc_tick: 1,
+                    free_tick: 3,
+                },
+            ],
+        };
+        assert!(bad.validate().is_err());
+    }
+}

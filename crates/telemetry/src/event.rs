@@ -61,11 +61,22 @@ pub enum EventKind {
     /// rescue/shed path. `bytes` = bytes reclaimed, `a` = tenant id,
     /// `b` = live allocations dropped.
     TenantEvict,
+    /// A planned core served an allocation straight from its static plan
+    /// (no driver call). `bytes` = size, `a` = plan slot index,
+    /// `b` = stream id.
+    PlanHit,
+    /// A planned core routed a request to its reactive fallback (size or
+    /// stream not in the plan, slot space-blocked, or mid-iteration
+    /// growth). `bytes` = size, `a` = stream id, `b` = 0 alloc / 1 free.
+    PlanResidue,
+    /// A planned core discarded its plan and returned to recording.
+    /// `bytes` = arena bytes released, `a` = cumulative replan count.
+    Replan,
 }
 
 impl EventKind {
     /// Every kind, in declaration order (schema validation walks this).
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::Alloc,
         EventKind::Free,
         EventKind::ShardHit,
@@ -83,6 +94,9 @@ impl EventKind {
         EventKind::TenantAdmission,
         EventKind::TenantChurn,
         EventKind::TenantEvict,
+        EventKind::PlanHit,
+        EventKind::PlanResidue,
+        EventKind::Replan,
     ];
 
     /// Stable wire name used in snapshots and chrome traces.
@@ -105,6 +119,9 @@ impl EventKind {
             EventKind::TenantAdmission => "tenant_admission",
             EventKind::TenantChurn => "tenant_churn",
             EventKind::TenantEvict => "tenant_evict",
+            EventKind::PlanHit => "plan_hit",
+            EventKind::PlanResidue => "plan_residue",
+            EventKind::Replan => "replan",
         }
     }
 

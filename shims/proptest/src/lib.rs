@@ -377,6 +377,19 @@ mod tuples {
             )
         }
     }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
 }
 
 /// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`.

@@ -17,6 +17,7 @@ pub use gmlake_alloc_api as alloc_api;
 pub use gmlake_caching as caching;
 pub use gmlake_core as core;
 pub use gmlake_gpu_sim as gpu_sim;
+pub use gmlake_planning as planning;
 pub use gmlake_runtime as runtime;
 pub use gmlake_serving as serving;
 pub use gmlake_telemetry as telemetry;
@@ -31,6 +32,7 @@ pub mod prelude {
     pub use gmlake_caching::CachingAllocator;
     pub use gmlake_core::{GmLakeAllocator, GmLakeConfig};
     pub use gmlake_gpu_sim::{CudaDriver, DeviceConfig, FaultOp, FaultPlan, NativeAllocator};
+    pub use gmlake_planning::{MemoryPlan, PlannedConfig, PlannedCore};
     pub use gmlake_runtime::{
         DefragScheduler, DeviceId, FaultPolicy, MemoryProfiler, PoolHandle, PoolService,
     };

@@ -341,3 +341,77 @@ fn memmap_fault_inside_optimistic_large_commit_rolls_back() {
     assert_eq!(pool.stats().active_bytes, 0);
     assert_eq!(driver.outstanding_events(), 0, "leaked driver events");
 }
+
+/// A `MemMap` fault inside a **residue stitch under `PlannedCore`**: the
+/// planned core routes an unplanned 10 MiB request to its GMLake
+/// fallback, whose stitch commit faults at map time. The fault must
+/// surface as `AllocError::DriverFault`, the plan tables (slots, queues,
+/// live set) must be untouched — including a plan-served allocation held
+/// live across the fault — and the rollback doctrine holds: `validate()`
+/// clean, fault journal leak-free, and the same request succeeds once the
+/// fault clears.
+#[test]
+fn memmap_fault_inside_planned_residue_stitch_rolls_back() {
+    let driver = CudaDriver::new(DeviceConfig::a100_80g());
+    let mut core = PlannedCore::new(
+        driver.clone(),
+        PlannedConfig {
+            gmlake: GmLakeConfig::default().with_frag_limit(mib(2)),
+            ..PlannedConfig::default()
+        },
+    );
+
+    // Record one synthetic iteration of 1 MiB transients, then install
+    // the plan at the boundary.
+    for _ in 0..6 {
+        let a = core.allocate(AllocRequest::new(mib(1))).unwrap();
+        core.deallocate(a.id).unwrap();
+    }
+    core.iteration_boundary();
+    assert!(core.is_serving(), "plan must be installed");
+    let plan_before = core.plan().unwrap();
+
+    // Prime a 4 + 6 MiB inactive pair in the *fallback* (both sizes are
+    // residue — no such plan slot), so the next 10 MiB residue request
+    // stitches. Hold one plan hit live across the fault.
+    let p4 = core.allocate(AllocRequest::new(mib(4))).unwrap();
+    let p6 = core.allocate(AllocRequest::new(mib(6))).unwrap();
+    core.deallocate(p4.id).unwrap();
+    core.deallocate(p6.id).unwrap();
+    let held = core.allocate(AllocRequest::new(mib(1))).unwrap();
+    let hits_before = core.counters().plan_hits;
+    let stats_before = core.stats();
+
+    // Arm: the next map call is the residue stitch's, inside the commit.
+    driver.set_fault_plan(FaultPlan::new().fail_nth(FaultOp::Map, 1));
+    let err = core.allocate(AllocRequest::new(mib(10))).unwrap_err();
+    assert!(
+        matches!(err, AllocError::DriverFault { .. }),
+        "residue stitch fault must surface with its source chain, got {err:?}"
+    );
+    assert!(driver.stats().injected_faults > 0, "schedule never fired");
+    driver.clear_fault_plan();
+
+    // Plan tables untouched: identical placements, held hit still live,
+    // no hit-path traffic counted, internal invariants clean.
+    assert_eq!(core.plan().unwrap(), plan_before, "fault mutated the plan");
+    assert_eq!(core.counters().plan_hits, hits_before);
+    core.validate().unwrap();
+    let journal = core.fault_journal();
+    assert!(journal.is_leak_free(), "stitch unwind leaked: {journal:?}");
+    assert_eq!(journal.failed_ops, 1, "exactly the faulted stitch");
+    let s = core.stats();
+    assert_eq!(s.active_bytes, stats_before.active_bytes, "no ghost bytes");
+    assert_eq!(s.alloc_count, stats_before.alloc_count);
+
+    // Same request, fault cleared: the fallback stitch commits.
+    let c = core.allocate(AllocRequest::new(mib(10))).unwrap();
+    assert!(c.size >= mib(10));
+    core.deallocate(c.id).unwrap();
+    core.deallocate(held.id).unwrap();
+    core.validate().unwrap();
+    core.release_cached();
+    assert_eq!(core.stats().active_bytes, 0);
+    assert_eq!(driver.phys_in_use(), 0, "device not quiescent");
+    assert_eq!(driver.outstanding_events(), 0, "leaked driver events");
+}

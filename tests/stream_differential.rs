@@ -39,6 +39,9 @@ use proptest::prelude::*;
 use gmlake::prelude::*;
 use gmlake_alloc_api::{DeviceAllocatorConfig, ManualEvents};
 
+mod common;
+use common::{MirrorCore, MutexOracle};
+
 /// Number of logical streams the random programs run over.
 const STREAMS: u32 = 4;
 
@@ -75,99 +78,6 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// The single-mutex oracle's core: strict accounting against a byte budget,
-/// no caching, no rounding — deterministic feasibility (`active + size <=
-/// capacity`) and exact counters. Both sides of the differential run wrap
-/// the same type, so any disagreement is introduced by the front-end.
-#[derive(Default)]
-struct MirrorCore {
-    next: u64,
-    live: std::collections::HashMap<AllocationId, u64>,
-    stats: MemStats,
-    capacity: u64,
-}
-
-impl MirrorCore {
-    fn bounded(capacity: u64) -> Self {
-        MirrorCore {
-            capacity,
-            ..MirrorCore::default()
-        }
-    }
-}
-
-impl AllocatorCore for MirrorCore {
-    fn allocate(&mut self, req: AllocRequest) -> Result<Allocation, AllocError> {
-        if req.size == 0 {
-            return Err(AllocError::ZeroSize);
-        }
-        if self.capacity > 0 && self.stats.active_bytes + req.size > self.capacity {
-            return Err(AllocError::OutOfMemory {
-                requested: req.size,
-                reserved: self.stats.reserved_bytes,
-                capacity: self.capacity,
-            });
-        }
-        self.next += 1;
-        let id = AllocationId::new(self.next);
-        self.live.insert(id, req.size);
-        self.stats.on_alloc(req.size, req.size);
-        let active = self.stats.active_bytes;
-        self.stats
-            .set_reserved(active.max(self.stats.reserved_bytes));
-        Ok(Allocation {
-            id,
-            va: VirtAddr::new(self.next << 24),
-            size: req.size,
-            requested: req.size,
-        })
-    }
-
-    fn deallocate(&mut self, id: AllocationId) -> Result<(), AllocError> {
-        let size = self
-            .live
-            .remove(&id)
-            .ok_or(AllocError::UnknownAllocation(id))?;
-        self.stats.on_free(size);
-        Ok(())
-    }
-
-    fn stats(&self) -> MemStats {
-        self.stats
-    }
-
-    fn name(&self) -> &'static str {
-        "mirror-core"
-    }
-
-    fn release_cached(&mut self) -> u64 {
-        let releasable = self.stats.reserved_bytes - self.stats.active_bytes;
-        let active = self.stats.active_bytes;
-        self.stats.reserved_bytes = active;
-        releasable
-    }
-}
-
-/// The single-mutex oracle: the pre-PR 3 `SharedAllocator` shape — every
-/// call funnels through one lock, no cache, no streams. `free_on_stream`
-/// falls back to plain `deallocate` via the trait default, which is exactly
-/// the stream-oblivious semantics the front-end must be equivalent to.
-struct MutexOracle(std::sync::Mutex<MirrorCore>);
-
-impl MutexOracle {
-    fn alloc(&self, size: u64) -> Result<Allocation, AllocError> {
-        self.0.lock().unwrap().allocate(AllocRequest::new(size))
-    }
-
-    fn free(&self, id: AllocationId, stream: StreamId) -> Result<(), AllocError> {
-        self.0.lock().unwrap().free_on_stream(id, stream)
-    }
-
-    fn stats(&self) -> MemStats {
-        self.0.lock().unwrap().stats()
-    }
-}
-
 /// Replays `ops` through both allocators, asserting outcome agreement after
 /// every step and stats agreement at quiescence. `capacity == 0` means
 /// unbounded (no OOM arm).
@@ -186,7 +96,7 @@ fn run_differential(ops: &[Op], capacity: u64) {
             .with_pending_ring_cap(4),
         events.clone(),
     );
-    let oracle = MutexOracle(std::sync::Mutex::new(MirrorCore::bounded(capacity)));
+    let oracle = MutexOracle::bounded(capacity);
 
     // (front id, oracle id, allocating stream) per live tensor.
     let mut live: Vec<(AllocationId, AllocationId, StreamId)> = Vec::new();

@@ -30,6 +30,9 @@ use std::sync::{Arc, Mutex};
 use gmlake::prelude::*;
 use gmlake_alloc_api::{DeviceAllocatorConfig, ManualEvents};
 
+mod common;
+use common::xorshift;
+
 /// One scripted operation, executed on a worker thread.
 #[derive(Debug, Clone, Copy)]
 enum Action {
@@ -141,13 +144,6 @@ fn script_thread1() -> Vec<Action> {
         Action::Tick, // may promote slot 5's block before the final flush
         Action::Flush,
     ]
-}
-
-fn xorshift(x: &mut u64) -> u64 {
-    *x ^= *x << 13;
-    *x ^= *x >> 7;
-    *x ^= *x << 17;
-    *x
 }
 
 /// Runs both scripts under the interleaving chosen by `seed`; returns the
